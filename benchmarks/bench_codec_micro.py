@@ -1,0 +1,69 @@
+"""Microbenchmarks of the ECC substrate (real codec throughput).
+
+Not a paper exhibit — these time the software BCH/SEC-DED codecs that
+back the fault-injection studies, so regressions in the hot loops
+(syndromes, Berlekamp–Massey, Chien search) are visible.
+"""
+
+import random
+
+import pytest
+
+from repro.ecc.bch import BchCode
+from repro.ecc.hamming import SecDedCode
+from repro.ecc.layout import LineCodec
+from repro.types import EccMode
+
+RNG = random.Random(99)
+
+
+@pytest.fixture(scope="module")
+def ecc6():
+    return BchCode(t=6, data_bits=516)
+
+
+@pytest.fixture(scope="module")
+def secded():
+    return SecDedCode(516)
+
+
+def test_bench_ecc6_encode(benchmark, ecc6):
+    data = RNG.getrandbits(516)
+    codeword = benchmark(ecc6.encode, data)
+    assert ecc6.extract_data(codeword) == data
+
+
+def test_bench_ecc6_decode_clean(benchmark, ecc6):
+    word = ecc6.encode(RNG.getrandbits(516))
+    result = benchmark(ecc6.decode, word)
+    assert result.errors_corrected == 0
+
+
+def test_bench_ecc6_decode_six_errors(benchmark, ecc6):
+    data = RNG.getrandbits(516)
+    word = ecc6.encode(data)
+    for p in RNG.sample(range(ecc6.codeword_bits), 6):
+        word ^= 1 << p
+    result = benchmark(ecc6.decode, word)
+    assert result.data == data
+
+
+def test_bench_secded_roundtrip(benchmark, secded):
+    data = RNG.getrandbits(516)
+
+    def roundtrip():
+        return secded.decode(secded.encode(data) ^ (1 << 100))
+
+    result = benchmark(roundtrip)
+    assert result.data == data
+
+
+def test_bench_line_codec_strong(benchmark):
+    codec = LineCodec()
+    data = RNG.getrandbits(512)
+
+    def roundtrip():
+        return codec.decode(codec.encode(data, EccMode.STRONG))
+
+    result = benchmark(roundtrip)
+    assert result.data == data

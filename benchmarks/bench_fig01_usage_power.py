@@ -1,0 +1,47 @@
+"""Fig. 1: the bursty usage pattern and where refresh power matters.
+
+Paper: devices alternate short active bursts with long idle periods;
+active memory power is ~9x idle; refresh's share of power is small while
+active but about half of the idle power.
+"""
+
+import pytest
+
+from repro.analysis.experiments import fig1_usage_timeline
+from repro.analysis.tables import format_table
+from repro.types import SystemState
+
+
+def test_fig01_usage_power_timeline(benchmark, show):
+    samples, active_power = benchmark.pedantic(
+        fig1_usage_timeline, kwargs={"total_s": 1200.0}, rounds=1, iterations=1
+    )
+    rows = []
+    t = 0.0
+    for s in samples[:12]:
+        rows.append([
+            f"{t:7.1f}s",
+            s.phase.state.value,
+            f"{s.phase.duration_s:.1f}s",
+            s.power_w / active_power,
+            s.refresh_w / s.power_w,
+        ])
+        t += s.phase.duration_s
+    show(format_table(
+        ["start", "state", "duration", "power (norm)", "refresh share"],
+        rows,
+        title="Fig. 1 — normalized memory power over a usage session (first phases)",
+    ))
+    active = [s for s in samples if s.phase.state is SystemState.ACTIVE]
+    idle = [s for s in samples if s.phase.state is SystemState.IDLE]
+    assert active and idle
+    # Active memory power ~9x idle (paper Fig. 1 caption).
+    ratio = active[0].power_w / idle[0].power_w
+    assert ratio == pytest.approx(9.0, rel=0.05)
+    # Refresh share: small in active mode, ~half in idle mode.
+    assert active[0].refresh_w / active[0].power_w < 0.1
+    assert idle[0].refresh_w / idle[0].power_w == pytest.approx(0.5, abs=0.1)
+    # Idle dominates the session's time budget.
+    idle_time = sum(s.phase.duration_s for s in idle)
+    total_time = sum(s.phase.duration_s for s in samples)
+    assert idle_time / total_time > 0.9

@@ -1,0 +1,33 @@
+"""Fig. 2: DRAM bit-failure probability vs. retention time (60 nm).
+
+Paper anchors: ~1e-9 at the 64 ms JEDEC period, 10^-4.5 at 1 second.
+"""
+
+import pytest
+
+from repro.analysis.experiments import fig2_retention_curve
+from repro.analysis.tables import format_table
+from repro.reliability.retention import RetentionModel
+
+
+def test_fig02_retention_curve(benchmark, show):
+    curve = benchmark.pedantic(fig2_retention_curve, rounds=1, iterations=1)
+    # Print a decimated view of the series.
+    rows = [[f"{t:.3g} s", p] for t, p in curve[::5]]
+    show(format_table(["retention time", "bit failure probability"], rows,
+                      title="Fig. 2 — retention-time failure curve"))
+    model = RetentionModel()
+    assert model.bit_failure_probability(0.064) == pytest.approx(1e-9, rel=1e-6)
+    assert model.bit_failure_probability(1.0) == pytest.approx(10 ** -4.5, rel=1e-9)
+    probs = [p for _, p in curve]
+    assert probs == sorted(probs)
+    assert probs[-1] <= 1.0
+
+
+def test_fig02_sampling_throughput(benchmark):
+    """Monte-Carlo retention sampling speed (used by ablation studies)."""
+    import random
+
+    model = RetentionModel()
+    rng = random.Random(0)
+    benchmark(model.sample_retention_times, 10_000, rng)

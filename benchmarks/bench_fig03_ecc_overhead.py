@@ -1,0 +1,33 @@
+"""Fig. 3: performance impact of decode latency, by MPKI class.
+
+Paper: SECDED is nearly free (<1%); ECC-6 costs ~10% on average and most
+for High-MPKI workloads.
+"""
+
+from repro.analysis.experiments import fig3_ecc_overhead_by_class
+from repro.analysis.tables import format_table
+
+#: Approximate bar heights read off paper Fig. 3.
+PAPER = {
+    "Low-MPKI": {"secded": 1.00, "ecc6": 0.98},
+    "Med-MPKI": {"secded": 0.995, "ecc6": 0.91},
+    "High-MPKI": {"secded": 0.99, "ecc6": 0.84},
+    "ALL": {"secded": 0.995, "ecc6": 0.90},
+}
+
+
+def test_fig03_ecc_overhead_by_class(benchmark, run, show):
+    out = benchmark.pedantic(fig3_ecc_overhead_by_class, args=(run,), rounds=1, iterations=1)
+    show(format_table(
+        ["class", "SECDED (paper)", "SECDED (ours)", "ECC-6 (paper)", "ECC-6 (ours)"],
+        [
+            [cls, PAPER[cls]["secded"], vals["secded"], PAPER[cls]["ecc6"], vals["ecc6"]]
+            for cls, vals in out.items()
+        ],
+        title="Fig. 3 — normalized IPC by MPKI class",
+    ))
+    # Shape: SECDED near-free everywhere; ECC-6 cost grows with intensity.
+    for cls, vals in out.items():
+        assert vals["secded"] > 0.98, cls
+    assert out["Low-MPKI"]["ecc6"] > out["Med-MPKI"]["ecc6"] > out["High-MPKI"]["ecc6"]
+    assert 0.84 <= out["ALL"]["ecc6"] <= 0.95

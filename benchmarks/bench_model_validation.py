@@ -1,0 +1,21 @@
+"""Model cross-validation (extension): closed forms vs. Monte-Carlo.
+
+Every analytic model the reproduction leans on is checked against
+independent sampling in one battery — a disagreement here would mean
+some paper exhibit upstream is built on a modeling bug.
+"""
+
+from repro.analysis.tables import format_table
+from repro.analysis.validation import run_all_validations
+
+
+def test_model_validation_battery(benchmark, show):
+    results = benchmark.pedantic(run_all_validations, rounds=1, iterations=1)
+    show(format_table(
+        ["model", "analytic", "empirical", "trials", "relative error"],
+        [[r.what, r.analytic, r.empirical, r.trials, r.relative_error]
+         for r in results],
+        title="Model validation — closed forms vs. Monte-Carlo",
+    ))
+    for result in results:
+        assert result.agrees(0.25), result.what

@@ -1,0 +1,47 @@
+"""Persona study (extension): who benefits from MECC, and by how much?
+
+Simulates a day of light / moderate / heavy usage and reports each
+persona's memory-energy saving and performance cost under MECC.  The
+shape: lighter users (more idle) save a larger *fraction* of memory
+energy at near-zero performance cost; heavy users still save, but pay a
+few percent of IPC during their longer sessions.
+"""
+
+from repro.analysis.tables import format_table
+from repro.sim.system import ScaledRun
+from repro.workloads.personas import PERSONAS, Persona, persona_savings
+
+
+def test_persona_day_study(benchmark, run, show):
+    study_run = ScaledRun(instructions=min(run.instructions, 150_000))
+
+    def compute():
+        out = {}
+        for persona in PERSONAS:
+            # Scale session counts down 4x to keep the bench quick; duty
+            # cycle (idle_fraction) is what matters, and it is preserved.
+            scaled = Persona(
+                persona.name,
+                persona.app_mix,
+                max(3, persona.sessions_per_day // 8),
+                persona.idle_fraction,
+            )
+            out[persona.name] = persona_savings(scaled, study_run)
+        return out
+
+    out = benchmark.pedantic(compute, rounds=1, iterations=1)
+    show(format_table(
+        ["persona", "baseline J/day", "MECC J/day", "saving", "idle share",
+         "MECC norm. IPC"],
+        [[name, v["baseline_j"], v["mecc_j"], f"{v['saving_fraction']:.1%}",
+          f"{v['idle_share_of_energy']:.1%}", v["mecc_normalized_ipc"]]
+         for name, v in out.items()],
+        title="Persona study — one simulated day per usage profile",
+    ))
+    # Everyone saves; lighter personas save a larger fraction.
+    for name, row in out.items():
+        assert row["saving_fraction"] > 0.1, name
+    assert out["light"]["saving_fraction"] >= out["heavy"]["saving_fraction"]
+    # Performance cost ordering follows memory intensity.
+    assert out["light"]["mecc_normalized_ipc"] >= out["heavy"]["mecc_normalized_ipc"]
+    assert out["light"]["mecc_normalized_ipc"] > 0.98

@@ -1,0 +1,137 @@
+"""Related-work comparison (paper Sec. VII, made quantitative).
+
+The paper argues, qualitatively, that MECC beats Flikker on effective
+refresh rate without sacrificing integrity, beats retention-profiling
+schemes (RAPID/RAIDR/SECRET) on robustness to Variable Retention Time,
+and is orthogonal to multi-rate refresh.  These benches compute each
+claim from the implemented baseline models.
+"""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.baselines.flikker import FlikkerModel
+from repro.baselines.raidr import RaidrModel
+from repro.baselines.rapid import RapidModel
+from repro.baselines.secret import SecretModel
+from repro.baselines.vrt import VrtModel
+
+
+def test_related_work_refresh_rates(benchmark, show):
+    """Refresh operations relative to 64 ms auto-refresh, scheme by scheme."""
+
+    def compute():
+        flikker = FlikkerModel(critical_fraction=0.25)
+        raidr = RaidrModel(rows=8192, seed=5)
+        rapid = RapidModel(capacity_bytes=64 << 20, seed=3)
+        secret = SecretModel(target_period_s=1.024)
+        return {
+            "Baseline (64 ms)": 1.0,
+            "Flikker (1/4 critical)": flikker.effective_refresh_rate,
+            "RAPID (50% utilization)": rapid.refresh_rate_relative(0.5),
+            "RAIDR (3 bins)": raidr.refresh_rate_relative(),
+            "SECRET (1 s)": secret.refresh_rate_relative,
+            "MECC (idle, 1 s)": 1 / 16,
+            "RAIDR + MECC (naive multiply)": raidr.combined_with_ecc_rate(16),
+            "RAIDR + MECC (reliability-honest)": raidr.safe_combined_rate(1.024),
+        }
+
+    rates = benchmark.pedantic(compute, rounds=1, iterations=1)
+    show(format_table(
+        ["scheme", "relative refresh rate", "reduction"],
+        [[name, rate, f"{1 / rate:.1f}x" if rate else "inf"]
+         for name, rate in rates.items()],
+        title="Sec. VII — effective refresh rate across schemes",
+    ))
+    # Paper's Amdahl example: Flikker lands near 1/3.
+    assert rates["Flikker (1/4 critical)"] == pytest.approx(1 / 3, rel=0.15)
+    # MECC's full-memory 16x beats every profile-free competitor.
+    for name in ("Flikker (1/4 critical)", "RAPID (50% utilization)", "RAIDR (3 bins)"):
+        assert rates[name] > rates["MECC (idle, 1 s)"], name
+    # The naive multiplicative combination looks great...
+    assert rates["RAIDR + MECC (naive multiply)"] < rates["MECC (idle, 1 s)"]
+    # ...but the reliability-honest combination collapses onto MECC alone:
+    # every bin is capped by the same ECC-safe period (reproduction
+    # finding — the schemes compose architecturally, not multiplicatively).
+    assert rates["RAIDR + MECC (reliability-honest)"] == pytest.approx(
+        rates["MECC (idle, 1 s)"], rel=0.01
+    )
+
+
+def test_related_work_vrt_robustness(benchmark, show):
+    """Uncorrectable lines per 1 GB under post-profiling VRT flips."""
+
+    def compute():
+        model = VrtModel(seed=9)
+        return model.compare(vrt_flip_probability=1e-7)
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    show(format_table(
+        ["scheme", "uncorrectable lines / GB", "notes"],
+        [[r.scheme, r.uncorrectable_lines, r.notes] for r in results],
+        title="Sec. VII-B — VRT exposure (1e-7 of cells toggle low)",
+    ))
+    by_scheme = {r.scheme: r.uncorrectable_lines for r in results}
+    assert by_scheme["MECC"] < 1e-3
+    for scheme in ("RAPID", "RAIDR", "SECRET"):
+        assert by_scheme[scheme] > 100, scheme
+
+
+def test_related_work_integrity_and_costs(benchmark, show):
+    """Qualitative table of the paper's Sec. VII comparison, computed."""
+
+    def compute():
+        flikker = FlikkerModel()
+        rapid = RapidModel(capacity_bytes=64 << 20, seed=3)
+        secret = SecretModel()
+        return {
+            "Flikker corrupt bits (1GB, slow region)": flikker.expected_noncritical_corrupt_bits(1 << 30),
+            "Flikker needs source changes": flikker.requires_source_changes(),
+            "RAPID usable capacity @1s": rapid.usable_fraction_at_period(1.0),
+            "SECRET repair table bytes @1s": secret.repair_storage_bytes,
+            "SECRET always-on latency (cycles)": secret.always_on_latency(),
+            "MECC usable capacity": 1.0,
+            "MECC corrupt bits": 0.0,
+            "MECC common-case latency (cycles)": 2,
+        }
+
+    facts = benchmark.pedantic(compute, rounds=1, iterations=1)
+    show(format_table(
+        ["property", "value"],
+        [[k, v] for k, v in facts.items()],
+        title="Sec. VII — integrity/capacity/latency costs",
+    ))
+    assert facts["Flikker corrupt bits (1GB, slow region)"] > 10_000
+    assert facts["RAPID usable capacity @1s"] < 1.0
+    assert facts["SECRET repair table bytes @1s"] > 1 << 20
+    assert facts["MECC corrupt bits"] == 0.0
+
+
+def test_mttdl_dependability_comparison(benchmark, show):
+    """MTTDL (extension): the DSN-native dependability metric.
+
+    Converts the failure models into mean time to data loss per
+    configuration.  The paper's +1 soft-error margin is the difference
+    between a device-lifetime-safe system and one that fails within a
+    few years; slow refresh without strong ECC fails in minutes.
+    """
+    from repro.reliability.mttf import MttfAnalysis
+
+    results = benchmark.pedantic(
+        lambda: MttfAnalysis().compare(), rounds=1, iterations=1
+    )
+    show(format_table(
+        ["configuration", "deployment loss P", "acc. loss rate /s", "MTTDL (years)"],
+        [[r.scheme, r.deployment_loss_probability,
+          r.accumulating_loss_rate_per_s, r.mttf_years] for r in results],
+        title="Dependability — mean time to data loss (1 GB, 2-minute idle periods)",
+    ))
+    by_scheme = {r.scheme: r for r in results}
+    # The paper's 1e-6 population target separates ECC-5 from ECC-6.
+    assert by_scheme["MECC/ECC-6 @ 1 s"].deployment_loss_probability < 1e-6
+    assert by_scheme["ECC-5 @ 1 s (no margin)"].deployment_loss_probability > 1e-6
+    # Deployed configurations outlive any device by orders of magnitude.
+    assert by_scheme["MECC/ECC-6 @ 1 s"].mttf_years > 1000
+    assert by_scheme["SECDED @ 64 ms"].mttf_years > 1000
+    # Slow refresh without strong ECC dies at the first slow window.
+    assert by_scheme["No ECC @ 1 s (strawman)"].mttf_s < 2.0

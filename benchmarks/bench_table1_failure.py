@@ -1,0 +1,40 @@
+"""Table I: line/system failure probability vs. ECC strength.
+
+Paper: at BER 10^-4.5 over 576-bit lines, ECC-5 brings a 1 GB system's
+failure probability under 1e-6; ECC-6 adds the soft-error margin.
+"""
+
+import pytest
+
+from repro.analysis.experiments import table1_failure
+from repro.analysis.tables import format_table
+
+PAPER = {
+    0: (1.8e-2, 1.0),
+    1: (1.6e-4, 1.0),
+    2: (9.8e-7, 1.0),
+    3: (4.5e-9, 7.2e-2),
+    4: (1.6e-11, 2.7e-4),
+    5: (4.9e-14, 8.1e-7),
+    6: (1.2e-16, 1.8e-9),
+}
+
+
+def test_table1_failure_probability(benchmark, show):
+    rows = benchmark.pedantic(table1_failure, rounds=1, iterations=1)
+    table = format_table(
+        ["ECC", "line (paper)", "line (ours)", "system (paper)", "system (ours)"],
+        [
+            [r.label, PAPER[r.ecc_t][0], r.line_failure, PAPER[r.ecc_t][1], r.system_failure]
+            for r in rows
+        ],
+        title="Table I — failure probability at BER 10^-4.5, 1 GB memory",
+    )
+    show(table)
+    for r in rows:
+        paper_line, paper_system = PAPER[r.ecc_t]
+        assert r.line_failure == pytest.approx(paper_line, rel=0.15)
+        if paper_system < 1.0:
+            assert r.system_failure == pytest.approx(paper_system, rel=0.35)
+        else:
+            assert r.system_failure > 0.99

@@ -1,0 +1,37 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Each bench file regenerates one paper exhibit (see DESIGN.md's experiment
+index), prints it as a paper-vs-measured table, and asserts the *shape*
+of the paper's result.  Simulation results are memoized process-wide, so
+exhibits sharing the same runs (Figs. 3/7/9/10) pay for them once.
+
+``REPRO_BENCH_INSTRUCTIONS`` scales the per-benchmark slice length
+(default 400,000 — about 10,000x smaller than the paper's 4 billion, with
+SMD quanta and working sets scaled accordingly; see repro.sim.system).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sim.system import ScaledRun
+
+BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "400000"))
+
+
+@pytest.fixture(scope="session")
+def run():
+    return ScaledRun(instructions=BENCH_INSTRUCTIONS)
+
+
+@pytest.fixture
+def show(capsys):
+    """Print an exhibit table to the real terminal, bypassing capture."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _show

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Prove MECC's integrity claim on the real data path.
+
+Everything in the paper's evaluation models latency and power; this demo
+runs the actual machinery — 576-bit stored lines under the (72,64)
+morphable layout, BCH ECC-6 and SEC-DED decoders, 4-way-replicated mode
+bits — through hours of simulated wake/idle cycles with retention faults
+injected at each scheme's refresh period, and verifies every byte.
+
+Retention faults are accelerated (BER 1e-3 instead of the paper's
+10^-4.5 at 1 s) so corrections are frequent enough to watch; the margin
+against ECC-6's 6-error budget is preserved.
+
+Usage::
+
+    python examples/data_integrity_demo.py [cycles]
+"""
+
+import sys
+
+from repro.functional.faults import FaultProcess, SoftErrorModel
+from repro.functional.session import FunctionalMeccSession
+from repro.reliability.retention import RetentionModel
+
+ACCELERATED_BER = 1e-3
+
+
+def main() -> None:
+    cycles = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    print(f"Running {cycles} wake/idle cycles per scheme "
+          f"(48-line working set, 3-minute idle periods, BER {ACCELERATED_BER:g} at 1 s)\n")
+    print(f"{'scheme':10} {'sim time':>9} {'reads':>6} {'corrected':>10} "
+          f"{'detected':>9} {'silent':>7}  verdict")
+    for scheme in ("mecc", "secded", "ecc6", "none-slow"):
+        faults = FaultProcess(
+            retention=RetentionModel(anchor_ber=ACCELERATED_BER),
+            soft_errors=SoftErrorModel(rate_per_bit_s=0.0),
+            seed=42,
+        )
+        session = FunctionalMeccSession(
+            scheme=scheme, working_set_lines=48, faults=faults, seed=42,
+            accesses_per_active_phase=64, idle_seconds=180.0,
+        )
+        report = session.run(cycles)
+        c = report.counters
+        verdict = "DATA LOST" if report.lost_data else "all data intact"
+        print(f"{scheme:10} {report.simulated_seconds / 60:8.1f}m {c.reads:6} "
+              f"{c.corrected_bits:10} {c.detected_uncorrectable:9} "
+              f"{c.silent_corruptions:7}  {verdict}")
+
+    print("""
+What happened:
+* mecc      — idle at 1 s under ECC-6; every retention flip that landed
+              during an idle period was corrected by the real BCH decoder
+              on the first access after wake-up (then the line ran at
+              SEC-DED latency).  Zero loss, 16x fewer refreshes.
+* secded    — safe only because it never left the 64 ms refresh: zero
+              corrections needed, zero refresh savings.
+* ecc6      — same safety as MECC, but every read of the session paid the
+              30-cycle strong decode (the 10% slowdown of Fig. 7).
+* none-slow — a 1 s refresh with no ECC: silent corruption on a large
+              share of reads.  This is the strawman that motivates the
+              whole paper.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Explore the ECC / refresh-period design space.
+
+Walks the paper's Sec. II analysis end to end:
+
+1. the retention curve (Fig. 2) gives the raw BER at each refresh period;
+2. the binomial analysis (Table I) gives per-line and per-system failure
+   probabilities for each ECC strength;
+3. the provisioning rule (1-in-a-million systems + 1 level of soft-error
+   margin) picks the required strength per period;
+4. the (72,64) budget check shows which strengths fit a standard ECC
+   DIMM at line granularity (Fig. 6) — ECC-6 is the strongest that fits;
+5. fault injection on the *real* BCH codec validates the analytical pick.
+
+Usage::
+
+    python examples/ecc_design_space.py
+"""
+
+from repro import RetentionModel, required_ecc_strength, table1_rows
+from repro.ecc import make_scheme
+from repro.reliability import FaultInjectionCampaign
+from repro.reliability.faults import InjectionOutcome
+from repro.types import EccMode
+
+
+def main() -> None:
+    model = RetentionModel()
+
+    print("-- Step 1: refresh period -> raw bit error rate (Fig. 2) --")
+    periods = (0.064, 0.128, 0.256, 0.512, 1.0, 2.0)
+    for period in periods:
+        print(f"  {period * 1000:7.0f} ms -> BER {model.ber_at_refresh_period(period):.2e}")
+
+    print("\n-- Step 2: failure probabilities at 1 s (Table I) --")
+    print(f"  {'ECC':8} {'line failure':>14} {'1GB system':>12}")
+    for row in table1_rows():
+        print(f"  {row.label:8} {row.line_failure:14.2e} {row.system_failure:12.2e}")
+
+    print("\n-- Step 3: required strength per refresh period --")
+    print("  (target: <1 failing system per million, +1 soft-error level)")
+    for period in periods:
+        ber = model.ber_at_refresh_period(period)
+        t = required_ecc_strength(ber)
+        scheme = make_scheme(t)
+        fits = scheme.storage_bits <= 64 - 4 or t <= 1
+        print(f"  {period * 1000:7.0f} ms -> ECC-{t}  "
+              f"({scheme.storage_bits} ECC bits/line, decode {scheme.decode_cycles} cyc)"
+              f"{'' if fits else '  ** exceeds (72,64) budget **'}")
+
+    print("\n-- Step 4: the (72,64) budget (Fig. 6) --")
+    print("  64 ECC bits/line = 4 mode-replica bits + 60 code bits")
+    for t in range(1, 8):
+        scheme = make_scheme(t, extended_detection=False)
+        verdict = "fits" if scheme.storage_bits <= 60 else "DOES NOT FIT"
+        print(f"  ECC-{t}: {scheme.storage_bits:3d} code bits  -> {verdict}")
+
+    print("\n-- Step 5: validate ECC-6 with real fault injection --")
+    campaign = FaultInjectionCampaign(seed=2024)
+    stats = campaign.run_fixed_errors(EccMode.STRONG, n_errors=6, trials=100)
+    corrected = stats.count(InjectionOutcome.CORRECTED)
+    print(f"  100 lines x 6 random bit flips: {corrected} corrected, "
+          f"{stats.count(InjectionOutcome.DETECTED)} detected, "
+          f"silent corruption rate {stats.silent_corruption_rate:.3f}")
+    stats = campaign.run_ber(EccMode.STRONG, model.ber_at_refresh_period(1.0), trials=500)
+    print(f"  500 lines at the 1 s BER: outcomes "
+          f"{ {k.value: v for k, v in stats.outcomes.items()} }")
+
+
+if __name__ == "__main__":
+    main()

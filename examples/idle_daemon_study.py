@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Why Selective Memory Downgrade exists: periodic daemons in idle mode.
+
+Even an "idle" phone wakes every second or two for bluetooth checks,
+network interrupts, and syncs.  Without SMD, each wake-up would trigger
+ECC-Downgrades (and a full ECC-Upgrade pass on re-entering idle); with
+SMD, low-traffic wake-ups run entirely under ECC-6 at the 1 s refresh.
+
+This study runs each daemon burst through MECC with and without SMD and
+reports what happens to the ECC state and the refresh rate, reproducing
+the paper's Sec. VI-B argument (plus its pathological-daemon caveat).
+
+Usage::
+
+    python examples/idle_daemon_study.py
+"""
+
+from repro.core.smd import SelectiveMemoryDowngrade
+from repro.core.policy import MeccPolicy
+from repro.sim.engine import SimulationEngine
+from repro.sim.system import SystemConfig
+from repro.workloads.daemons import BENIGN_DAEMONS, DAEMON_WORKLOADS
+
+
+def main() -> None:
+    config = SystemConfig()
+    print(f"{'daemon':20} {'MPKC':>6} {'SMD':>5} {'downgrades':>11} "
+          f"{'refresh during burst':>21} {'IPC cost':>9}")
+    for daemon in DAEMON_WORKLOADS:
+        trace = daemon.trace()
+        for with_smd in (False, True):
+            if with_smd:
+                # The burst is a few ms; scale the quantum to it the same
+                # way the harness scales the paper's 64 ms quantum.
+                smd = SelectiveMemoryDowngrade(
+                    quantum_cycles=max(1000, daemon.burst_instructions // 4)
+                )
+                policy = MeccPolicy(
+                    controller=config.mecc_policy().controller, smd=smd
+                )
+            else:
+                policy = config.mecc_policy(with_smd=False)
+            engine = SimulationEngine(policy=policy)
+            result = engine.run(trace)
+            baseline = SimulationEngine(policy=config.baseline_policy())
+            base = baseline.run(trace)
+            refresh = "1 s (slow)" if policy.slow_refresh_fraction == 1.0 else "64 ms"
+            print(f"{daemon.name:20} {result.mpkc:6.2f} "
+                  f"{'on' if with_smd else 'off':>5} {result.downgrades:11d} "
+                  f"{refresh:>21} {1 - result.ipc / base.ipc:9.1%}")
+
+    print("\nReading the table:")
+    print("* Without SMD every daemon burst downgrades its working set,")
+    print("  forcing an ECC-Upgrade pass before the next idle period.")
+    print("* With SMD the benign daemons (MPKC < 2) run fully under ECC-6:")
+    print("  zero downgrades, refresh stays at 1 s, and the small IPC cost")
+    print("  is irrelevant for non-interactive background work.")
+    benign = {d.name for d in BENIGN_DAEMONS}
+    pathological = [d.name for d in DAEMON_WORKLOADS if d.name not in benign]
+    print(f"* Pathological daemons ({', '.join(pathological)}) exceed the")
+    print("  threshold, so SMD correctly lets them downgrade for speed —")
+    print("  the paper notes such devices offer no idle-power opportunity.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""When does Morphable ECC matter? A memory-level-parallelism study.
+
+The paper evaluates on an in-order core (Table II), where every cache
+miss exposes its full latency — including the strong-ECC decode.  This
+study swaps in an out-of-order core model with a configurable reorder
+buffer and shows how the picture changes:
+
+* in-order (ROB = 1): ECC-6 costs ~20-25% on memory-bound code; MECC
+  recovers nearly all of it — the paper's headline;
+* big-window OoO (ROB = 128): independent misses (and their decodes)
+  overlap, ECC-6's penalty nearly vanishes, and MECC's extra write-back
+  traffic makes it roughly break-even.
+
+Mobile SoCs' efficiency cores are exactly the low-MLP regime where MECC
+pays off.
+
+Usage::
+
+    python examples/mlp_study.py [instructions]
+"""
+
+import sys
+
+from repro.sim.ooo import OooSimulationEngine
+from repro.sim.system import SystemConfig
+from repro.workloads.spec import BENCHMARKS_BY_NAME
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 150_000
+    config = SystemConfig()
+    benchmarks = ("sphinx", "libq", "lbm")
+    traces = {
+        name: BENCHMARKS_BY_NAME[name].trace(instructions) for name in benchmarks
+    }
+    print(f"Memory-bound subset: {', '.join(benchmarks)} "
+          f"({instructions:,} instructions each)\n")
+    print(f"{'ROB':>5} {'baseline IPC':>13} {'ECC-6':>7} {'MECC':>7} {'MECC advantage':>15}")
+    for rob in (1, 8, 32, 64, 128):
+        ipcs = {"baseline": [], "ecc6": [], "mecc": []}
+        for trace in traces.values():
+            for policy_name in ipcs:
+                engine = OooSimulationEngine(
+                    policy=config.policy_by_name(policy_name), rob_size=rob
+                )
+                ipcs[policy_name].append(engine.run(trace).ipc)
+        base = sum(ipcs["baseline"]) / len(benchmarks)
+        ecc6 = sum(e / b for e, b in zip(ipcs["ecc6"], ipcs["baseline"])) / len(benchmarks)
+        mecc = sum(m / b for m, b in zip(ipcs["mecc"], ipcs["baseline"])) / len(benchmarks)
+        note = "  <- the paper's configuration" if rob == 1 else ""
+        print(f"{rob:>5} {base:>13.3f} {ecc6:>7.3f} {mecc:>7.3f} {mecc - ecc6:>+15.3f}{note}")
+
+    print("""
+Reading the table: the MECC-vs-ECC-6 advantage is a *latency-sensitivity*
+story.  On the in-order core the 30-cycle decode serializes behind every
+miss; with a deep reorder buffer the decodes overlap and always-strong
+ECC becomes nearly free — at which point MECC's extra downgrade
+write-backs make it a wash.  The paper's target (simple low-power mobile
+cores) is precisely where morphing wins.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro — Morphable ECC (MECC) reproduction.
+
+A full-system reproduction of Chou, Nair & Qureshi, "Reducing Refresh
+Power in Mobile Devices with Morphable ECC" (DSN 2015): real BCH/SEC-DED
+codecs, a USIMM-style mobile DRAM simulator, the Micron IDD power model,
+the MECC controller with MDT and SMD, 28 SPEC2006-like workload models,
+and an experiment harness regenerating every table and figure in the
+paper's evaluation.
+
+Quick start::
+
+    from repro import SystemConfig, simulate
+    from repro.workloads import BENCHMARKS_BY_NAME
+
+    config = SystemConfig()
+    trace = BENCHMARKS_BY_NAME["libq"].trace(200_000)
+    base = simulate(trace, config.policy_by_name("baseline"))
+    mecc = simulate(trace, config.policy_by_name("mecc"))
+    print(f"MECC normalized IPC: {mecc.ipc / base.ipc:.3f}")
+"""
+
+from repro.core import MeccController, MeccPolicy, MemoryDowngradeTracker
+from repro.ecc import BchCode, LineCodec, SecDedCode, make_scheme
+from repro.errors import ReproError
+from repro.power import DramPowerCalculator, PowerParams
+from repro.reliability import RetentionModel, required_ecc_strength, table1_rows
+from repro.sim import ScaledRun, SimulationEngine, SystemConfig, simulate
+from repro.types import EccMode, MemoryOp, SimResult, SystemState
+from repro.workloads import ALL_BENCHMARKS, BENCHMARKS_BY_NAME
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BENCHMARKS_BY_NAME",
+    "BchCode",
+    "DramPowerCalculator",
+    "EccMode",
+    "LineCodec",
+    "MeccController",
+    "MeccPolicy",
+    "MemoryDowngradeTracker",
+    "MemoryOp",
+    "PowerParams",
+    "ReproError",
+    "RetentionModel",
+    "ScaledRun",
+    "SecDedCode",
+    "SimResult",
+    "SimulationEngine",
+    "SystemConfig",
+    "SystemState",
+    "make_scheme",
+    "required_ecc_strength",
+    "simulate",
+    "table1_rows",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+:mod:`repro.analysis.experiments` computes the data behind every figure
+and table in the paper's evaluation (see DESIGN.md's experiment index);
+:mod:`repro.analysis.tables` renders them as text tables;
+:mod:`repro.analysis.sweep` holds the ablation sweeps for the design
+choices the paper calls out (MDT size, SMD threshold, mode-bit
+redundancy, ECC strength vs. refresh period).
+"""
+
+from repro.analysis.experiments import (
+    PerformanceResult,
+    fig2_retention_curve,
+    fig3_ecc_overhead_by_class,
+    fig7_performance,
+    fig8_idle_power,
+    fig9_active_metrics,
+    fig10_total_energy,
+    fig11_mdt_tracking,
+    fig12_latency_sensitivity,
+    fig13_transition,
+    fig14_smd_disabled,
+    run_policy_suite,
+    table1_failure,
+    table3_characterization,
+)
+from repro.analysis.charts import bar_chart, normalized_ipc_chart, series_sparkline
+from repro.analysis.export import exhibit_csv, export_all, export_exhibit
+from repro.analysis.report import generate_report, write_report
+from repro.analysis.tables import format_table
+from repro.analysis.validation import run_all_validations
+
+__all__ = [
+    "PerformanceResult",
+    "fig2_retention_curve",
+    "fig3_ecc_overhead_by_class",
+    "fig7_performance",
+    "fig8_idle_power",
+    "fig9_active_metrics",
+    "fig10_total_energy",
+    "fig11_mdt_tracking",
+    "fig12_latency_sensitivity",
+    "fig13_transition",
+    "bar_chart",
+    "exhibit_csv",
+    "export_all",
+    "export_exhibit",
+    "fig14_smd_disabled",
+    "format_table",
+    "generate_report",
+    "normalized_ipc_chart",
+    "run_all_validations",
+    "series_sparkline",
+    "write_report",
+    "run_policy_suite",
+    "table1_failure",
+    "table3_characterization",
+]

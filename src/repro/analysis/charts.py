@@ -1,0 +1,79 @@
+"""Terminal bar charts for examples and CLI output.
+
+Pure-text rendering — no plotting dependencies — tuned for the shapes
+this library produces: normalized-IPC bars near 1.0, per-benchmark
+series, power breakdowns.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    max_value: float | None = None,
+    fill: str = "#",
+    show_value: bool = True,
+) -> str:
+    """Horizontal bar chart, one labeled row per entry.
+
+    Args:
+        values: label -> value (values must be non-negative).
+        width: bar width in characters at ``max_value``.
+        max_value: scale ceiling; defaults to the max value present.
+        fill: bar character.
+        show_value: append the numeric value after each bar.
+    """
+    if not values:
+        raise ConfigurationError("bar_chart needs at least one value")
+    if width < 1:
+        raise ConfigurationError("width must be >= 1")
+    if any(v < 0 for v in values.values()):
+        raise ConfigurationError("bar_chart values must be non-negative")
+    ceiling = max_value if max_value is not None else max(values.values())
+    if ceiling <= 0:
+        ceiling = 1.0
+    label_width = max(len(str(k)) for k in values)
+    lines = []
+    for label, value in values.items():
+        bar = fill * max(0, min(width, round(width * value / ceiling)))
+        suffix = f"  {value:.3f}" if show_value else ""
+        lines.append(f"{str(label).ljust(label_width)}  {bar}{suffix}")
+    return "\n".join(lines)
+
+
+def normalized_ipc_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    baseline: float = 1.0,
+) -> str:
+    """Bar chart specialized for normalized IPC: scaled to the baseline,
+    with a '|' tick marking 1.0 so sub-baseline bars read as a gap."""
+    if not values:
+        raise ConfigurationError("chart needs at least one value")
+    label_width = max(len(str(k)) for k in values)
+    lines = []
+    for label, value in values.items():
+        filled = max(0, min(width, round(width * value / baseline)))
+        bar = "#" * filled + "." * (width - filled) + "|"
+        lines.append(f"{str(label).ljust(label_width)}  {bar}  {value:.3f}")
+    return "\n".join(lines)
+
+
+def series_sparkline(series: Sequence[float], levels: str = " .:-=+*#%@") -> str:
+    """One-line sparkline of a numeric series (min..max mapped to levels)."""
+    if not series:
+        raise ConfigurationError("sparkline needs at least one point")
+    lo, hi = min(series), max(series)
+    span = hi - lo
+    if span == 0:
+        return levels[len(levels) // 2] * len(series)
+    out = []
+    for v in series:
+        index = int((v - lo) / span * (len(levels) - 1))
+        out.append(levels[index])
+    return "".join(out)

@@ -1,0 +1,35 @@
+"""Related-work refresh-reduction schemes (paper Sec. VII).
+
+The paper compares MECC qualitatively against four prior proposals; this
+subpackage implements each one's analytical/behavioural model so the
+comparisons become quantitative benches:
+
+* :mod:`repro.baselines.flikker` — Flikker (ASPLOS'11): software-managed
+  critical/non-critical partitioning; the critical fraction bounds the
+  effective refresh saving (the paper's Amdahl's-law argument).
+* :mod:`repro.baselines.rapid` — RAPID (HPCA'06): retention-aware page
+  allocation; the refresh period is set by the worst allocated page.
+* :mod:`repro.baselines.raidr` — RAIDR (ISCA'12): rows binned by profiled
+  retention, each bin refreshed at its own rate.
+* :mod:`repro.baselines.secret` — SECRET (ICCD'12): offline profiling +
+  per-cell repair with always-on strong correction latency.
+* :mod:`repro.baselines.vrt` — Variable Retention Time model: cells whose
+  retention degrades *after* profiling, the failure mode that breaks
+  profile-based schemes but that MECC's ECC-6 absorbs.
+"""
+
+from repro.baselines.flikker import FlikkerModel
+from repro.baselines.raidr import RaidrModel, RetentionBin
+from repro.baselines.rapid import RapidModel
+from repro.baselines.secret import SecretModel
+from repro.baselines.vrt import VrtModel, VrtStudyResult
+
+__all__ = [
+    "FlikkerModel",
+    "RaidrModel",
+    "RapidModel",
+    "RetentionBin",
+    "SecretModel",
+    "VrtModel",
+    "VrtStudyResult",
+]

@@ -1,0 +1,83 @@
+"""Flikker (Liu et al., ASPLOS 2011): critical-data partitioning.
+
+Flikker splits memory into a critical region refreshed at the normal
+rate and a non-critical region refreshed much slower, trading data
+integrity in the non-critical region for refresh power.  The paper's
+Sec. VII-A critique, which this model quantifies:
+
+1. the critical fraction bounds the saving (Amdahl): one quarter
+   critical at rate 1 plus three quarters at 1/16 still refreshes at an
+   effective ~1/3 of baseline, vs. MECC's full-memory 1/16;
+2. non-critical data *does* corrupt (no correction), so only
+   error-tolerant applications qualify;
+3. programmers must annotate allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.reliability.retention import RetentionModel
+
+
+@dataclass(frozen=True)
+class FlikkerModel:
+    """Analytical model of a Flikker partition.
+
+    Attributes:
+        critical_fraction: share of memory the programmer marks critical
+            (the paper's example uses 1/4).
+        noncritical_refresh_divisor: refresh-rate division for the
+            non-critical region (Flikker's hardware supports up to ~20x;
+            use 16 to align with MECC's divider).
+    """
+
+    critical_fraction: float = 0.25
+    noncritical_refresh_divisor: int = 16
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.critical_fraction <= 1.0:
+            raise ConfigurationError("critical_fraction must be in [0, 1]")
+        if self.noncritical_refresh_divisor < 1:
+            raise ConfigurationError("refresh divisor must be >= 1")
+
+    @property
+    def effective_refresh_rate(self) -> float:
+        """Refresh operations relative to an all-normal-rate baseline.
+
+        The paper: "if one-fourth of memory is refreshed at a rate of 1
+        and three-fourth at a rate of 1/16, the effective rate is still
+        approximately 1/3."
+        """
+        return self.critical_fraction + (
+            (1.0 - self.critical_fraction) / self.noncritical_refresh_divisor
+        )
+
+    def refresh_power_ratio(self) -> float:
+        """Idle refresh power vs. baseline (proportional to refresh rate)."""
+        return self.effective_refresh_rate
+
+    def expected_noncritical_corrupt_bits(
+        self,
+        capacity_bytes: int,
+        model: RetentionModel | None = None,
+        base_period_s: float = 0.064,
+    ) -> float:
+        """Expected corrupted bits in the non-critical region per period.
+
+        Flikker has no correction, so every retention failure in the
+        non-critical region is a real data error the application must
+        tolerate.  MECC's equivalent number is ~0 (ECC-6 corrects them).
+        """
+        if capacity_bytes < 0:
+            raise ConfigurationError("capacity must be non-negative")
+        model = model or RetentionModel()
+        slow_period = base_period_s * self.noncritical_refresh_divisor
+        ber = model.ber_at_refresh_period(slow_period)
+        noncritical_bits = 8 * capacity_bytes * (1.0 - self.critical_fraction)
+        return ber * noncritical_bits
+
+    def requires_source_changes(self) -> bool:
+        """Flikker needs programmer annotations; MECC is hardware-only."""
+        return True

@@ -1,0 +1,98 @@
+"""RAPID (Venkatesan et al., HPCA 2006): retention-aware page placement.
+
+RAPID profiles per-page retention time and allocates the best-retention
+pages first; the refresh period can then be set to the retention of the
+*worst allocated* page.  The saving therefore degrades as memory fills,
+and the scheme trusts the profile (see :mod:`repro.baselines.vrt`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.reliability.retention import RetentionModel
+
+
+@dataclass
+class RapidModel:
+    """Monte-Carlo model of RAPID page allocation.
+
+    Per-page retention is the minimum over the page's cells; sampling
+    every cell is infeasible, so we sample the page minimum directly from
+    the cell distribution via the exact order-statistic transform:
+    ``P(min < t) = 1 - (1 - F(t))^n`` for n cells per page.
+
+    Attributes:
+        capacity_bytes: memory size.
+        page_bytes: allocation granularity (4 KB).
+        retention: the cell-retention model.
+        seed: RNG seed for the profile.
+    """
+
+    capacity_bytes: int = 1 << 30
+    page_bytes: int = 4096
+    retention: RetentionModel = field(default_factory=RetentionModel)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < self.page_bytes or self.page_bytes < 1:
+            raise ConfigurationError("capacity must hold at least one page")
+        self._page_retention: list[float] | None = None
+
+    @property
+    def total_pages(self) -> int:
+        return self.capacity_bytes // self.page_bytes
+
+    @property
+    def cells_per_page(self) -> int:
+        return 8 * self.page_bytes
+
+    def _profile(self) -> list[float]:
+        """Per-page minimum retention times, sorted descending."""
+        if self._page_retention is None:
+            rng = random.Random(self.seed)
+            n = self.cells_per_page
+            inv_slope = 1.0 / self.retention.slope
+            anchor_t = self.retention.anchor_time_s
+            anchor_p = self.retention.anchor_ber
+            pages = []
+            for _ in range(self.total_pages):
+                # P(min < t) = 1 - (1-F(t))^n  =>  F(t_min) ~ Beta-ish;
+                # invert via u -> F = 1-(1-u)^(1/n), then t = F^{-1}.
+                u = rng.random()
+                f = 1.0 - (1.0 - u) ** (1.0 / n)
+                pages.append(anchor_t * (f / anchor_p) ** inv_slope)
+            pages.sort(reverse=True)
+            self._page_retention = pages
+        return self._page_retention
+
+    def achievable_refresh_period(self, utilization: float) -> float:
+        """Longest safe refresh period when a fraction of pages is in use.
+
+        RAPID allocates best pages first, so the period equals the
+        retention of the worst page among the first ``utilization`` share.
+        """
+        if not 0.0 < utilization <= 1.0:
+            raise ConfigurationError("utilization must be in (0, 1]")
+        profile = self._profile()
+        index = max(0, int(utilization * self.total_pages) - 1)
+        return profile[index]
+
+    def refresh_rate_relative(self, utilization: float, base_period_s: float = 0.064) -> float:
+        """Refresh operations vs. the 64 ms baseline at a given utilization."""
+        period = self.achievable_refresh_period(utilization)
+        return base_period_s / period if period > 0 else 1.0
+
+    def usable_fraction_at_period(self, period_s: float) -> float:
+        """Fraction of memory usable if the period is fixed at ``period_s``.
+
+        Pages whose worst cell cannot hold data for the period are dropped
+        from the OS pool — RAPID's capacity cost (vs. MECC's full 100%).
+        """
+        if period_s <= 0:
+            raise ConfigurationError("period must be positive")
+        profile = self._profile()
+        good = sum(1 for r in profile if r >= period_s)
+        return good / self.total_pages

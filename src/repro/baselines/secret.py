@@ -1,0 +1,77 @@
+"""SECRET (Shen et al., ICCD 2012): profiled error correction for refresh.
+
+SECRET profiles which cells fail at a target (slow) refresh period and
+repairs exactly those cells with remapped ECC storage.  The paper's
+Sec. VII-B critique: to reduce the refresh rate *significantly* the
+failing-cell population is large, the required correction becomes strong,
+and — unlike MECC — the decode latency is paid on **every** access in
+**every** mode, and the profile is still VRT-fragile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.reliability.failure import expected_failed_bits
+from repro.reliability.retention import RetentionModel
+
+
+@dataclass(frozen=True)
+class SecretModel:
+    """Analytical model of a SECRET configuration.
+
+    Attributes:
+        target_period_s: the slow refresh period SECRET is profiled for.
+        capacity_bytes: memory size.
+        repair_entry_bits: storage per repaired cell (address + data +
+            valid; ~36 bits for a 1 GB space).
+        decode_cycles: correction-lookup latency added to every access.
+        retention: cell retention model.
+    """
+
+    target_period_s: float = 1.0
+    capacity_bytes: int = 1 << 30
+    repair_entry_bits: int = 36
+    decode_cycles: int = 10
+    retention: RetentionModel = field(default_factory=RetentionModel)
+
+    def __post_init__(self) -> None:
+        if self.target_period_s <= 0 or self.capacity_bytes < 1:
+            raise ConfigurationError("period and capacity must be positive")
+        if self.repair_entry_bits < 1 or self.decode_cycles < 0:
+            raise ConfigurationError("invalid repair/latency parameters")
+
+    @property
+    def profiled_failing_cells(self) -> float:
+        """Expected cells that fail at the target period (to be repaired)."""
+        ber = self.retention.ber_at_refresh_period(self.target_period_s)
+        return expected_failed_bits(ber, 8 * self.capacity_bytes)
+
+    @property
+    def repair_storage_bytes(self) -> float:
+        """Total repair-table storage — grows linearly with the failing
+        population (~256K cells at 1 s for 1 GB -> ~1.2 MB)."""
+        return self.profiled_failing_cells * self.repair_entry_bits / 8.0
+
+    @property
+    def refresh_rate_relative(self) -> float:
+        """Refresh operations vs. the 64 ms baseline."""
+        return 0.064 / self.target_period_s
+
+    def always_on_latency(self) -> int:
+        """Decode latency paid on every access, active or not — the key
+        contrast with MECC's demand downgrade."""
+        return self.decode_cycles
+
+    def unrepaired_failures_with_vrt(self, vrt_flip_probability: float) -> float:
+        """Expected *unprofiled* failing cells once VRT strikes.
+
+        Cells that degraded after profiling are not in the repair table,
+        so each is silent data corruption (SECRET has no spare correction
+        capacity for them).
+        """
+        if not 0.0 <= vrt_flip_probability <= 1.0:
+            raise ConfigurationError("vrt_flip_probability must be in [0, 1]")
+        healthy_cells = 8 * self.capacity_bytes - self.profiled_failing_cells
+        return healthy_cells * vrt_flip_probability

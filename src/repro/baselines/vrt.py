@@ -1,0 +1,157 @@
+"""Variable Retention Time (VRT): the failure mode that breaks profiles.
+
+A small fraction of DRAM cells randomly toggle between a high- and a
+low-retention state (paper Sec. VII-B, citing Liu'13 and Khan'14).  Any
+scheme that trusts a retention *profile* (RAPID, RAIDR, SECRET) silently
+corrupts data when a profiled-good cell degrades; MECC never profiles —
+it budgets ECC-6 for a *random* failure population, so VRT flips land in
+the same correction budget.
+
+The Monte-Carlo study here quantifies that: for each scheme, how many
+lines per memory corrupt (beyond any correction) once a given fraction
+of cells toggles low.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.reliability.failure import line_failure_probability
+from repro.reliability.retention import RetentionModel
+
+
+@dataclass(frozen=True)
+class VrtStudyResult:
+    """Expected uncorrectable lines per memory for each scheme."""
+
+    scheme: str
+    vrt_flip_probability: float
+    uncorrectable_lines: float
+    notes: str = ""
+
+
+@dataclass
+class VrtModel:
+    """Compare schemes' exposure to post-profiling retention drops.
+
+    Attributes:
+        capacity_bytes: memory size.
+        line_bits: stored bits per line (576 for the (72,64) layout).
+        slow_period_s: the slow refresh period all schemes target.
+        retention: the baseline retention model.
+        seed: RNG seed for Monte-Carlo paths.
+    """
+
+    capacity_bytes: int = 1 << 30
+    line_bits: int = 576
+    slow_period_s: float = 1.0
+    retention: RetentionModel = field(default_factory=RetentionModel)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 64 or self.line_bits < 1:
+            raise ConfigurationError("invalid capacity/line configuration")
+        if self.slow_period_s <= 0:
+            raise ConfigurationError("slow_period_s must be positive")
+
+    @property
+    def total_lines(self) -> int:
+        return self.capacity_bytes // 64
+
+    def mecc_exposure(self, vrt_flip_probability: float, ecc_t: int = 6) -> VrtStudyResult:
+        """MECC: VRT flips join the random-BER budget ECC-6 already covers.
+
+        The effective per-bit failure probability becomes the retention
+        BER plus the VRT flip probability; a line fails only beyond
+        ``ecc_t`` simultaneous errors.
+        """
+        self._check_p(vrt_flip_probability)
+        ber = self.retention.ber_at_refresh_period(self.slow_period_s)
+        combined = min(1.0, ber + vrt_flip_probability)
+        line_p = line_failure_probability(combined, ecc_t, self.line_bits)
+        return VrtStudyResult(
+            scheme="MECC",
+            vrt_flip_probability=vrt_flip_probability,
+            uncorrectable_lines=line_p * self.total_lines,
+            notes=f"VRT absorbed into the ECC-{ecc_t} budget",
+        )
+
+    def profiled_scheme_exposure(
+        self, scheme: str, vrt_flip_probability: float, correction_t: int = 0
+    ) -> VrtStudyResult:
+        """Profile-trusting schemes: every post-profile flip is unbudgeted.
+
+        The profile removed all *known* weak cells, so the remaining BER
+        is ~0 — but VRT re-introduces failures at ``vrt_flip_probability``
+        with only ``correction_t`` correction available (0 for RAPID and
+        RAIDR; SECRET's repair table covers profiled cells only).
+        """
+        self._check_p(vrt_flip_probability)
+        line_p = line_failure_probability(
+            vrt_flip_probability, correction_t, self.line_bits
+        )
+        return VrtStudyResult(
+            scheme=scheme,
+            vrt_flip_probability=vrt_flip_probability,
+            uncorrectable_lines=line_p * self.total_lines,
+            notes="post-profile flips are outside the scheme's model",
+        )
+
+    def compare(self, vrt_flip_probability: float) -> list[VrtStudyResult]:
+        """Side-by-side exposure of all schemes at one VRT rate."""
+        return [
+            self.mecc_exposure(vrt_flip_probability),
+            self.profiled_scheme_exposure("RAPID", vrt_flip_probability, 0),
+            self.profiled_scheme_exposure("RAIDR", vrt_flip_probability, 0),
+            self.profiled_scheme_exposure("SECRET", vrt_flip_probability, 0),
+        ]
+
+    def monte_carlo_mecc_lines(
+        self, vrt_flip_probability: float, lines: int = 2000, ecc_t: int = 6
+    ) -> int:
+        """Sampled count of uncorrectable lines out of ``lines`` trials.
+
+        Cross-checks the closed form with explicit per-line sampling of
+        retention failures + VRT flips.
+        """
+        self._check_p(vrt_flip_probability)
+        rng = random.Random(self.seed)
+        ber = self.retention.ber_at_refresh_period(self.slow_period_s)
+        combined = min(1.0, ber + vrt_flip_probability)
+        failures = 0
+        for _ in range(lines):
+            # Sample the number of bad bits in a line directly.
+            bad_bits = _sample_binomial(rng, self.line_bits, combined)
+            if bad_bits > ecc_t:
+                failures += 1
+        return failures
+
+    @staticmethod
+    def _check_p(p: float) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError("vrt_flip_probability must be in [0, 1]")
+
+
+def _sample_binomial(rng: random.Random, n: int, p: float) -> int:
+    """Sample Binomial(n, p) — Poisson approximation for small n*p."""
+    if p <= 0:
+        return 0
+    if p >= 1:
+        return n
+    mean = n * p
+    if mean < 10.0:
+        # Knuth Poisson sampler, adequate for the small-p regime used
+        # here (guard the underflow where exp(-mean) == 1.0).
+        limit = math.exp(-mean)
+        if limit >= 1.0:
+            return 0
+        count = -1
+        product = 1.0
+        while product > limit:
+            count += 1
+            product *= rng.random()
+        return max(0, min(count, n))
+    return sum(1 for _ in range(n) if rng.random() < p)

@@ -1,0 +1,418 @@
+"""Command-line interface: regenerate any paper exhibit.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1
+    python -m repro fig7 --instructions 400000
+    python -m repro all --instructions 200000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.analysis import experiments as X
+from repro.analysis.tables import format_table
+from repro.sim.system import ScaledRun
+
+
+def _table1(run: ScaledRun) -> str:
+    rows = X.table1_failure()
+    return format_table(
+        ["ECC", "line failure", "system failure (1GB)"],
+        [[r.label, r.line_failure, r.system_failure] for r in rows],
+        title="Table I — failure probability at BER 10^-4.5",
+    )
+
+
+def _fig2(run: ScaledRun) -> str:
+    curve = X.fig2_retention_curve(points=21)
+    return format_table(
+        ["retention time (s)", "bit failure probability"],
+        [[f"{t:.3g}", p] for t, p in curve],
+        title="Fig. 2 — retention-time failure curve",
+    )
+
+
+def _fig3(run: ScaledRun) -> str:
+    out = X.fig3_ecc_overhead_by_class(run)
+    return format_table(
+        ["class", "SECDED", "ECC-6"],
+        [[cls, v["secded"], v["ecc6"]] for cls, v in out.items()],
+        title="Fig. 3 — normalized IPC by MPKI class",
+    )
+
+
+def _fig7(run: ScaledRun) -> str:
+    from repro.workloads.spec import ALL_BENCHMARKS
+
+    perf = X.fig7_performance(run)
+    rows = [
+        [s.name, perf.normalized(s.name, "secded"), perf.normalized(s.name, "ecc6"),
+         perf.normalized(s.name, "mecc")]
+        for s in ALL_BENCHMARKS
+    ]
+    rows.append(["ALL", perf.geomean("secded"), perf.geomean("ecc6"), perf.geomean("mecc")])
+    return format_table(
+        ["benchmark", "SECDED", "ECC-6", "MECC"], rows,
+        title="Fig. 7 — per-benchmark normalized IPC",
+    )
+
+
+def _fig8(run: ScaledRun) -> str:
+    out = X.fig8_idle_power()
+    return format_table(
+        ["scheme", "refresh mW", "total mW", "refresh norm", "total norm"],
+        [[n, 1000 * v["refresh_w"], 1000 * v["total_w"], v["refresh_norm"], v["total_norm"]]
+         for n, v in out.items()],
+        title="Fig. 8 — idle (self-refresh) power",
+    )
+
+
+def _fig9(run: ScaledRun) -> str:
+    out = X.fig9_active_metrics(run)
+    return format_table(
+        ["scheme", "power", "energy", "EDP"],
+        [[n, v["power"], v["energy"], v["edp"]] for n, v in out.items()],
+        title="Fig. 9 — active-mode metrics (normalized)",
+    )
+
+
+def _fig10(run: ScaledRun) -> str:
+    out = X.fig10_total_energy(run)
+    return format_table(
+        ["scheme", "active J", "idle J", "total (norm)"],
+        [[n, v["active_j"], v["idle_j"], v["total_norm"]] for n, v in out.items()],
+        title="Fig. 10 — total memory energy (95% idle, 1 h)",
+    )
+
+
+def _fig11(run: ScaledRun) -> str:
+    out = X.fig11_mdt_tracking(coverage_factor=2.0)
+    return format_table(
+        ["benchmark", "footprint MB", "tracked MB", "upgrade ms"],
+        [[n, v["footprint_mb"], v["tracked_mb"], v["upgrade_ms"]] for n, v in out.items()],
+        title="Fig. 11 — MDT-tracked memory",
+    )
+
+
+def _fig12(run: ScaledRun) -> str:
+    out = X.fig12_latency_sensitivity(run=run)
+    return format_table(
+        ["decode cycles", "ECC-6", "MECC"],
+        [[lat, v["ecc6"], v["mecc"]] for lat, v in out.items()],
+        title="Fig. 12 — decode-latency sensitivity",
+    )
+
+
+def _fig13(run: ScaledRun) -> str:
+    out = X.fig13_transition(run=run)
+    return format_table(
+        ["slice (paper scale)", "SECDED", "MECC"],
+        [[f"{v['paper_instructions'] / 1e9:.1f}B", v["secded"], v["mecc"]]
+         for _, v in sorted(out.items())],
+        title="Fig. 13 — MECC transition time",
+    )
+
+
+def _fig14(run: ScaledRun) -> str:
+    out = X.fig14_smd_disabled(run)
+    return format_table(
+        ["benchmark", "disabled fraction"],
+        sorted(out.items(), key=lambda kv: -kv[1]),
+        title="Fig. 14 — SMD: time with ECC-Downgrade disabled",
+    )
+
+
+def _table3(run: ScaledRun) -> str:
+    out = X.table3_characterization(run)
+    return format_table(
+        ["class", "IPC", "MPKI", "footprint MB"],
+        [[cls, v["ipc"], v["mpki"], v["footprint_mb"]] for cls, v in out.items()],
+        title="Table III — measured workload characterization",
+    )
+
+
+def _related_work(run: ScaledRun) -> str:
+    from repro.baselines import FlikkerModel, RaidrModel, SecretModel, VrtModel
+
+    flikker = FlikkerModel(critical_fraction=0.25)
+    raidr = RaidrModel(rows=8192, seed=5)
+    rates = format_table(
+        ["scheme", "relative refresh rate"],
+        [
+            ["Flikker (1/4 critical)", flikker.effective_refresh_rate],
+            ["RAIDR (3 bins)", raidr.refresh_rate_relative()],
+            ["SECRET (1 s)", SecretModel(target_period_s=1.024).refresh_rate_relative],
+            ["MECC (idle)", 1 / 16],
+            ["RAIDR + MECC (naive)", raidr.combined_with_ecc_rate(16)],
+            ["RAIDR + MECC (honest)", raidr.safe_combined_rate(1.024)],
+        ],
+        title="Sec. VII — effective refresh rates",
+    )
+    vrt = VrtModel(seed=9).compare(1e-7)
+    robustness = format_table(
+        ["scheme", "uncorrectable lines / GB under VRT 1e-7"],
+        [[r.scheme, r.uncorrectable_lines] for r in vrt],
+        title="Sec. VII-B — VRT robustness",
+    )
+    return rates + "\n\n" + robustness
+
+
+def _functional(run: ScaledRun) -> str:
+    from repro.functional.faults import FaultProcess, SoftErrorModel
+    from repro.functional.session import FunctionalMeccSession
+    from repro.reliability.retention import RetentionModel
+
+    rows = []
+    for scheme in ("mecc", "secded", "ecc6", "none-slow"):
+        faults = FaultProcess(
+            retention=RetentionModel(anchor_ber=1e-3),
+            soft_errors=SoftErrorModel(rate_per_bit_s=0.0),
+            seed=17,
+        )
+        session = FunctionalMeccSession(
+            scheme=scheme, working_set_lines=48, faults=faults, seed=17,
+            accesses_per_active_phase=64, idle_seconds=180.0,
+        )
+        report = session.run(cycles=12)
+        c = report.counters
+        rows.append([
+            scheme, c.reads, c.corrected_bits, c.detected_uncorrectable,
+            c.silent_corruptions, "LOST" if report.lost_data else "intact",
+        ])
+    return format_table(
+        ["scheme", "reads", "corrected bits", "detected", "silent", "data"],
+        rows,
+        title="Functional integrity — real codewords, accelerated faults",
+    )
+
+
+def _device(run: ScaledRun) -> str:
+    from repro.sim.device import DeviceSimulator
+    from repro.workloads.spec import BENCHMARKS_BY_NAME
+
+    mix = [BENCHMARKS_BY_NAME[n] for n in ("h264ref", "sphinx", "libq")]
+    rows = []
+    baseline_total = None
+    for scheme in ("baseline", "secded", "ecc6", "mecc"):
+        sim = DeviceSimulator(scheme=scheme, run=run)
+        report = sim.run_session(mix, cycles=2)
+        if baseline_total is None:
+            baseline_total = report.total_energy_j
+        rows.append([
+            scheme, report.active_energy_j, report.idle_energy_j,
+            report.total_energy_j, report.total_energy_j / baseline_total,
+            report.average_ipc,
+        ])
+    return format_table(
+        ["scheme", "active J", "idle J", "total J", "normalized", "avg IPC"],
+        rows,
+        title="Device session — mixed-app bursts + idle periods",
+    )
+
+
+EXHIBITS: dict[str, tuple[str, Callable[[ScaledRun], str]]] = {
+    "table1": ("Table I — ECC strength vs. failure probability", _table1),
+    "fig2": ("Fig. 2 — retention-time curve", _fig2),
+    "fig3": ("Fig. 3 — ECC overhead by MPKI class", _fig3),
+    "fig7": ("Fig. 7 — per-benchmark performance", _fig7),
+    "fig8": ("Fig. 8 — idle power", _fig8),
+    "fig9": ("Fig. 9 — active power/energy/EDP", _fig9),
+    "fig10": ("Fig. 10 — total energy split", _fig10),
+    "fig11": ("Fig. 11 — MDT tracking", _fig11),
+    "fig12": ("Fig. 12 — decode-latency sensitivity", _fig12),
+    "fig13": ("Fig. 13 — transition time", _fig13),
+    "fig14": ("Fig. 14 — SMD disabled time", _fig14),
+    "table3": ("Table III — workload characterization", _table3),
+    "related-work": ("Sec. VII — baseline comparison", _related_work),
+    "functional": ("Extension — data-path integrity validation", _functional),
+    "device": ("Extension — whole-device session energy", _device),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures from the Morphable ECC paper (DSN 2015).",
+    )
+    parser.add_argument(
+        "exhibit",
+        choices=sorted(EXHIBITS)
+        + ["all", "list", "report", "csv", "trace-gen", "trace-sim", "fault-inject"],
+        help="exhibit to regenerate ('list' to enumerate, 'all' for everything, "
+        "'report' for a markdown report via --output), a trace tool "
+        "(trace-gen / trace-sim), or a codec fault-injection campaign "
+        "(fault-inject)",
+    )
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=400_000,
+        help="instructions per benchmark slice for simulation-backed exhibits "
+        "(default 400000; the paper uses 4e9 — see DESIGN.md on scaling)",
+    )
+    parser.add_argument(
+        "--benchmark",
+        default="libq",
+        help="benchmark name for trace-gen (see repro.workloads.spec)",
+    )
+    parser.add_argument(
+        "--output", "-o", default=None, help="output trace file for trace-gen"
+    )
+    parser.add_argument(
+        "--input", "-i", default=None, help="input trace file for trace-sim"
+    )
+    parser.add_argument(
+        "--policy",
+        default="mecc",
+        choices=("baseline", "secded", "ecc6", "mecc", "mecc+smd"),
+        help="ECC policy for trace-sim",
+    )
+    parser.add_argument(
+        "--exhibits",
+        default=None,
+        help="comma-separated exhibit subset for 'report' (default: all)",
+    )
+    parser.add_argument(
+        "--mode",
+        default="strong",
+        choices=("strong", "weak"),
+        help="ECC mode under test for fault-inject",
+    )
+    parser.add_argument(
+        "--errors",
+        type=int,
+        default=None,
+        help="fixed bit-flip count per trial for fault-inject "
+        "(default: sample at the paper's 1 s BER instead)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=200, help="fault-inject trial count"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="fault-inject RNG seed"
+    )
+    return parser
+
+
+def _trace_gen(args) -> int:
+    from repro.workloads.spec import BENCHMARKS_BY_NAME
+    from repro.workloads.trace import write_trace
+
+    if args.benchmark not in BENCHMARKS_BY_NAME:
+        print(f"unknown benchmark {args.benchmark!r}; choices: "
+              f"{', '.join(sorted(BENCHMARKS_BY_NAME))}", file=sys.stderr)
+        return 2
+    if not args.output:
+        print("trace-gen requires --output FILE", file=sys.stderr)
+        return 2
+    spec = BENCHMARKS_BY_NAME[args.benchmark]
+    trace = spec.trace(args.instructions)
+    with open(args.output, "w", encoding="ascii") as stream:
+        write_trace(trace, stream)
+    print(f"wrote {len(trace)} records ({trace.instructions} instructions, "
+          f"MPKI {trace.mpki:.2f}) to {args.output}")
+    return 0
+
+
+def _trace_sim(args) -> int:
+    from repro.sim.engine import simulate
+    from repro.sim.system import SystemConfig
+    from repro.workloads.trace import read_trace
+
+    if not args.input:
+        print("trace-sim requires --input FILE", file=sys.stderr)
+        return 2
+    with open(args.input, encoding="ascii") as stream:
+        trace = read_trace(stream)
+    config = SystemConfig()
+    result = simulate(trace, config.policy_by_name(args.policy))
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["trace", trace.name],
+            ["policy", args.policy],
+            ["instructions", result.instructions],
+            ["cycles", result.cycles],
+            ["IPC", result.ipc],
+            ["MPKI", result.mpki],
+            ["avg read latency (cycles)", result.avg_read_latency],
+            ["downgrades", result.downgrades],
+            ["energy (J)", result.energy.total],
+        ],
+        title=f"trace-sim: {args.input}",
+    ))
+    return 0
+
+
+def _fault_inject(args) -> int:
+    from repro.reliability.faults import FaultInjectionCampaign
+    from repro.reliability.retention import BER_AT_1S
+    from repro.types import EccMode
+
+    mode = EccMode.STRONG if args.mode == "strong" else EccMode.WEAK
+    campaign = FaultInjectionCampaign(seed=args.seed)
+    if args.errors is not None:
+        stats = campaign.run_fixed_errors(mode, args.errors, args.trials)
+        what = f"{args.errors} fixed errors"
+    else:
+        stats = campaign.run_ber(mode, BER_AT_1S, args.trials)
+        what = f"BER {BER_AT_1S:.2e} (the paper's 1 s operating point)"
+    print(format_table(
+        ["outcome", "count"],
+        sorted(((k.value, v) for k, v in stats.outcomes.items())),
+        title=(
+            f"fault-inject: {args.trials} trials, {args.mode} mode, {what}; "
+            f"silent-corruption rate {stats.silent_corruption_rate:.4f}"
+        ),
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.exhibit == "list":
+        print(format_table(
+            ["name", "exhibit"], [[k, v[0]] for k, v in EXHIBITS.items()]
+        ))
+        return 0
+    if args.exhibit == "trace-gen":
+        return _trace_gen(args)
+    if args.exhibit == "trace-sim":
+        return _trace_sim(args)
+    if args.exhibit == "fault-inject":
+        return _fault_inject(args)
+    if args.exhibit == "csv":
+        from repro.analysis.export import export_all
+
+        if not args.output:
+            print("csv requires --output DIRECTORY", file=sys.stderr)
+            return 2
+        paths = export_all(args.output, ScaledRun(instructions=args.instructions))
+        print(f"wrote {len(paths)} CSV files to {args.output}")
+        return 0
+    if args.exhibit == "report":
+        from repro.analysis.report import generate_report, write_report
+
+        run = ScaledRun(instructions=args.instructions)
+        include = args.exhibits.split(",") if args.exhibits else None
+        if args.output:
+            write_report(args.output, run, include)
+            print(f"wrote report to {args.output}")
+        else:
+            print(generate_report(run, include))
+        return 0
+    run = ScaledRun(instructions=args.instructions)
+    names = sorted(EXHIBITS) if args.exhibit == "all" else [args.exhibit]
+    for name in names:
+        print(EXHIBITS[name][1](run))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

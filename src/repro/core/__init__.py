@@ -1,0 +1,43 @@
+"""Morphable ECC — the paper's primary contribution.
+
+* :mod:`repro.core.mode_bits` — replicated ECC-mode-bit helpers and
+  mis-resolution analysis (paper Sec. III-B/D).
+* :mod:`repro.core.line_store` — sparse per-line ECC-mode tracking for a
+  whole memory.
+* :mod:`repro.core.mdt` — Memory Downgrade Tracking (Sec. VI-A).
+* :mod:`repro.core.smd` — Selective Memory Downgrade (Sec. VI-B).
+* :mod:`repro.core.mecc` — the MECC controller: demand ECC-Downgrade in
+  active mode, bulk ECC-Upgrade + slow self-refresh on idle entry.
+* :mod:`repro.core.policy` — ECC policies the simulator evaluates
+  (No-ECC, SECDED, ECC-6, MECC, MECC+SMD).
+"""
+
+from repro.core.governor import GovernorDecision, RefreshGovernor
+from repro.core.line_store import LineEccStore
+from repro.core.mdt import MemoryDowngradeTracker
+from repro.core.mecc import MeccController, UpgradeReport
+from repro.core.policy import (
+    Ecc6Policy,
+    EccPolicy,
+    MeccPolicy,
+    NoEccPolicy,
+    ReadAction,
+    SecdedPolicy,
+)
+from repro.core.smd import SelectiveMemoryDowngrade
+
+__all__ = [
+    "Ecc6Policy",
+    "EccPolicy",
+    "GovernorDecision",
+    "RefreshGovernor",
+    "LineEccStore",
+    "MeccController",
+    "MeccPolicy",
+    "MemoryDowngradeTracker",
+    "NoEccPolicy",
+    "ReadAction",
+    "SecdedPolicy",
+    "SelectiveMemoryDowngrade",
+    "UpgradeReport",
+]

@@ -1,0 +1,150 @@
+"""Adaptive refresh governor (extension; the paper's natural next step).
+
+MECC fixes the idle refresh period at 1 s, which Table I justifies *at
+nominal temperature*.  A real controller knows more: the DRAM thermal
+sensor (LPDDR exposes one for self-refresh-rate derating) and the ECC
+strength it shipped with.  This governor closes that loop — each idle
+entry it picks the largest power-of-two refresh divider whose period the
+provisioned ECC can still tolerate at the current temperature:
+
+* at 25 °C it reproduces the paper exactly (divider 16, 1.024 s);
+* on a hot device it derates gracefully instead of risking data
+  (divider 4 at +20 °C) — where static MECC would violate its own
+  reliability target;
+* on a cool night it never exceeds the configured cap (VRT margin).
+
+The governor is pure decision logic over existing substrates
+(provisioning + retention + power), so it stays fully testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.power.calculator import DramPowerCalculator
+from repro.reliability.provisioning import max_refresh_period_for_strength
+from repro.reliability.retention import RetentionModel
+
+#: JEDEC base period the divider stretches.
+BASE_PERIOD_S = 0.064
+#: The paper's rounding margin: 1.024 s is accepted against the strict
+#: ~1.009 s ECC-6 bound.
+PERIOD_MARGIN = 1.05
+
+
+@dataclass(frozen=True)
+class GovernorDecision:
+    """One idle-entry decision."""
+
+    temperature_offset_c: float
+    divider: int
+    period_s: float
+    safe_period_s: float
+    idle_power_w: float
+
+    @property
+    def refresh_reduction(self) -> int:
+        return self.divider
+
+
+@dataclass
+class RefreshGovernor:
+    """Choose the idle refresh divider from temperature + ECC strength.
+
+    Attributes:
+        ecc_t: provisioned strong-ECC strength (paper: 6).
+        retention: nominal-temperature retention model.
+        max_divider_bits: cap on the divider counter width (paper: 4,
+            i.e. at most 16x — also a VRT safety margin against running
+            arbitrarily slow on a cold device).
+        calculator: power model for reporting the decision's idle power.
+    """
+
+    ecc_t: int = 6
+    retention: RetentionModel = field(default_factory=RetentionModel)
+    max_divider_bits: int = 4
+    calculator: DramPowerCalculator = field(default_factory=DramPowerCalculator)
+
+    def __post_init__(self) -> None:
+        if self.ecc_t < 1:
+            raise ConfigurationError("ecc_t must be >= 1")
+        if not 0 <= self.max_divider_bits <= 16:
+            raise ConfigurationError("max_divider_bits must be in [0, 16]")
+        self._safe_period_cache: dict[float, float] = {}
+
+    def safe_period_s(self, temperature_offset_c: float) -> float:
+        """Longest ECC-safe refresh period at a temperature offset."""
+        cached = self._safe_period_cache.get(temperature_offset_c)
+        if cached is None:
+            model = self.retention.at_temperature_offset(temperature_offset_c)
+            cached = max_refresh_period_for_strength(self.ecc_t, model)
+            self._safe_period_cache[temperature_offset_c] = cached
+        return cached
+
+    def decide(self, temperature_offset_c: float = 0.0) -> GovernorDecision:
+        """Pick the divider for one idle period."""
+        safe = self.safe_period_s(temperature_offset_c)
+        divider = 1
+        max_divider = 1 << self.max_divider_bits
+        while (
+            divider < max_divider
+            and BASE_PERIOD_S * divider * 2 <= safe * PERIOD_MARGIN
+        ):
+            divider *= 2
+        period = BASE_PERIOD_S * divider
+        return GovernorDecision(
+            temperature_offset_c=temperature_offset_c,
+            divider=divider,
+            period_s=period,
+            safe_period_s=safe,
+            idle_power_w=self.calculator.idle_power(period).total,
+        )
+
+    def idle_energy_over_profile(
+        self, profile: list[tuple[float, float]]
+    ) -> tuple[float, list[GovernorDecision]]:
+        """Idle energy over a (duration_s, temperature_offset_c) profile.
+
+        Returns total joules and the per-segment decisions.
+        """
+        if not profile:
+            raise ConfigurationError("profile must be non-empty")
+        total = 0.0
+        decisions = []
+        for duration_s, offset_c in profile:
+            if duration_s < 0:
+                raise ConfigurationError("durations must be non-negative")
+            decision = self.decide(offset_c)
+            decisions.append(decision)
+            total += decision.idle_power_w * duration_s
+        return total, decisions
+
+
+def static_mecc_idle_energy(
+    profile: list[tuple[float, float]],
+    retention: RetentionModel | None = None,
+    ecc_t: int = 6,
+    calculator: DramPowerCalculator | None = None,
+) -> tuple[float, int]:
+    """Static MECC (fixed 16x divider) over the same profile.
+
+    Returns ``(energy_j, reliability_violations)`` where a violation is a
+    segment whose temperature makes the fixed 1.024 s period exceed the
+    ECC-safe bound — static MECC either loses data there or must fall
+    back to JEDEC refresh out-of-band.
+    """
+    if not profile:
+        raise ConfigurationError("profile must be non-empty")
+    retention = retention or RetentionModel()
+    calc = calculator or DramPowerCalculator()
+    period = BASE_PERIOD_S * 16
+    power = calc.idle_power(period).total
+    energy = 0.0
+    violations = 0
+    for duration_s, offset_c in profile:
+        energy += power * duration_s
+        model = retention.at_temperature_offset(offset_c)
+        if period > max_refresh_period_for_strength(ecc_t, model) * PERIOD_MARGIN:
+            violations += 1
+    return energy, violations

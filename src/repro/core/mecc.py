@@ -1,0 +1,157 @@
+"""The MECC controller (paper Sec. III, Fig. 4/5).
+
+Owns the per-line ECC-mode state, the MDT table, and the device's refresh
+mode, and implements the two conversions:
+
+* **ECC-Downgrade** (active mode, demand basis): the first access to a
+  strong line decodes with the slow ECC-6 decoder, then the line is
+  re-encoded with SECDED and written back — off the critical path — so
+  subsequent accesses pay only the weak latency.
+* **ECC-Upgrade** (idle entry): every downgraded line is converted back
+  to ECC-6; with MDT only the marked regions are scanned.  Afterwards the
+  device enters self-refresh with the 16x divider (1 s period).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.line_store import LineEccStore
+from repro.core.mdt import MemoryDowngradeTracker
+from repro.dram.device import DramDevice
+from repro.ecc.codes import ECC6, SECDED, EccScheme
+from repro.errors import ConfigurationError
+from repro.types import EccMode, SystemState
+
+
+@dataclass(frozen=True)
+class UpgradeReport:
+    """What one idle-entry ECC-Upgrade pass did (paper Sec. VI-A numbers)."""
+
+    lines_scanned: int
+    lines_converted: int
+    seconds: float
+    encode_energy_j: float
+    used_mdt: bool
+
+
+class MeccController:
+    """Morphable-ECC state machine for one memory system.
+
+    Args:
+        device: the DRAM device (organization + refresh modes).
+        weak: the weak scheme (default SECDED, 2-cycle decode).
+        strong: the strong scheme (default ECC-6, 30-cycle decode).
+        mdt: optional Memory Downgrade Tracker; None disables MDT (idle
+            entry scans the whole memory, the paper's unoptimized 400 ms).
+    """
+
+    def __init__(
+        self,
+        device: DramDevice | None = None,
+        weak: EccScheme = SECDED,
+        strong: EccScheme = ECC6,
+        mdt: MemoryDowngradeTracker | None = None,
+        use_mdt: bool = True,
+    ):
+        self.device = device or DramDevice()
+        if strong.correctable <= weak.correctable:
+            raise ConfigurationError("strong scheme must out-correct the weak scheme")
+        self.weak = weak
+        self.strong = strong
+        self.line_store = LineEccStore(self.device.org)
+        self.mdt = mdt if mdt is not None else (
+            MemoryDowngradeTracker(self.device.org) if use_mdt else None
+        )
+        self.state = SystemState.IDLE
+        self.device.enter_self_refresh(slow=True)
+        # Counters.
+        self.downgrades = 0
+        self.upgraded_lines = 0
+        self.strong_decodes = 0
+        self.weak_decodes = 0
+
+    # -- active-mode data path ----------------------------------------------------
+
+    def wake(self) -> None:
+        """Idle -> active: refresh returns to 64 ms; lines stay strong."""
+        self.state = SystemState.ACTIVE
+        self.device.exit_self_refresh()
+
+    def on_read(self, byte_address: int, downgrade_enabled: bool = True) -> tuple[int, bool]:
+        """Decode latency and write-back need for a demand read.
+
+        Returns ``(decode_cycles, writeback_needed)``.  The write-back is
+        the ECC-Downgrade re-encode; it is issued off the critical path.
+        """
+        line = byte_address // self.device.org.line_bytes
+        mode = self.line_store.mode_of(line)
+        if mode is EccMode.WEAK:
+            self.weak_decodes += 1
+            return self.weak.decode_cycles, False
+        self.strong_decodes += 1
+        if not downgrade_enabled:
+            return self.strong.decode_cycles, False
+        self.line_store.downgrade(line)
+        self.downgrades += 1
+        if self.mdt is not None:
+            self.mdt.record_downgrade(byte_address)
+        return self.strong.decode_cycles, True
+
+    def on_write(self, byte_address: int, downgrade_enabled: bool = True) -> None:
+        """A dirty write-back from the LLC re-encodes the line.
+
+        With downgrade enabled the line is written in weak mode (and
+        tracked); otherwise it is re-encoded with the strong code so the
+        1 s refresh remains safe (SMD path).
+        """
+        line = byte_address // self.device.org.line_bytes
+        if downgrade_enabled:
+            if self.line_store.downgrade(line):
+                self.downgrades += 1
+                if self.mdt is not None:
+                    self.mdt.record_downgrade(byte_address)
+        else:
+            self.line_store.upgrade(line)
+
+    # -- idle entry ------------------------------------------------------------------
+
+    def enter_idle(self) -> UpgradeReport:
+        """Active -> idle: ECC-Upgrade, then slow self-refresh (Fig. 4)."""
+        self.state = SystemState.IDLE
+        org = self.device.org
+        if self.mdt is not None:
+            lines_scanned = self.mdt.lines_to_upgrade()
+            lines_per_region = self.mdt.lines_per_region
+            converted = 0
+            for region in self.mdt.marked_regions:
+                converted += self.line_store.upgrade_region(
+                    region * lines_per_region, lines_per_region
+                )
+            self.mdt.reset()
+            used_mdt = True
+        else:
+            lines_scanned = org.total_lines
+            converted = self.line_store.upgrade_all()
+            used_mdt = False
+        # Defensive invariant: the scan must leave no weak line behind.
+        if not self.line_store.all_strong():
+            # Lines downgraded outside marked regions would be a design
+            # bug; fall back to a full scan rather than corrupt data.
+            lines_scanned = org.total_lines
+            converted += self.line_store.upgrade_all()
+        self.upgraded_lines += converted
+        seconds = self.device.bulk_convert_seconds(lines_scanned)
+        encode_energy = lines_scanned * self.strong.encode_energy_pj * 1e-12
+        self.device.enter_self_refresh(slow=True)
+        return UpgradeReport(
+            lines_scanned=lines_scanned,
+            lines_converted=converted,
+            seconds=seconds,
+            encode_energy_j=encode_energy,
+            used_mdt=used_mdt,
+        )
+
+    @property
+    def refresh_period_s(self) -> float:
+        return self.device.refresh_period_s

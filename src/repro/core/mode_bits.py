@@ -1,0 +1,83 @@
+"""ECC-mode-bit replication and resolution analysis (paper Sec. III-B/D).
+
+One logical bit per line says which decoder to use (0 = weak/SECDED,
+1 = strong/ECC-6).  Because the bit must be readable *before* decoding,
+it is replicated — 4 ways in the paper — and resolved by majority vote;
+a tie triggers a trial decode with both decoders.  The replicas are also
+covered by whichever code protects the line, so post-decode they are
+always correct.
+
+Besides the encode/vote helpers (shared with the physical layout in
+:mod:`repro.ecc.layout`), this module provides the closed-form analysis
+used by the redundancy ablation: the probability that raw replica voting
+alone mis-resolves or ties at a given BER.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.types import EccMode
+
+
+def encode_replicas(mode: EccMode, replicas: int = 4) -> int:
+    """Bit pattern storing ``mode`` with n-way replication."""
+    if replicas < 1:
+        raise ConfigurationError("replicas must be >= 1")
+    return ((1 << replicas) - 1) if mode is EccMode.STRONG else 0
+
+
+def majority_vote(pattern: int, replicas: int = 4) -> EccMode | None:
+    """Resolve a replica pattern; ``None`` on a tie (trial decode needed)."""
+    if replicas < 1:
+        raise ConfigurationError("replicas must be >= 1")
+    ones = bin(pattern & ((1 << replicas) - 1)).count("1")
+    zeros = replicas - ones
+    if ones > zeros:
+        return EccMode.STRONG
+    if zeros > ones:
+        return EccMode.WEAK
+    return None
+
+
+def flips_to_misresolve(replicas: int) -> int:
+    """Minimum replica flips that flip the majority outright."""
+    if replicas < 1:
+        raise ConfigurationError("replicas must be >= 1")
+    return replicas // 2 + 1
+
+
+def misresolve_probability(ber: float, replicas: int = 4) -> float:
+    """P(majority vote yields the *wrong* mode) at a given BER.
+
+    The wrong mode wins when more than half the replicas flip.  This is
+    the raw-vote probability; in the full design a wrong or tied vote is
+    still recovered by the trial-decode fallback, so this bounds how often
+    the slow fallback path runs rather than a correctness loss.
+    """
+    if not 0.0 <= ber <= 1.0:
+        raise ConfigurationError("ber must be in [0, 1]")
+    need = flips_to_misresolve(replicas)
+    return _binomial_tail(replicas, ber, need)
+
+
+def tie_probability(ber: float, replicas: int = 4) -> float:
+    """P(replica vote ties), forcing the trial-decode path.
+
+    Only possible for even replica counts: exactly half flip.
+    """
+    if not 0.0 <= ber <= 1.0:
+        raise ConfigurationError("ber must be in [0, 1]")
+    if replicas % 2:
+        return 0.0
+    half = replicas // 2
+    return math.comb(replicas, half) * ber ** half * (1 - ber) ** half
+
+
+def _binomial_tail(n: int, p: float, k_min: int) -> float:
+    """P(X >= k_min) for X ~ Binomial(n, p)."""
+    total = 0.0
+    for k in range(k_min, n + 1):
+        total += math.comb(n, k) * p ** k * (1 - p) ** (n - k)
+    return min(1.0, total)

@@ -1,0 +1,145 @@
+"""ECC policies: what the cycle simulator evaluates against each other.
+
+Each policy answers, per memory access, how many processor cycles of
+decode latency the access pays and whether an extra write-back (the
+ECC-Downgrade re-encode) must be injected.  The paper's evaluated
+configurations:
+
+* ``NoEccPolicy`` — the normalization baseline (no correction latency).
+* ``SecdedPolicy`` — ECC-1 everywhere, 2-cycle decode.
+* ``Ecc6Policy`` — ECC-6 everywhere, 30-cycle decode (sweepable, Fig. 12).
+* ``MeccPolicy`` — morphable: strong decode + downgrade on first touch,
+  weak afterwards; optional SMD gate (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mecc import MeccController
+from repro.core.smd import SelectiveMemoryDowngrade
+from repro.ecc.codes import ECC6, SECDED, EccScheme
+from repro.types import MemoryOp
+
+
+@dataclass(frozen=True)
+class ReadAction:
+    """What the engine must do for one demand read."""
+
+    decode_cycles: int
+    writeback: bool = False
+
+
+class EccPolicy:
+    """Base policy: fixed decode latency, no extra traffic."""
+
+    def __init__(self, name: str, decode_cycles: int = 0):
+        self.name = name
+        self._decode_cycles = decode_cycles
+        self.strong_decodes = 0
+        self.weak_decodes = 0
+        self.downgrades = 0
+
+    def on_read(self, byte_address: int, now: int) -> ReadAction:
+        """Called for every demand read at processor cycle ``now``."""
+        self.weak_decodes += 1
+        return ReadAction(decode_cycles=self._decode_cycles)
+
+    def on_write(self, byte_address: int, now: int) -> None:
+        """Called for every write-back; default: nothing extra."""
+
+    def on_run_end(self, total_cycles: int) -> None:
+        """Called once when the simulation finishes."""
+
+    @property
+    def slow_refresh_fraction(self) -> float:
+        """Fraction of active time spent at the 1 s refresh period.
+
+        Non-SMD policies refresh at 64 ms for the whole active period.
+        """
+        return 0.0
+
+
+class NoEccPolicy(EccPolicy):
+    """No error correction: the paper's normalization baseline."""
+
+    def __init__(self):
+        super().__init__(name="Baseline", decode_cycles=0)
+
+
+class SecdedPolicy(EccPolicy):
+    """SEC-DED everywhere (paper's ECC-1 / weak configuration)."""
+
+    def __init__(self, scheme: EccScheme = SECDED):
+        super().__init__(name=scheme.name, decode_cycles=scheme.decode_cycles)
+        self.scheme = scheme
+
+
+class Ecc6Policy(EccPolicy):
+    """Strong multi-bit ECC everywhere: saves refresh, costs latency."""
+
+    def __init__(self, scheme: EccScheme = ECC6):
+        super().__init__(name=scheme.name, decode_cycles=scheme.decode_cycles)
+        self.scheme = scheme
+
+    def on_read(self, byte_address: int, now: int) -> ReadAction:
+        self.strong_decodes += 1
+        return ReadAction(decode_cycles=self._decode_cycles)
+
+
+class MeccPolicy(EccPolicy):
+    """Morphable ECC, optionally gated by Selective Memory Downgrade.
+
+    Args:
+        controller: the MECC state machine (fresh-from-idle: all strong).
+        smd: optional SMD monitor; when present, downgrades stay disabled
+            until the traffic threshold trips, and refresh stays slow
+            meanwhile.
+    """
+
+    def __init__(
+        self,
+        controller: MeccController | None = None,
+        smd: SelectiveMemoryDowngrade | None = None,
+    ):
+        controller = controller or MeccController()
+        name = "MECC+SMD" if smd is not None else "MECC"
+        super().__init__(name=name, decode_cycles=0)
+        self.controller = controller
+        self.smd = smd
+        self.controller.wake()
+        if self.smd is not None:
+            self.smd.reset(0)
+        self._total_cycles = 0
+
+    @property
+    def downgrade_enabled(self) -> bool:
+        return self.smd is None or self.smd.enabled
+
+    def on_read(self, byte_address: int, now: int) -> ReadAction:
+        if self.smd is not None:
+            self.smd.record_access(now)
+        decode_cycles, writeback = self.controller.on_read(
+            byte_address, downgrade_enabled=self.downgrade_enabled
+        )
+        if writeback:
+            self.downgrades += 1
+        return ReadAction(decode_cycles=decode_cycles, writeback=writeback)
+
+    def on_write(self, byte_address: int, now: int) -> None:
+        if self.smd is not None:
+            self.smd.record_access(now)
+        self.controller.on_write(byte_address, downgrade_enabled=self.downgrade_enabled)
+
+    def on_run_end(self, total_cycles: int) -> None:
+        self._total_cycles = total_cycles
+        self.strong_decodes = self.controller.strong_decodes
+        self.weak_decodes = self.controller.weak_decodes
+
+    @property
+    def slow_refresh_fraction(self) -> float:
+        """With SMD, refresh stays at 1 s until downgrades are enabled."""
+        if self.smd is None:
+            return 0.0
+        report = self.smd.report(self._total_cycles)
+        return report.disabled_fraction

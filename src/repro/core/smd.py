@@ -1,0 +1,96 @@
+"""Selective Memory Downgrade (paper Sec. VI-B).
+
+On wake-up from idle, ECC-Downgrade starts *disabled* and the refresh
+period stays at 1 s.  Every 64 ms quantum (~100M processor cycles) the
+controller checks the memory traffic of the previous quantum, measured in
+misses per kilo-cycle (MPKC); once it exceeds a threshold (paper default:
+2), ECC-Downgrade is enabled for the rest of the active period.  The
+hardware cost is two registers: an access counter and the quantum timer.
+
+For scaled-down simulation runs the quantum is configurable; the analysis
+harness scales it by the ratio of simulated to paper instruction counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Paper's quantum: 64 ms at 1.6 GHz ("approximately 100 Million cycles").
+PAPER_QUANTUM_CYCLES = 102_400_000
+#: Paper's traffic threshold in misses per kilo-cycle.
+DEFAULT_THRESHOLD_MPKC = 2.0
+
+
+@dataclass
+class SmdReport:
+    """Outcome of one SMD run (feeds paper Fig. 14)."""
+
+    enabled_at_cycle: int | None
+    total_cycles: int
+
+    @property
+    def disabled_fraction(self) -> float:
+        """Fraction of execution time with ECC-Downgrade disabled."""
+        if self.total_cycles <= 0:
+            return 1.0
+        if self.enabled_at_cycle is None:
+            return 1.0
+        return min(1.0, self.enabled_at_cycle / self.total_cycles)
+
+
+class SelectiveMemoryDowngrade:
+    """The SMD traffic monitor.
+
+    Args:
+        threshold_mpkc: memory accesses per kilo-cycle above which
+            ECC-Downgrade is enabled.
+        quantum_cycles: check interval in processor cycles.
+    """
+
+    def __init__(
+        self,
+        threshold_mpkc: float = DEFAULT_THRESHOLD_MPKC,
+        quantum_cycles: int = PAPER_QUANTUM_CYCLES,
+    ):
+        if threshold_mpkc <= 0:
+            raise ConfigurationError("threshold_mpkc must be positive")
+        if quantum_cycles < 1:
+            raise ConfigurationError("quantum_cycles must be >= 1")
+        self.threshold_mpkc = threshold_mpkc
+        self.quantum_cycles = quantum_cycles
+        self.enabled = False
+        self.enabled_at_cycle: int | None = None
+        self._quantum_start = 0
+        self._accesses = 0
+
+    def reset(self, now: int = 0) -> None:
+        """Re-arm on wake-up from idle: downgrade disabled again."""
+        self.enabled = False
+        self.enabled_at_cycle = None
+        self._quantum_start = now
+        self._accesses = 0
+
+    def record_access(self, now: int) -> None:
+        """Count one memory access (read or write) at processor cycle ``now``.
+
+        Quantum boundaries are evaluated lazily from the access stream,
+        which matches the two-register hardware (a counter and a timer).
+        """
+        if self.enabled:
+            return
+        # Close out any fully elapsed quanta before this access.
+        while now - self._quantum_start >= self.quantum_cycles:
+            mpkc = 1000.0 * self._accesses / self.quantum_cycles
+            quantum_end = self._quantum_start + self.quantum_cycles
+            if mpkc > self.threshold_mpkc:
+                self.enabled = True
+                self.enabled_at_cycle = quantum_end
+                return
+            self._quantum_start = quantum_end
+            self._accesses = 0
+        self._accesses += 1
+
+    def report(self, total_cycles: int) -> SmdReport:
+        return SmdReport(enabled_at_cycle=self.enabled_at_cycle, total_cycles=total_cycles)

@@ -1,0 +1,79 @@
+"""Physical-address-to-DRAM-coordinate mapping.
+
+Two standard policies:
+
+* ``row-interleaved`` (default, what the paper's open-page system wants):
+  ``| row | bank | column-line |`` — sequential streams stay in one row
+  buffer (locality), successive rows spread across banks.
+  With the paper's organization (1 GB, 4 banks, 16 KB rows, 64 B lines):
+  256 lines per row (8 column bits), 2 bank bits, 14 row bits.
+* ``block-interleaved``: ``| row | column-line | bank |`` — consecutive
+  lines round-robin across banks, maximizing bank parallelism at the
+  cost of row-buffer hits.  Provided for the mapping ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.config import DramOrganization
+from repro.errors import ConfigurationError
+
+MAPPING_POLICIES = ("row-interleaved", "block-interleaved")
+
+
+@dataclass(frozen=True)
+class LineLocation:
+    """DRAM coordinates of one cache line."""
+
+    bank: int
+    row: int
+    column_line: int
+
+
+class AddressMapper:
+    """Map byte addresses to (bank, row, column-line) coordinates."""
+
+    def __init__(
+        self,
+        org: DramOrganization | None = None,
+        policy: str = "row-interleaved",
+    ):
+        if policy not in MAPPING_POLICIES:
+            raise ConfigurationError(
+                f"unknown mapping policy {policy!r}; choices: {MAPPING_POLICIES}"
+            )
+        self.org = org or DramOrganization()
+        self.policy = policy
+        self._lines_per_row = self.org.lines_per_row
+        self._banks = self.org.banks * self.org.ranks * self.org.channels
+        self._rows = self.org.rows
+
+    def line_address(self, byte_address: int) -> int:
+        """Line index of a byte address."""
+        if byte_address < 0:
+            raise ConfigurationError("address must be non-negative")
+        return byte_address // self.org.line_bytes
+
+    def locate(self, byte_address: int) -> LineLocation:
+        """Coordinates of the line containing ``byte_address``.
+
+        Addresses beyond capacity wrap (traces are generated modulo the
+        footprint, so this is a guard, not a normal path).
+        """
+        line = self.line_address(byte_address) % self.org.total_lines
+        if self.policy == "row-interleaved":
+            column_line = line % self._lines_per_row
+            line //= self._lines_per_row
+            bank = line % self._banks
+            row = (line // self._banks) % self._rows
+        else:  # block-interleaved
+            bank = line % self._banks
+            line //= self._banks
+            column_line = line % self._lines_per_row
+            row = (line // self._lines_per_row) % self._rows
+        return LineLocation(bank=bank, row=row, column_line=column_line)
+
+    @property
+    def total_banks(self) -> int:
+        return self._banks

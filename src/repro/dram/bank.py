@@ -1,0 +1,64 @@
+"""Per-bank state for the transaction-level DRAM model.
+
+Each bank tracks the open row and the earliest processor-cycle timestamps
+at which the next column command or precharge may start.  This is the
+timestamp-based equivalent of enforcing tRCD/tRP/tRAS/tRC without ticking
+every cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.config import DramTimings
+
+
+@dataclass
+class Bank:
+    """State machine for a single DRAM bank.
+
+    Attributes:
+        open_row: currently open row index, or None when precharged.
+        ready_at: earliest time the next command to this bank may start.
+        last_act_at: start time of the most recent ACT (for tRAS/tRC).
+    """
+
+    timings: DramTimings = field(default_factory=DramTimings)
+    open_row: int | None = None
+    ready_at: int = 0
+    last_act_at: int = -(10 ** 12)
+
+    def access(self, row: int, start: int) -> tuple[int, bool, int]:
+        """Perform a column access to ``row`` starting no earlier than ``start``.
+
+        Returns ``(data_done, row_hit, activates)`` where ``data_done`` is
+        the processor cycle when the data burst completes, ``row_hit`` says
+        whether the row buffer was hit, and ``activates`` is the number of
+        ACT commands issued (0 or 1).
+        """
+        t = self.timings
+        begin = max(start, self.ready_at)
+        if self.open_row == row:
+            data_done = begin + t.row_hit_latency
+            self.ready_at = data_done
+            return data_done, True, 0
+        if self.open_row is not None:
+            # Precharge may not start before tRAS after the ACT.
+            begin = max(begin, self.last_act_at + t.t_ras)
+            begin += t.t_rp
+        # ACT-to-ACT same bank must respect tRC.
+        begin = max(begin, self.last_act_at + t.t_rc)
+        self.last_act_at = begin
+        self.open_row = row
+        data_done = begin + t.row_empty_latency
+        self.ready_at = data_done
+        return data_done, False, 1
+
+    def precharge_all(self) -> None:
+        """Close the row (used on refresh and self-refresh entry)."""
+        self.open_row = None
+
+    def block_until(self, cycle: int) -> None:
+        """Make the bank unavailable until ``cycle`` (refresh window)."""
+        if cycle > self.ready_at:
+            self.ready_at = cycle

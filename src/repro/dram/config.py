@@ -1,0 +1,125 @@
+"""DRAM organization and timing configuration (paper Table II).
+
+The baseline system: 1 GB LPDDR at a 200 MHz bus (double data rate),
+1 channel, 1 rank, 4 banks, 16K rows, 1K columns, 64-byte lines, driven
+by a 1.6 GHz processor — an 8:1 processor-to-bus clock ratio, so one bus
+cycle is 8 processor cycles.  Timing values follow the Micron 1Gb mobile
+LPDDR datasheet the paper cites, quantized to bus cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: 1.6 GHz processor / 200 MHz DRAM bus.
+PROC_CYCLES_PER_BUS_CYCLE = 8
+#: Processor clock in Hz (paper Table II).
+PROC_HZ = 1_600_000_000
+
+
+@dataclass(frozen=True)
+class DramOrganization:
+    """Physical organization of the memory system.
+
+    Attributes:
+        capacity_bytes: total memory capacity (1 GB).
+        channels: independent channels (1).
+        ranks: ranks per channel (1).
+        banks: banks per rank (4).
+        rows: rows per bank (16K).
+        line_bytes: cache-line / transfer granularity (64 B).
+    """
+
+    capacity_bytes: int = 1 << 30
+    channels: int = 1
+    ranks: int = 1
+    banks: int = 4
+    rows: int = 16 * 1024
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("capacity_bytes", "channels", "ranks", "banks", "rows", "line_bytes"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+        if self.capacity_bytes % (self.channels * self.ranks * self.banks * self.rows):
+            raise ConfigurationError("capacity must divide evenly into rows")
+        if self.row_bytes % self.line_bytes:
+            raise ConfigurationError("row size must be a multiple of line size")
+
+    @property
+    def total_lines(self) -> int:
+        return self.capacity_bytes // self.line_bytes
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes per row (the row-buffer size)."""
+        return self.capacity_bytes // (self.channels * self.ranks * self.banks * self.rows)
+
+    @property
+    def lines_per_row(self) -> int:
+        return self.row_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """DRAM timing constraints, in *processor* cycles.
+
+    Bus-cycle values (at 200 MHz, 5 ns per cycle) are multiplied by the
+    8:1 clock ratio.  Defaults correspond to tRCD = tRP = tCL = 15 ns,
+    tRAS = 40 ns, tRC = 55 ns, BL8 DDR burst = 4 bus cycles = 20 ns,
+    tRFC = 110 ns, tREFI = 7.8125 us, tXP (power-down exit) = 2 bus cycles.
+    """
+
+    t_rcd: int = 3 * PROC_CYCLES_PER_BUS_CYCLE
+    t_rp: int = 3 * PROC_CYCLES_PER_BUS_CYCLE
+    t_cl: int = 3 * PROC_CYCLES_PER_BUS_CYCLE
+    t_ras: int = 8 * PROC_CYCLES_PER_BUS_CYCLE
+    t_rc: int = 11 * PROC_CYCLES_PER_BUS_CYCLE
+    t_burst: int = 4 * PROC_CYCLES_PER_BUS_CYCLE
+    t_wr: int = 3 * PROC_CYCLES_PER_BUS_CYCLE
+    t_rfc: int = 22 * PROC_CYCLES_PER_BUS_CYCLE
+    t_refi: int = 1562 * PROC_CYCLES_PER_BUS_CYCLE
+    t_xp: int = 2 * PROC_CYCLES_PER_BUS_CYCLE
+    t_rrd: int = 2 * PROC_CYCLES_PER_BUS_CYCLE
+    t_faw: int = 10 * PROC_CYCLES_PER_BUS_CYCLE
+
+    def __post_init__(self) -> None:
+        for name in (
+            "t_rcd",
+            "t_rp",
+            "t_cl",
+            "t_ras",
+            "t_rc",
+            "t_burst",
+            "t_wr",
+            "t_rfc",
+            "t_refi",
+            "t_xp",
+            "t_rrd",
+            "t_faw",
+        ):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1 processor cycle")
+        if self.t_ras >= self.t_rc:
+            raise ConfigurationError("t_ras must be < t_rc")
+        if self.t_rfc >= self.t_refi:
+            raise ConfigurationError("t_rfc must be < t_refi")
+        if self.t_rrd > self.t_faw:
+            raise ConfigurationError("t_rrd must be <= t_faw")
+
+    @property
+    def row_hit_latency(self) -> int:
+        """CAS-to-data-complete latency for a row-buffer hit."""
+        return self.t_cl + self.t_burst
+
+    @property
+    def row_empty_latency(self) -> int:
+        """Latency when the bank is precharged (ACT + CAS + burst)."""
+        return self.t_rcd + self.t_cl + self.t_burst
+
+    @property
+    def row_conflict_latency(self) -> int:
+        """Latency when a different row is open (PRE + ACT + CAS + burst)."""
+        return self.t_rp + self.t_rcd + self.t_cl + self.t_burst

@@ -1,0 +1,237 @@
+"""Transaction-level memory controller (USIMM-style substrate).
+
+Models the paper's baseline controller: read/write queues, open-page
+row-buffer policy, bank-level parallelism, data-bus contention, periodic
+auto-refresh interference, and an *aggressive power-down* policy (the
+paper: "the scheduler issues a power-down command whenever it is
+possible").
+
+The model is event-timestamped: servicing a request computes its data
+completion time from per-bank and bus availability timestamps, so cost is
+O(1) per transaction instead of per cycle.  Writes are buffered in a write
+queue and drained in bursts when the queue fills, stealing bank/bus time
+from subsequent reads — which is how MECC's extra downgrade write-backs
+show up as a small power/performance cost (paper Fig. 9).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.dram.address import AddressMapper
+from repro.dram.bank import Bank
+from repro.dram.config import PROC_HZ, DramOrganization, DramTimings
+from repro.errors import ConfigurationError
+from repro.power.calculator import BankUtilization
+
+
+@dataclass
+class ControllerStats:
+    """Counters accumulated while servicing transactions."""
+
+    reads: int = 0
+    writes: int = 0
+    activates: int = 0
+    row_hits: int = 0
+    refresh_windows_hit: int = 0
+    write_drains: int = 0
+    busy_cycles: int = 0
+    powerdown_exits: int = 0
+    read_latency_sum: int = 0
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.reads + self.writes
+        return self.row_hits / total if total else 0.0
+
+
+class MemoryController:
+    """Single-channel memory controller over a set of banks.
+
+    Args:
+        org: DRAM organization (capacity, banks, rows, line size).
+        timings: DRAM timing constraints in processor cycles.
+        write_queue_capacity: writes buffered before a forced drain.
+        write_drain_low: drain stops when the queue falls to this level.
+        powerdown_gap_cycles: an idle gap at least this long (processor
+            cycles) puts the rank into precharge power-down; waking costs
+            ``t_xp``.
+    """
+
+    def __init__(
+        self,
+        org: DramOrganization | None = None,
+        timings: DramTimings | None = None,
+        write_queue_capacity: int = 32,
+        write_drain_low: int = 8,
+        powerdown_gap_cycles: int = 48,
+        mapping_policy: str = "row-interleaved",
+    ):
+        self.org = org or DramOrganization()
+        self.timings = timings or DramTimings()
+        if write_drain_low >= write_queue_capacity:
+            raise ConfigurationError("write_drain_low must be < write_queue_capacity")
+        if write_queue_capacity < 1:
+            raise ConfigurationError("write_queue_capacity must be >= 1")
+        self.mapper = AddressMapper(self.org, policy=mapping_policy)
+        self.banks = [Bank(self.timings) for _ in range(self.mapper.total_banks)]
+        self.write_queue: deque[int] = deque()
+        self.write_queue_capacity = write_queue_capacity
+        self.write_drain_low = write_drain_low
+        self.powerdown_gap_cycles = powerdown_gap_cycles
+        self.stats = ControllerStats()
+        self._banks_per_channel = self.org.banks * self.org.ranks
+        self._data_bus_free_at = [0] * self.org.channels
+        self._busy_until = 0
+        self._next_refresh_at = self.timings.t_refi
+        self._refresh_enabled = True
+        # ACT pacing per rank: last ACT start (tRRD) and a sliding window
+        # of the last four ACT starts (tFAW).
+        n_ranks = self.org.channels * self.org.ranks
+        self._last_act_start = [-(10 ** 12)] * n_ranks
+        self._act_window: list[deque[int]] = [deque(maxlen=4) for _ in range(n_ranks)]
+
+    # -- configuration hooks ---------------------------------------------------
+
+    def set_refresh_enabled(self, enabled: bool) -> None:
+        """Allow SMD-style operation where auto-refresh stays off (1 s SR)."""
+        self._refresh_enabled = enabled
+
+    # -- public request interface ----------------------------------------------
+
+    def read(self, address: int, now: int) -> int:
+        """Service a demand read arriving at processor cycle ``now``.
+
+        Returns the cycle at which the data burst completes (excluding any
+        ECC decode latency, which the simulation engine layers on top).
+        """
+        self._opportunistic_drain(now)
+        if len(self.write_queue) >= self.write_queue_capacity:
+            self._drain_writes(now)
+        done = self._service(address, now)
+        self.stats.reads += 1
+        self.stats.read_latency_sum += done - now
+        return done
+
+    def write(self, address: int, now: int) -> None:
+        """Buffer a write-back; drains happen in bursts off the read path."""
+        self.write_queue.append(address)
+        if len(self.write_queue) >= self.write_queue_capacity:
+            self._drain_writes(now)
+
+    def flush_writes(self, now: int) -> int:
+        """Drain the entire write queue; returns the completion cycle."""
+        done = now
+        while self.write_queue:
+            address = self.write_queue.popleft()
+            done = self._service(address, done)
+            self.stats.writes += 1
+        return done
+
+    # -- internals ---------------------------------------------------------------
+
+    def _opportunistic_drain(self, now: int) -> None:
+        """Service buffered writes inside idle gaps, off the read path.
+
+        The queue head is written whenever the channel has been idle long
+        enough to fit a burst before ``now`` — this is how ECC-Downgrade
+        write-backs stay off the critical path (paper Sec. III-B).
+        """
+        slot = 2 * self.timings.t_burst
+        while self.write_queue and now - self._busy_until >= slot:
+            address = self.write_queue.popleft()
+            self._service(address, self._busy_until)
+            self.stats.writes += 1
+
+    def _drain_writes(self, now: int) -> None:
+        self.stats.write_drains += 1
+        t = now
+        while len(self.write_queue) > self.write_drain_low:
+            address = self.write_queue.popleft()
+            t = self._service(address, t)
+            self.stats.writes += 1
+
+    def _service(self, address: int, now: int) -> int:
+        """Common timing path for a 64B column access (read or write)."""
+        loc = self.mapper.locate(address)
+        begin = now
+        # Aggressive power-down: a long-enough idle gap means the rank was
+        # powered down and must pay the exit latency.
+        if begin - self._busy_until >= self.powerdown_gap_cycles:
+            begin += self.timings.t_xp
+            self.stats.powerdown_exits += 1
+        begin = self._apply_refresh(begin)
+        bank = self.banks[loc.bank]
+        rank = loc.bank // self.org.banks
+        # ACT pacing: if this access will open a row, respect tRRD (ACT to
+        # ACT, any bank of the rank) and tFAW (at most four ACTs per
+        # rolling window).
+        if bank.open_row != loc.row:
+            t = self.timings
+            begin = max(begin, self._last_act_start[rank] + t.t_rrd)
+            window = self._act_window[rank]
+            if len(window) == 4:
+                begin = max(begin, window[0] + t.t_faw)
+        data_done, row_hit, activates = bank.access(loc.row, begin)
+        if activates:
+            act_start = data_done - self.timings.row_empty_latency
+            self._last_act_start[rank] = max(self._last_act_start[rank], act_start)
+            self._act_window[rank].append(act_start)
+        # Data-bus contention: the burst phase may not overlap a previous
+        # burst on the same channel.
+        channel = loc.bank // self._banks_per_channel
+        data_start = data_done - self.timings.t_burst
+        if data_start < self._data_bus_free_at[channel]:
+            shift = self._data_bus_free_at[channel] - data_start
+            data_done += shift
+            bank.ready_at += shift
+        self._data_bus_free_at[channel] = data_done
+        self.stats.activates += activates
+        if row_hit:
+            self.stats.row_hits += 1
+        # Busy-time envelope for the power model.
+        overlap_start = max(begin, self._busy_until)
+        if data_done > overlap_start:
+            self.stats.busy_cycles += data_done - overlap_start
+        self._busy_until = max(self._busy_until, data_done)
+        return data_done
+
+    def _apply_refresh(self, begin: int) -> int:
+        """Delay ``begin`` past any auto-refresh window it collides with."""
+        if not self._refresh_enabled:
+            return begin
+        t = self.timings
+        # Refreshes that completed before `begin` happened in idle gaps.
+        while self._next_refresh_at + t.t_rfc <= begin:
+            self._next_refresh_at += t.t_refi
+        if self._next_refresh_at <= begin:
+            # Collision: wait out the refresh; rows are closed by it.
+            begin = self._next_refresh_at + t.t_rfc
+            self._next_refresh_at += t.t_refi
+            for bank in self.banks:
+                bank.precharge_all()
+            self.stats.refresh_windows_hit += 1
+        return begin
+
+    # -- power-model export -------------------------------------------------------
+
+    def utilization(self, total_cycles: int) -> BankUtilization:
+        """Summarize this run as utilization fractions/rates for the power model.
+
+        With the aggressive power-down policy, all non-busy time is spent
+        in precharge power-down.
+        """
+        if total_cycles <= 0:
+            raise ConfigurationError("total_cycles must be positive")
+        seconds = total_cycles / PROC_HZ
+        busy_frac = min(1.0, self.stats.busy_cycles / total_cycles)
+        return BankUtilization(
+            frac_active_standby=busy_frac,
+            frac_precharge_standby=0.0,
+            frac_active_powerdown=0.0,
+            frac_precharge_powerdown=1.0 - busy_frac,
+            activates_per_second=self.stats.activates / seconds,
+            read_bursts_per_second=self.stats.reads / seconds,
+            write_bursts_per_second=self.stats.writes / seconds,
+        )

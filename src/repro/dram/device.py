@@ -1,0 +1,66 @@
+"""Device-level DRAM model: capacity, refresh-mode transitions, bulk ECC
+conversion timing.
+
+This is the piece the *idle-mode* experiments use: it owns the
+self-refresh controller (with the 4-bit frequency divider) and knows how
+long bulk ECC-Upgrade/Downgrade scans take.  The paper's arithmetic: a
+1 GB memory has 16M lines; converting a line (read, decode, re-encode,
+write) costs ~40 processor cycles in steady state, so a full-memory
+ECC-Upgrade takes 640M cycles = 400 ms at 1.6 GHz, and MDT's ~8x footprint
+reduction brings that to ~50 ms (paper Sec. VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.config import PROC_HZ, DramOrganization
+from repro.dram.refresh import SelfRefreshController
+from repro.errors import ConfigurationError
+from repro.types import RefreshMode
+
+#: Processor cycles to convert one line (read + decode + encode + write),
+#: pipelined — calibrated so a full 1 GB scan costs the paper's 400 ms.
+LINE_CONVERT_CYCLES = 40
+
+
+@dataclass
+class DramDevice:
+    """A rank of LPDDR with refresh-mode and bulk-conversion modeling."""
+
+    org: DramOrganization = field(default_factory=DramOrganization)
+    refresh: SelfRefreshController = field(default_factory=SelfRefreshController)
+
+    def enter_self_refresh(self, slow: bool = False) -> None:
+        """Enter self-refresh; ``slow`` engages the 16x divider (MECC idle)."""
+        self.refresh.enter(RefreshMode.SELF_REFRESH, use_divider=slow)
+
+    def exit_self_refresh(self) -> None:
+        """Return to auto refresh at the 64 ms period (active mode)."""
+        self.refresh.enter(RefreshMode.AUTO_REFRESH)
+
+    @property
+    def refresh_period_s(self) -> float:
+        return self.refresh.refresh_period_s
+
+    # -- bulk ECC conversion ---------------------------------------------------
+
+    def bulk_convert_cycles(self, n_lines: int) -> int:
+        """Processor cycles to convert ``n_lines`` between ECC modes."""
+        if n_lines < 0:
+            raise ConfigurationError("n_lines must be non-negative")
+        return LINE_CONVERT_CYCLES * n_lines
+
+    def bulk_convert_seconds(self, n_lines: int) -> float:
+        return self.bulk_convert_cycles(n_lines) / PROC_HZ
+
+    def full_upgrade_seconds(self) -> float:
+        """Time to ECC-Upgrade the entire memory (no MDT): ~400 ms for 1 GB."""
+        return self.bulk_convert_seconds(self.org.total_lines)
+
+    def upgrade_seconds_for_regions(self, n_regions: int, region_bytes: int) -> float:
+        """Time to upgrade only MDT-marked regions."""
+        if n_regions < 0 or region_bytes <= 0:
+            raise ConfigurationError("invalid region parameters")
+        lines = (n_regions * region_bytes) // self.org.line_bytes
+        return self.bulk_convert_seconds(min(lines, self.org.total_lines))

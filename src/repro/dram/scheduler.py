@@ -1,0 +1,174 @@
+"""Memory-request scheduling framework (USIMM's home turf).
+
+USIMM — the paper's simulator — was built for the Memory Scheduling
+Championship, where policies pick which queued request to issue next.
+The paper's blocking in-order core rarely queues more than one demand
+read, so the main engine services synchronously; this module provides
+the full queued model for open-loop studies (bandwidth-bound traffic,
+write bursts, MECC's upgrade scans):
+
+* :class:`FcfsPolicy` — oldest request first.
+* :class:`FrFcfsPolicy` — row hits first, then oldest (the classic
+  first-ready FCFS that open-page controllers use).
+
+The driver is event-stepped: at each step it issues the policy's pick
+to the earliest-available bank slot, modelling bank occupancy, bus
+serialization, and ACT pacing the same way the main controller does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.address import AddressMapper
+from repro.dram.bank import Bank
+from repro.dram.config import DramOrganization, DramTimings
+from repro.errors import ConfigurationError
+from repro.types import MemoryOp
+
+
+@dataclass
+class Request:
+    """One memory request with open-loop arrival time."""
+
+    op: MemoryOp
+    address: int
+    arrival: int
+    request_id: int = 0
+    completion: int | None = None
+
+    @property
+    def latency(self) -> int:
+        if self.completion is None:
+            raise ConfigurationError("request has not completed")
+        return self.completion - self.arrival
+
+
+class SchedulerPolicy:
+    """Base policy: pick which queued request to issue next."""
+
+    name = "base"
+
+    def pick(self, queue: list[Request], banks: list[Bank], mapper: AddressMapper,
+             now: int) -> int:
+        """Index into ``queue`` of the request to issue."""
+        raise NotImplementedError
+
+
+class FcfsPolicy(SchedulerPolicy):
+    """Strictly oldest-first."""
+
+    name = "FCFS"
+
+    def pick(self, queue, banks, mapper, now) -> int:
+        return min(range(len(queue)), key=lambda i: (queue[i].arrival, queue[i].request_id))
+
+
+class FrFcfsPolicy(SchedulerPolicy):
+    """First-ready FCFS: row-buffer hits first, then oldest."""
+
+    name = "FR-FCFS"
+
+    def pick(self, queue, banks, mapper, now) -> int:
+        def key(i: int):
+            request = queue[i]
+            loc = mapper.locate(request.address)
+            row_hit = banks[loc.bank].open_row == loc.row
+            return (not row_hit, request.arrival, request.request_id)
+
+        return min(range(len(queue)), key=key)
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate statistics of one open-loop run."""
+
+    issued: int = 0
+    row_hits: int = 0
+    activates: int = 0
+    total_latency: int = 0
+    makespan: int = 0
+
+    @property
+    def avg_latency(self) -> float:
+        return self.total_latency / self.issued if self.issued else 0.0
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.issued if self.issued else 0.0
+
+
+class OpenLoopMemorySystem:
+    """Serve an arrival-timed request stream under a scheduling policy.
+
+    Args:
+        policy: the scheduler.
+        org: DRAM organization.
+        timings: DRAM timings.
+        queue_depth: max requests held; arrivals beyond it stall (the
+            producer is back-pressured, as a real controller would).
+    """
+
+    def __init__(
+        self,
+        policy: SchedulerPolicy | None = None,
+        org: DramOrganization | None = None,
+        timings: DramTimings | None = None,
+        queue_depth: int = 32,
+    ):
+        if queue_depth < 1:
+            raise ConfigurationError("queue_depth must be >= 1")
+        self.policy = policy or FrFcfsPolicy()
+        self.org = org or DramOrganization()
+        self.timings = timings or DramTimings()
+        self.mapper = AddressMapper(self.org)
+        self.queue_depth = queue_depth
+
+    def run(self, requests: list[Request]) -> SchedulerStats:
+        """Service all requests; fills each request's ``completion``."""
+        timings = self.timings
+        banks = [Bank(timings) for _ in range(self.mapper.total_banks)]
+        arrivals = sorted(requests, key=lambda r: (r.arrival, r.request_id))
+        next_index = 0
+        queue: list[Request] = []
+        stats = SchedulerStats()
+        now = 0
+        data_bus_free = 0
+        # One command slot per DRAM bus cycle.
+        command_slot = max(1, timings.t_burst // 4)
+        while next_index < len(arrivals) or queue:
+            # Admit arrivals up to the queue depth.
+            while (
+                next_index < len(arrivals)
+                and arrivals[next_index].arrival <= now
+                and len(queue) < self.queue_depth
+            ):
+                queue.append(arrivals[next_index])
+                next_index += 1
+            if not queue:
+                now = arrivals[next_index].arrival
+                continue
+            index = self.policy.pick(queue, banks, self.mapper, now)
+            request = queue.pop(index)
+            loc = self.mapper.locate(request.address)
+            bank = banks[loc.bank]
+            begin = max(now, request.arrival)
+            data_done, row_hit, activates = bank.access(loc.row, begin)
+            data_start = data_done - timings.t_burst
+            if data_start < data_bus_free:
+                shift = data_bus_free - data_start
+                data_done += shift
+                bank.ready_at += shift
+            data_bus_free = data_done
+            request.completion = data_done
+            stats.issued += 1
+            stats.activates += activates
+            if row_hit:
+                stats.row_hits += 1
+            stats.total_latency += request.latency
+            stats.makespan = max(stats.makespan, data_done)
+            # Next command issues one bus-cycle later; bank-level overlap
+            # emerges because other banks' accesses can begin while this
+            # one's data phase is still in flight.
+            now = begin + command_slot
+        return stats

@@ -1,0 +1,151 @@
+"""ECC scheme registry: cost models for ECC-0 .. ECC-K.
+
+The cycle simulator never runs the real codecs on the data path — like the
+paper, it charges each scheme's *decode latency* on demand reads and models
+codec *energy* separately.  This module defines those cost models, using the
+numbers in paper Sec. III-E / Sec. IV:
+
+* SECDED: 2-cycle decode, ~3K XOR gates, negligible energy.
+* ECC-6 (BCH): 30-cycle decode (sweepable 15–60 in Fig. 12), 100K–200K
+  gates, ~40 pJ per decoded line (vs. ~12 nJ for the DRAM line read).
+* Encoding is a XOR tree for both: 1 cycle.
+
+Latency and area of a t-error BCH decoder scale linearly with t for a fixed
+data length (paper cites Chien's decoder), so ``decode_cycles = 5 * t`` for
+the multi-bit codes, which lands ECC-6 exactly on the paper's 30 cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+#: Processor-cycle decode latency of SECDED (paper Sec. IV-A).
+SECDED_DECODE_CYCLES = 2
+#: Processor-cycle decode latency per unit of correction strength for BCH.
+BCH_DECODE_CYCLES_PER_T = 5
+#: Encode latency for any scheme: "a few XOR gate delays ... one cycle".
+ENCODE_CYCLES = 1
+#: Energy per ECC-6 line decode, paper Sec. IV-C (approximately 40 pJ).
+ECC6_DECODE_ENERGY_PJ = 40.0
+#: Energy per SECDED line decode (XOR tree; small fraction of ECC-6).
+SECDED_DECODE_ENERGY_PJ = 2.0
+#: Energy per line encode (XOR tree) for any scheme.
+ENCODE_ENERGY_PJ = 2.0
+
+
+class SchemeKind(enum.Enum):
+    """Family of an ECC scheme."""
+
+    NONE = "none"
+    SECDED = "secded"
+    BCH = "bch"
+
+
+@dataclass(frozen=True)
+class EccScheme:
+    """Cost/capability description of one ECC configuration.
+
+    Attributes:
+        name: human-readable name ("No-ECC", "SECDED", "ECC-6", ...).
+        kind: scheme family.
+        correctable: guaranteed number of correctable bit errors per line.
+        detectable: guaranteed number of detectable bit errors per line.
+        decode_cycles: processor cycles charged on every demand read decode.
+        encode_cycles: processor cycles to encode (off the critical path).
+        storage_bits: ECC storage per 64-byte line (excluding mode bits).
+        gate_count: approximate decoder logic size in gates.
+        decode_energy_pj: energy per line decode in picojoules.
+        encode_energy_pj: energy per line encode in picojoules.
+    """
+
+    name: str
+    kind: SchemeKind
+    correctable: int
+    detectable: int
+    decode_cycles: int
+    encode_cycles: int
+    storage_bits: int
+    gate_count: int
+    decode_energy_pj: float
+    encode_energy_pj: float
+
+    def with_decode_cycles(self, cycles: int) -> "EccScheme":
+        """Copy of this scheme with a different decode latency (Fig. 12)."""
+        if cycles < 0:
+            raise ConfigurationError("decode_cycles must be non-negative")
+        return replace(self, decode_cycles=cycles)
+
+
+def make_scheme(t: int, line_bytes: int = 64, extended_detection: bool = True) -> EccScheme:
+    """Build the ECC-t scheme for one line (default 64 bytes).
+
+    ``t = 0`` is no ECC, ``t = 1`` is SEC-DED at line granularity, and
+    ``t >= 2`` is a BCH code over GF(2^m) with the smallest adequate m.
+
+    Args:
+        t: correction strength.
+        line_bytes: protected data granularity.
+        extended_detection: include one extra bit for (t+1)-error detection.
+    """
+    if t < 0:
+        raise ConfigurationError(f"ECC strength must be >= 0, got {t}")
+    data_bits = line_bytes * 8
+    if t == 0:
+        return EccScheme(
+            name="No-ECC",
+            kind=SchemeKind.NONE,
+            correctable=0,
+            detectable=0,
+            decode_cycles=0,
+            encode_cycles=0,
+            storage_bits=0,
+            gate_count=0,
+            decode_energy_pj=0.0,
+            encode_energy_pj=0.0,
+        )
+    if t == 1:
+        # SEC-DED over the line: r check bits with 2^r >= k + r + 1, plus
+        # overall parity. For 512 data bits this is 11 bits (paper Fig. 6).
+        r = 2
+        while (1 << r) < data_bits + r + 1:
+            r += 1
+        return EccScheme(
+            name="SECDED",
+            kind=SchemeKind.SECDED,
+            correctable=1,
+            detectable=2,
+            decode_cycles=SECDED_DECODE_CYCLES,
+            encode_cycles=ENCODE_CYCLES,
+            storage_bits=r + 1,
+            gate_count=3_000,
+            decode_energy_pj=SECDED_DECODE_ENERGY_PJ,
+            encode_energy_pj=ENCODE_ENERGY_PJ,
+        )
+    # BCH: m = smallest field with 2^m - 1 >= data_bits + t*m.
+    m = 3
+    while (1 << m) - 1 < data_bits + t * m:
+        m += 1
+        if m > 16:
+            raise ConfigurationError(f"no field fits line_bytes={line_bytes}, t={t}")
+    storage = t * m + (1 if extended_detection else 0)
+    return EccScheme(
+        name=f"ECC-{t}",
+        kind=SchemeKind.BCH,
+        correctable=t,
+        detectable=t + 1 if extended_detection else t,
+        decode_cycles=BCH_DECODE_CYCLES_PER_T * t,
+        encode_cycles=ENCODE_CYCLES,
+        storage_bits=storage,
+        gate_count=25_000 * t,
+        decode_energy_pj=ECC6_DECODE_ENERGY_PJ * t / 6.0,
+        encode_energy_pj=ENCODE_ENERGY_PJ,
+    )
+
+
+#: The paper's evaluated schemes for a 64-byte line.
+NO_ECC = make_scheme(0)
+SECDED = make_scheme(1)
+ECC6 = make_scheme(6)

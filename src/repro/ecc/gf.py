@@ -1,0 +1,259 @@
+"""Binary Galois-field GF(2^m) arithmetic.
+
+This is the algebraic substrate for the BCH codes used as the paper's
+strong ECC (ECC-2 .. ECC-6).  Elements are represented as Python ints in
+``[0, 2^m)`` whose bits are coefficients of a polynomial over GF(2).
+Multiplication uses discrete exp/log tables built from a primitive
+polynomial, which makes encode/decode fast enough for fault-injection
+studies on 64-byte lines.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import ConfigurationError
+
+# Default primitive polynomials for GF(2^m), from Lin & Costello, Appendix A.
+# Entry m maps to the polynomial's integer encoding, e.g. m=4:
+# x^4 + x + 1 -> 0b10011.
+PRIMITIVE_POLYNOMIALS: dict[int, int] = {
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,
+    11: 0b100000000101,
+    12: 0b1000001010011,
+    13: 0b10000000011011,
+    14: 0b100010001000011,
+    15: 0b1000000000000011,
+    16: 0b10001000000001011,
+}
+
+
+class GF2m:
+    """The finite field GF(2^m) with table-driven arithmetic.
+
+    Args:
+        m: field degree; the field has ``2^m`` elements.
+        primitive_poly: integer-encoded primitive polynomial of degree m.
+            Defaults to a standard table entry.
+
+    Raises:
+        ConfigurationError: if ``m`` is out of the supported range or the
+            supplied polynomial does not generate the full multiplicative
+            group (i.e. is not primitive).
+    """
+
+    def __init__(self, m: int, primitive_poly: int | None = None):
+        if not 3 <= m <= 16:
+            raise ConfigurationError(f"GF(2^m) supports 3 <= m <= 16, got m={m}")
+        if primitive_poly is None:
+            primitive_poly = PRIMITIVE_POLYNOMIALS[m]
+        if primitive_poly >> m != 1:
+            raise ConfigurationError(
+                f"primitive polynomial 0x{primitive_poly:x} must have degree {m}"
+            )
+        self.m = m
+        self.size = 1 << m
+        self.order = self.size - 1  # multiplicative group order
+        self.primitive_poly = primitive_poly
+        self._exp, self._log = self._build_tables()
+
+    def _build_tables(self) -> tuple[list[int], list[int]]:
+        exp = [0] * (2 * self.order)
+        log = [0] * self.size
+        x = 1
+        for i in range(self.order):
+            exp[i] = x
+            if log[x] != 0 and x != 1:
+                raise ConfigurationError(
+                    f"polynomial 0x{self.primitive_poly:x} is not primitive for m={self.m}"
+                )
+            log[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= self.primitive_poly
+        if x != 1:
+            raise ConfigurationError(
+                f"polynomial 0x{self.primitive_poly:x} is not primitive for m={self.m}"
+            )
+        # Duplicate the exp table so mul can skip a modulo.
+        for i in range(self.order, 2 * self.order):
+            exp[i] = exp[i - self.order]
+        log[1] = 0
+        return exp, log
+
+    # -- basic ops ---------------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (= subtraction): bitwise XOR."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication via log/antilog tables."""
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises ZeroDivisionError for 0."""
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(2^m)")
+        return self._exp[self.order - self._log[a]]
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return self._exp[(self._log[a] - self._log[b]) % self.order]
+
+    def pow(self, a: int, e: int) -> int:
+        """Raise a to the (possibly negative) integer power e."""
+        if a == 0:
+            if e == 0:
+                return 1
+            if e < 0:
+                raise ZeroDivisionError("0 to a negative power in GF(2^m)")
+            return 0
+        return self._exp[(self._log[a] * e) % self.order]
+
+    def alpha_pow(self, e: int) -> int:
+        """The primitive element alpha raised to power e."""
+        return self._exp[e % self.order]
+
+    def log_alpha(self, a: int) -> int:
+        """Discrete log base alpha; raises for 0."""
+        if a == 0:
+            raise ZeroDivisionError("log of 0 is undefined")
+        return self._log[a]
+
+    # -- polynomials over this field ---------------------------------------
+    # Polynomials over GF(2^m) are lists of coefficients, lowest degree
+    # first, e.g. [c0, c1, c2] = c0 + c1*x + c2*x^2.
+
+    def poly_eval(self, poly: list[int], x: int) -> int:
+        """Evaluate a polynomial (coefficients low-to-high) at x (Horner)."""
+        acc = 0
+        for coeff in reversed(poly):
+            acc = self.mul(acc, x) ^ coeff
+        return acc
+
+    def poly_mul(self, a: list[int], b: list[int]) -> list[int]:
+        """Multiply two polynomials over the field."""
+        if not a or not b:
+            return []
+        out = [0] * (len(a) + len(b) - 1)
+        for i, ca in enumerate(a):
+            if ca == 0:
+                continue
+            for j, cb in enumerate(b):
+                if cb:
+                    out[i + j] ^= self.mul(ca, cb)
+        return out
+
+    def minimal_polynomial(self, element_log: int) -> int:
+        """Minimal polynomial over GF(2) of alpha^element_log.
+
+        Returns the polynomial as an integer bit mask (bit i = coefficient
+        of x^i).  The conjugacy class of alpha^e is
+        {alpha^e, alpha^(2e), alpha^(4e), ...}.
+        """
+        # Gather the conjugacy class exponents.
+        exps = []
+        e = element_log % self.order
+        while e not in exps:
+            exps.append(e)
+            e = (2 * e) % self.order
+        # poly = product of (x - alpha^e) over the class, in GF(2^m)[x].
+        poly = [1]
+        for e in exps:
+            poly = self.poly_mul(poly, [self.alpha_pow(e), 1])
+        # All coefficients must be 0/1 (the polynomial lies in GF(2)[x]).
+        mask = 0
+        for i, coeff in enumerate(poly):
+            if coeff not in (0, 1):
+                raise AssertionError("minimal polynomial has non-binary coefficient")
+            if coeff:
+                mask |= 1 << i
+        return mask
+
+    def __repr__(self) -> str:
+        return f"GF2m(m={self.m}, poly=0x{self.primitive_poly:x})"
+
+
+@lru_cache(maxsize=None)
+def get_field(m: int) -> GF2m:
+    """Shared, cached field instance with the default primitive polynomial."""
+    return GF2m(m)
+
+
+# -- GF(2)[x] helpers (polynomials over GF(2) as int bit masks) -------------
+
+
+def gf2_poly_degree(poly: int) -> int:
+    """Degree of a GF(2) polynomial encoded as an int (deg(0) == -1)."""
+    return poly.bit_length() - 1
+
+
+def gf2_poly_mul(a: int, b: int) -> int:
+    """Multiply two GF(2) polynomials (carry-less multiplication)."""
+    out = 0
+    while b:
+        if b & 1:
+            out ^= a
+        a <<= 1
+        b >>= 1
+    return out
+
+
+def gf2_poly_mod(a: int, mod: int) -> int:
+    """Remainder of a GF(2) polynomial division."""
+    if mod == 0:
+        raise ZeroDivisionError("polynomial modulus is zero")
+    dm = gf2_poly_degree(mod)
+    da = gf2_poly_degree(a)
+    while da >= dm:
+        a ^= mod << (da - dm)
+        da = gf2_poly_degree(a)
+    return a
+
+
+def gf2_poly_gcd(a: int, b: int) -> int:
+    """Greatest common divisor of two GF(2) polynomials."""
+    while b:
+        a, b = b, gf2_poly_mod(a, b)
+    return a
+
+
+def gf2_poly_lcm(a: int, b: int) -> int:
+    """Least common multiple of two GF(2) polynomials."""
+    if a == 0 or b == 0:
+        return 0
+    g = gf2_poly_gcd(a, b)
+    # lcm = a*b / gcd; division is exact.
+    prod = gf2_poly_mul(a, b)
+    return _gf2_poly_divexact(prod, g)
+
+
+def _gf2_poly_divexact(a: int, b: int) -> int:
+    """Exact division of GF(2) polynomials (remainder must be zero)."""
+    if b == 0:
+        raise ZeroDivisionError("polynomial division by zero")
+    q = 0
+    db = gf2_poly_degree(b)
+    da = gf2_poly_degree(a)
+    while da >= db:
+        shift = da - db
+        q |= 1 << shift
+        a ^= b << shift
+        da = gf2_poly_degree(a)
+    if a != 0:
+        raise ValueError("polynomial division was not exact")
+    return q

@@ -1,0 +1,138 @@
+"""Hamming-based SEC-DED codes: the paper's weak ECC.
+
+Implements single-error-correct, double-error-detect codes for arbitrary
+data lengths using the classic extended-Hamming construction: check bits
+at power-of-two positions plus one overall parity bit.  Two instances
+matter for the paper:
+
+* ``SecDedCode(64)`` — the traditional (72,64) word-granularity code of
+  paper Fig. 6(i).
+* ``SecDedCode(512)`` — SEC-DED over a whole 64-byte line, needing 11
+  check bits, as proposed in paper Sec. III-D / Fig. 6(ii).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, EncodingError, UncorrectableError
+
+
+@dataclass(frozen=True)
+class SecDedResult:
+    """Outcome of a SEC-DED decode."""
+
+    data: int
+    corrected_position: int | None  # codeword bit index, None if clean
+
+    @property
+    def errors_corrected(self) -> int:
+        return 0 if self.corrected_position is None else 1
+
+
+class SecDedCode:
+    """Extended Hamming SEC-DED code for ``data_bits`` of data.
+
+    Codeword layout uses 1-based Hamming positions 1..(data_bits + r) with
+    check bits at powers of two, prefixed by the overall parity bit at
+    position 0.  The public bit numbering of a codeword int is therefore:
+    bit 0 = overall parity, bit p = Hamming position p.
+    """
+
+    def __init__(self, data_bits: int):
+        if data_bits < 1:
+            raise ConfigurationError(f"SEC-DED needs data_bits >= 1, got {data_bits}")
+        self.data_bits = data_bits
+        r = 2
+        while (1 << r) < data_bits + r + 1:
+            r += 1
+        self.hamming_check_bits = r
+        self.check_bits = r + 1  # including overall parity
+        self.codeword_bits = data_bits + self.check_bits
+        # Map data bit index -> codeword position (non-power-of-two Hamming
+        # positions, in increasing order).
+        self._data_positions: list[int] = []
+        pos = 1
+        while len(self._data_positions) < data_bits:
+            if pos & (pos - 1):  # not a power of two
+                self._data_positions.append(pos)
+            pos += 1
+        self._max_position = self._data_positions[-1]
+        self._check_positions = [1 << i for i in range(r)]
+        if self._check_positions[-1] > self._max_position:
+            # The last check position may exceed the last data position
+            # (possible for data lengths just above a power of two).
+            self._max_position = self._check_positions[-1]
+        self._position_of_data = {p: i for i, p in enumerate(self._data_positions)}
+
+    # -- encode -------------------------------------------------------------
+
+    def encode(self, data: int) -> int:
+        """Encode data into a codeword int (bit 0 = overall parity)."""
+        if data < 0 or data >> self.data_bits:
+            raise EncodingError(f"data does not fit in {self.data_bits} bits")
+        word = 0
+        syndrome = 0
+        for i, pos in enumerate(self._data_positions):
+            if (data >> i) & 1:
+                word |= 1 << pos
+                syndrome ^= pos
+        # Set check bits so that the syndrome of the full word is zero.
+        for check_pos in self._check_positions:
+            if syndrome & check_pos:
+                word |= 1 << check_pos
+        if _parity_of(word):
+            word |= 1  # overall parity at position 0
+        return word
+
+    def extract_data(self, codeword: int) -> int:
+        """Pull the data bits out of a codeword without decoding."""
+        data = 0
+        for i, pos in enumerate(self._data_positions):
+            if (codeword >> pos) & 1:
+                data |= 1 << i
+        return data
+
+    # -- decode -------------------------------------------------------------
+
+    def decode(self, received: int) -> SecDedResult:
+        """Correct a single error or detect a double error.
+
+        Raises:
+            UncorrectableError: on a detected double error.
+        """
+        if received < 0 or received >> self.codeword_bits:
+            raise UncorrectableError("received word has out-of-range bits")
+        syndrome = 0
+        word = received >> 1  # strip overall parity for syndrome walk
+        pos = 1
+        while word:
+            if word & 1:
+                syndrome ^= pos
+            word >>= 1
+            pos += 1
+        overall = _parity_of(received)
+        if syndrome == 0 and overall == 0:
+            return SecDedResult(self.extract_data(received), None)
+        if overall == 1:
+            # Single error: at Hamming position `syndrome`, or at the
+            # overall parity bit itself when syndrome == 0.
+            if syndrome == 0:
+                return SecDedResult(self.extract_data(received ^ 1), 0)
+            if syndrome > self._max_position:
+                raise UncorrectableError("syndrome points outside the codeword")
+            corrected = received ^ (1 << syndrome)
+            return SecDedResult(self.extract_data(corrected), syndrome)
+        # syndrome != 0 and overall parity holds -> even number of errors.
+        raise UncorrectableError("double-bit error detected", detected_errors=2)
+
+    def __repr__(self) -> str:
+        return (
+            f"SecDedCode(data_bits={self.data_bits}, "
+            f"codeword_bits={self.codeword_bits})"
+        )
+
+
+def _parity_of(word: int) -> int:
+    """Overall parity (popcount mod 2) of an int."""
+    return bin(word).count("1") & 1

@@ -1,0 +1,163 @@
+"""Hsiao SEC-DED codes: the industry-standard construction.
+
+The paper calls SEC-DED "a widely adopted code in industry" without
+detail; the code industry actually adopted is Hsiao's 1970 variant of
+extended Hamming.  Its parity-check matrix H uses only *odd-weight*
+columns, which buys three hardware properties over classic
+Hamming-plus-parity:
+
+1. double errors are detected by an **even-weight** (nonzero) syndrome —
+   no separate overall-parity bit or second XOR tree;
+2. the total number of 1s in H is minimized → fewer XOR gates and a
+   shallower, faster encoder/decoder (the basis for our SECDED cost
+   model's ~3K gates);
+3. balanced rows → uniform per-check fanin.
+
+This implementation builds H for any data length, encodes/decodes via
+the matrix, and exposes the gate-count statistics so the cost model's
+numbers can be checked against a real construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, EncodingError, UncorrectableError
+
+
+@dataclass(frozen=True)
+class HsiaoResult:
+    """Outcome of a Hsiao decode."""
+
+    data: int
+    corrected_position: int | None  # column index in the codeword
+
+    @property
+    def errors_corrected(self) -> int:
+        return 0 if self.corrected_position is None else 1
+
+
+class HsiaoCode:
+    """A (n, k) Hsiao SEC-DED code for ``data_bits`` of data.
+
+    Check bits r satisfy ``2^(r-1) >= k + r`` (enough odd-weight columns
+    for every data bit).  Codeword layout: data columns first, then the
+    r check columns (each check column is the unit vector for its row).
+    """
+
+    def __init__(self, data_bits: int):
+        if data_bits < 1:
+            raise ConfigurationError("data_bits must be >= 1")
+        self.data_bits = data_bits
+        r = 2
+        while _odd_weight_columns_available(r) < data_bits:
+            r += 1
+        self.check_bits = r
+        self.codeword_bits = data_bits + r
+        self._data_columns = _choose_columns(data_bits, r)
+        # Syndrome lookup: column value -> codeword position.
+        self._position_of_syndrome: dict[int, int] = {}
+        for position, column in enumerate(self._data_columns):
+            self._position_of_syndrome[column] = position
+        for row in range(r):
+            self._position_of_syndrome[1 << row] = data_bits + row
+
+    # -- construction statistics ------------------------------------------------
+
+    @property
+    def total_ones_in_h(self) -> int:
+        """1s in H: proportional to the encoder's XOR count."""
+        data_ones = sum(bin(c).count("1") for c in self._data_columns)
+        return data_ones + self.check_bits  # identity part
+
+    def xor_gate_estimate(self) -> int:
+        """Two-input XOR gates for the encoder (ones minus one per row)."""
+        return self.total_ones_in_h - self.check_bits
+
+    # -- encode -------------------------------------------------------------------
+
+    def encode(self, data: int) -> int:
+        if data < 0 or data >> self.data_bits:
+            raise EncodingError(f"data does not fit in {self.data_bits} bits")
+        syndrome = 0
+        remaining = data
+        position = 0
+        while remaining:
+            if remaining & 1:
+                syndrome ^= self._data_columns[position]
+            remaining >>= 1
+            position += 1
+        return data | (syndrome << self.data_bits)
+
+    def extract_data(self, codeword: int) -> int:
+        return codeword & ((1 << self.data_bits) - 1)
+
+    # -- decode -------------------------------------------------------------------
+
+    def decode(self, received: int) -> HsiaoResult:
+        """Correct single errors; detect double errors by syndrome weight.
+
+        Raises:
+            UncorrectableError: on an even-weight nonzero syndrome
+                (double error) or an odd-weight syndrome matching no
+                column (triple-error alias detected).
+        """
+        if received < 0 or received >> self.codeword_bits:
+            raise UncorrectableError("received word has out-of-range bits")
+        syndrome = 0
+        word = received
+        position = 0
+        while word and position < self.data_bits:
+            if word & 1:
+                syndrome ^= self._data_columns[position]
+            word >>= 1
+            position += 1
+        syndrome ^= received >> self.data_bits
+        if syndrome == 0:
+            return HsiaoResult(self.extract_data(received), None)
+        if bin(syndrome).count("1") % 2 == 0:
+            raise UncorrectableError("double-bit error detected", detected_errors=2)
+        flip = self._position_of_syndrome.get(syndrome)
+        if flip is None:
+            raise UncorrectableError("syndrome matches no column (multi-bit error)")
+        corrected = received ^ (1 << flip)
+        return HsiaoResult(self.extract_data(corrected), flip)
+
+    def __repr__(self) -> str:
+        return (
+            f"HsiaoCode(data_bits={self.data_bits}, "
+            f"codeword_bits={self.codeword_bits})"
+        )
+
+
+def _odd_weight_columns_available(r: int) -> int:
+    """Odd-weight nonzero r-bit columns, excluding the r unit vectors."""
+    total = 0
+    for weight in range(3, r + 1, 2):
+        total += _comb(r, weight)
+    return total
+
+
+def _comb(n: int, k: int) -> int:
+    import math
+
+    return math.comb(n, k)
+
+
+def _choose_columns(data_bits: int, r: int) -> list[int]:
+    """Pick ``data_bits`` odd-weight columns, minimum weights first.
+
+    Minimum-weight-first selection is what minimizes the total 1s count
+    (Hsiao's optimality criterion).
+    """
+    columns: list[int] = []
+    for weight in range(3, r + 1, 2):
+        for combo in itertools.combinations(range(r), weight):
+            column = 0
+            for bit in combo:
+                column |= 1 << bit
+            columns.append(column)
+            if len(columns) == data_bits:
+                return columns
+    raise ConfigurationError("not enough odd-weight columns (internal)")

@@ -1,0 +1,26 @@
+"""Functional (data-path) memory model.
+
+The cycle simulator (:mod:`repro.sim`) models *timing*; this subpackage
+models *contents*: a sparse memory whose lines are stored as real
+(72,64)-layout codewords, a fault process that flips stored bits the way
+retention failures and soft errors do, and a functional MECC controller
+that decodes on access, downgrades, upgrades, and reports every
+corrected / detected / silently-corrupted event.
+
+This closes the loop on the paper's core premise with the actual codec:
+run wake → access → idle cycles for hours of simulated time and verify
+that data written is data read, under the 1 s refresh BER.
+"""
+
+from repro.functional.faults import FaultProcess, SoftErrorModel
+from repro.functional.memory import FunctionalMemory, IntegrityCounters
+from repro.functional.session import FunctionalMeccSession, SessionReport
+
+__all__ = [
+    "FaultProcess",
+    "FunctionalMeccSession",
+    "FunctionalMemory",
+    "IntegrityCounters",
+    "SessionReport",
+    "SoftErrorModel",
+]

@@ -1,0 +1,22 @@
+"""DRAM power/energy substrate (Micron TN-46-03 / TN-46-12 style).
+
+* :mod:`repro.power.params` — IDD/VDD parameters (paper Table IV).
+* :mod:`repro.power.calculator` — closed-form power model for idle
+  (self-refresh) and active (auto-refresh) operation.
+* :mod:`repro.power.energy` — energy/EDP accounting over simulation runs
+  and device usage sessions.
+"""
+
+from repro.power.battery import BatteryModel
+from repro.power.calculator import DramPowerCalculator, IdlePowerBreakdown
+from repro.power.energy import ActiveEnergyModel, energy_delay_product
+from repro.power.params import PowerParams
+
+__all__ = [
+    "ActiveEnergyModel",
+    "BatteryModel",
+    "DramPowerCalculator",
+    "IdlePowerBreakdown",
+    "PowerParams",
+    "energy_delay_product",
+]

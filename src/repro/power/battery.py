@@ -1,0 +1,79 @@
+"""Battery-life model: what MECC's milliwatts mean in hours.
+
+The paper's opening argument is battery life ("the duration for which
+the device remains usable").  This model turns the memory-power results
+into that currency: given a battery capacity and the non-memory system
+drain, how many hours of mostly-idle standby does each refresh scheme
+buy?
+
+Typical numbers: a ~10 Wh phone battery, a system standby floor of
+10–20 mW (SoC sleep states, PMIC, radio paging) on top of the memory's
+self-refresh power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.power.calculator import DramPowerCalculator
+
+
+@dataclass(frozen=True)
+class BatteryModel:
+    """A battery plus the device's non-memory standby drain.
+
+    Attributes:
+        capacity_wh: battery capacity in watt-hours (default: 10 Wh,
+            a ~2600 mAh battery at 3.8 V — Galaxy-Note-3 class, the
+            paper's reference device).
+        other_standby_w: non-memory standby power in watts.
+    """
+
+    capacity_wh: float = 10.0
+    other_standby_w: float = 0.015
+
+    def __post_init__(self) -> None:
+        if self.capacity_wh <= 0:
+            raise ConfigurationError("capacity_wh must be positive")
+        if self.other_standby_w < 0:
+            raise ConfigurationError("other_standby_w must be non-negative")
+
+    @property
+    def capacity_j(self) -> float:
+        return self.capacity_wh * 3600.0
+
+    def standby_hours(self, memory_idle_power_w: float) -> float:
+        """Hours of pure standby at a given memory idle power."""
+        if memory_idle_power_w < 0:
+            raise ConfigurationError("memory power must be non-negative")
+        total = memory_idle_power_w + self.other_standby_w
+        if total == 0:
+            return float("inf")
+        return self.capacity_j / total / 3600.0
+
+    def standby_extension(
+        self,
+        calculator: DramPowerCalculator | None = None,
+        base_period_s: float = 0.064,
+        slow_period_s: float = 1.024,
+    ) -> dict[str, float]:
+        """Standby-time comparison: baseline refresh vs. MECC's slow refresh.
+
+        Returns hours for each scheme and the relative extension.
+        """
+        calc = calculator or DramPowerCalculator()
+        base_hours = self.standby_hours(calc.idle_power(base_period_s).total)
+        mecc_hours = self.standby_hours(calc.idle_power(slow_period_s).total)
+        return {
+            "baseline_hours": base_hours,
+            "mecc_hours": mecc_hours,
+            "extension_fraction": mecc_hours / base_hours - 1.0,
+        }
+
+    def standby_days_budget(self, memory_idle_power_w: float, days: float) -> float:
+        """Fraction of the battery a standby period consumes."""
+        if days < 0:
+            raise ConfigurationError("days must be non-negative")
+        energy = (memory_idle_power_w + self.other_standby_w) * days * 86400.0
+        return energy / self.capacity_j

@@ -1,0 +1,160 @@
+"""Closed-form DRAM power model (Micron TN-46-03 / TN-46-12 equations).
+
+Two operating regimes matter for the paper:
+
+* **Idle (self-refresh)** — power is background self-refresh current plus
+  the internal refresh bursts.  The refresh component scales inversely
+  with the refresh period, which is how MECC's 64 ms → 1 s change cuts
+  refresh power 16x and total idle power ~2x (paper Fig. 8).
+* **Active (auto-refresh)** — background (standby/power-down mix),
+  activate/precharge, read/write burst, and auto-refresh components,
+  driven by utilization statistics from the cycle simulator (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.power.params import PowerParams
+from repro.types import PowerBreakdown
+
+#: JEDEC refresh period the parameters are specified at.
+BASE_REFRESH_PERIOD_S = 0.064
+
+
+@dataclass(frozen=True)
+class IdlePowerBreakdown:
+    """Idle-mode (self-refresh) power in watts."""
+
+    background: float
+    refresh: float
+
+    @property
+    def total(self) -> float:
+        return self.background + self.refresh
+
+
+@dataclass(frozen=True)
+class BankUtilization:
+    """Time/utilization statistics the active-mode model consumes.
+
+    All fractions are of wall-clock time and must sum to <= 1 for the
+    standby states.
+
+    Attributes:
+        frac_active_standby: any bank open, chip not powered down.
+        frac_precharge_standby: all banks closed, chip not powered down.
+        frac_active_powerdown: any bank open, chip powered down.
+        frac_precharge_powerdown: all banks closed, chip powered down.
+        activates_per_second: row activate(+precharge) rate.
+        read_bursts_per_second: 64B read-burst rate.
+        write_bursts_per_second: 64B write-burst rate.
+    """
+
+    frac_active_standby: float
+    frac_precharge_standby: float
+    frac_active_powerdown: float
+    frac_precharge_powerdown: float
+    activates_per_second: float
+    read_bursts_per_second: float
+    write_bursts_per_second: float
+
+    def __post_init__(self) -> None:
+        fracs = (
+            self.frac_active_standby,
+            self.frac_precharge_standby,
+            self.frac_active_powerdown,
+            self.frac_precharge_powerdown,
+        )
+        if any(f < -1e-9 for f in fracs):
+            raise ConfigurationError("time fractions must be non-negative")
+        if sum(fracs) > 1.0 + 1e-6:
+            raise ConfigurationError("time fractions must sum to <= 1")
+        if min(
+            self.activates_per_second,
+            self.read_bursts_per_second,
+            self.write_bursts_per_second,
+        ) < 0:
+            raise ConfigurationError("rates must be non-negative")
+
+
+class DramPowerCalculator:
+    """Evaluate idle and active DRAM power from IDD parameters."""
+
+    def __init__(self, params: PowerParams | None = None):
+        self.params = params or PowerParams()
+
+    # -- idle (self-refresh) mode --------------------------------------------
+
+    def refresh_power_idle(self, refresh_period_s: float = BASE_REFRESH_PERIOD_S) -> float:
+        """Average power of the internal refresh bursts in self-refresh.
+
+        Every ``t_refi * (period / 64 ms)`` the device spends ``t_rfc`` at
+        the refresh current; refresh power is therefore linear in refresh
+        *rate* — a 1 s period cuts it exactly 16x vs. 64 ms (paper Fig. 8
+        left).
+        """
+        if refresh_period_s <= 0:
+            raise ConfigurationError("refresh_period_s must be positive")
+        p = self.params
+        effective_refi = p.t_refi * (refresh_period_s / BASE_REFRESH_PERIOD_S)
+        duty = p.t_rfc / effective_refi
+        return p.vdd * (p.idd5 - p.idd8) * duty
+
+    def idle_power(self, refresh_period_s: float = BASE_REFRESH_PERIOD_S) -> IdlePowerBreakdown:
+        """Total self-refresh-mode power: background + refresh (Fig. 8 right)."""
+        p = self.params
+        return IdlePowerBreakdown(
+            background=p.vdd * p.idd8,
+            refresh=self.refresh_power_idle(refresh_period_s),
+        )
+
+    # -- active (auto-refresh) mode --------------------------------------------
+
+    def active_power(
+        self,
+        util: BankUtilization,
+        refresh_period_s: float = BASE_REFRESH_PERIOD_S,
+    ) -> PowerBreakdown:
+        """Average active-mode power from utilization statistics."""
+        p = self.params
+        background = p.vdd * (
+            p.idd3n * util.frac_active_standby
+            + p.idd2n * util.frac_precharge_standby
+            + p.idd3p * util.frac_active_powerdown
+            + p.idd2p * util.frac_precharge_powerdown
+        )
+        # Activate/precharge: IDD0 is measured cycling one bank every t_rc
+        # with background IDD3N during t_ras and IDD2N during t_rc - t_ras.
+        act_energy = p.vdd * (
+            p.idd0 * p.t_rc - p.idd3n * p.t_ras - p.idd2n * (p.t_rc - p.t_ras)
+        )
+        activate = max(0.0, act_energy) * util.activates_per_second
+        # Read/write bursts: incremental current above active standby.
+        burst_rate = util.read_bursts_per_second + util.write_bursts_per_second
+        read_write = p.vdd * (p.idd4 - p.idd3n) * p.burst_time * burst_rate
+        # Auto refresh: one REF command per effective tREFI.
+        effective_refi = p.t_refi * (refresh_period_s / BASE_REFRESH_PERIOD_S)
+        refresh = p.vdd * (p.idd5 - p.idd2n) * (p.t_rfc / effective_refi)
+        return PowerBreakdown(
+            background=background,
+            activate_precharge=activate,
+            read_write=read_write,
+            refresh=max(0.0, refresh),
+        )
+
+    # -- convenience energies ---------------------------------------------------
+
+    def line_read_energy_j(self) -> float:
+        """Approximate energy to read one 64B line (ACT + burst).
+
+        The paper quotes ~12 nJ per line read as the yardstick against the
+        ~40 pJ ECC-6 decode energy.
+        """
+        p = self.params
+        act_energy = p.vdd * (
+            p.idd0 * p.t_rc - p.idd3n * p.t_ras - p.idd2n * (p.t_rc - p.t_ras)
+        )
+        burst_energy = p.vdd * p.idd4 * p.burst_time
+        return max(0.0, act_energy) + burst_energy

@@ -1,0 +1,129 @@
+"""Energy and EDP accounting (paper Sec. IV-D figures of merit).
+
+Combines the power calculator with simulation statistics to produce the
+metrics of Figs. 9 and 10: active-mode power/energy/EDP and the total
+memory-system energy split between active and idle periods (the paper
+assumes 95% idle time, per the smartphone usage studies it cites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.power.calculator import BankUtilization, DramPowerCalculator
+from repro.types import EnergyBreakdown
+
+
+def energy_delay_product(energy_j: float, time_s: float) -> float:
+    """EDP = dissipated energy x execution time (paper Eq. 2)."""
+    if energy_j < 0 or time_s < 0:
+        raise ConfigurationError("energy and time must be non-negative")
+    return energy_j * time_s
+
+
+@dataclass(frozen=True)
+class CodecActivity:
+    """ECC encoder/decoder event counts over an active-mode run."""
+
+    weak_decodes: int = 0
+    strong_decodes: int = 0
+    encodes: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.weak_decodes, self.strong_decodes, self.encodes) < 0:
+            raise ConfigurationError("codec event counts must be non-negative")
+
+
+class ActiveEnergyModel:
+    """Turn utilization statistics + codec activity into joules.
+
+    Args:
+        calculator: the DRAM power model.
+        weak_decode_energy_pj: per-line weak-ECC decode energy.
+        strong_decode_energy_pj: per-line strong-ECC decode energy
+            (paper: ~40 pJ for ECC-6, vs. ~12 nJ per DRAM line read).
+        encode_energy_pj: per-line encode energy.
+    """
+
+    def __init__(
+        self,
+        calculator: DramPowerCalculator | None = None,
+        weak_decode_energy_pj: float = 2.0,
+        strong_decode_energy_pj: float = 40.0,
+        encode_energy_pj: float = 2.0,
+    ):
+        self.calculator = calculator or DramPowerCalculator()
+        self.weak_decode_energy_pj = weak_decode_energy_pj
+        self.strong_decode_energy_pj = strong_decode_energy_pj
+        self.encode_energy_pj = encode_energy_pj
+
+    def energy(
+        self,
+        util: BankUtilization,
+        duration_s: float,
+        codec: CodecActivity | None = None,
+        refresh_period_s: float = 0.064,
+    ) -> EnergyBreakdown:
+        """Active-mode energy breakdown over ``duration_s`` seconds."""
+        if duration_s < 0:
+            raise ConfigurationError("duration_s must be non-negative")
+        power = self.calculator.active_power(util, refresh_period_s)
+        codec = codec or CodecActivity()
+        codec_energy = 1e-12 * (
+            codec.weak_decodes * self.weak_decode_energy_pj
+            + codec.strong_decodes * self.strong_decode_energy_pj
+            + codec.encodes * self.encode_energy_pj
+        )
+        return EnergyBreakdown(
+            background=power.background * duration_s,
+            activate_precharge=power.activate_precharge * duration_s,
+            read_write=power.read_write * duration_s,
+            refresh=power.refresh * duration_s,
+            ecc_codec=codec_energy,
+        )
+
+
+@dataclass(frozen=True)
+class TotalEnergySplit:
+    """Total memory energy over a usage period, split active/idle (Fig. 10)."""
+
+    active_energy_j: float
+    idle_energy_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.active_energy_j + self.idle_energy_j
+
+    @property
+    def idle_fraction_of_energy(self) -> float:
+        if self.total_j == 0:
+            return 0.0
+        return self.idle_energy_j / self.total_j
+
+
+def total_energy_split(
+    active_power_w: float,
+    idle_power_w: float,
+    total_time_s: float,
+    idle_time_fraction: float = 0.95,
+) -> TotalEnergySplit:
+    """Combine active and idle power over a duty cycle (paper Fig. 10).
+
+    Args:
+        active_power_w: average memory power while the device is in use.
+        idle_power_w: average memory power in self-refresh.
+        total_time_s: length of the usage period.
+        idle_time_fraction: fraction of time the device is idle
+            (paper: 0.95, from smartphone usage studies).
+    """
+    if not 0.0 <= idle_time_fraction <= 1.0:
+        raise ConfigurationError("idle_time_fraction must be in [0, 1]")
+    if min(active_power_w, idle_power_w, total_time_s) < 0:
+        raise ConfigurationError("powers and time must be non-negative")
+    idle_t = total_time_s * idle_time_fraction
+    active_t = total_time_s - idle_t
+    return TotalEnergySplit(
+        active_energy_j=active_power_w * active_t,
+        idle_energy_j=idle_power_w * idle_t,
+    )

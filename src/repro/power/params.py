@@ -1,0 +1,83 @@
+"""DRAM power parameters (paper Table IV, Micron 1Gb mobile LPDDR).
+
+``IDD2N``/``IDD3N`` (non-power-down standby currents) are not listed in the
+paper's Table IV because its baseline scheduler is "aggressive power down";
+they are needed whenever a bank sits open without being in power-down, so we
+take typical values from the Micron 1Gb LPDDR datasheet the paper cites
+(MT46H64M16LF).  ``t_rfc``/``t_refi`` likewise come from the datasheet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PowerParams:
+    """IDD-based power parameters for one DRAM device/rank.
+
+    Currents are in amperes, voltage in volts, times in seconds.
+
+    Attributes:
+        vdd: operating voltage (paper: 1.7 V).
+        idd0: one-bank activate-precharge current (95 mA).
+        idd2p: precharge power-down standby current (0.6 mA).
+        idd2n: precharge standby current, not powered down (20 mA, datasheet).
+        idd3p: active power-down standby current (3 mA).
+        idd3n: active standby current, not powered down (30 mA, datasheet).
+        idd4: burst read/write current, one bank active (135 mA).
+        idd5: auto-refresh current (100 mA).
+        idd8: self-refresh current, background only (1.3 mA).
+        t_rfc: refresh cycle time per auto-refresh command (110 ns).
+        t_refi: average refresh command interval at the 64 ms period
+            (7.8125 us: 8192 commands per 64 ms).
+        t_rc: row cycle time (ACT-to-ACT same bank), seconds.
+        t_ras: row active time, seconds.
+        burst_time: data burst duration per 64B transfer, seconds
+            (BL8 at 200 MHz DDR: 4 bus cycles = 20 ns).
+    """
+
+    vdd: float = 1.7
+    idd0: float = 0.095
+    idd2p: float = 0.0006
+    idd2n: float = 0.020
+    idd3p: float = 0.003
+    idd3n: float = 0.030
+    idd4: float = 0.135
+    idd5: float = 0.100
+    idd8: float = 0.0013
+    t_rfc: float = 110e-9
+    t_refi: float = 7.8125e-6
+    t_rc: float = 55e-9
+    t_ras: float = 40e-9
+    burst_time: float = 20e-9
+
+    def __post_init__(self) -> None:
+        for name in (
+            "vdd",
+            "idd0",
+            "idd2p",
+            "idd2n",
+            "idd3p",
+            "idd3n",
+            "idd4",
+            "idd5",
+            "idd8",
+            "t_rfc",
+            "t_refi",
+            "t_rc",
+            "t_ras",
+            "burst_time",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"power parameter {name} must be positive")
+        if self.t_ras >= self.t_rc:
+            raise ConfigurationError("t_ras must be less than t_rc")
+        if self.idd2p > self.idd2n or self.idd3p > self.idd3n:
+            raise ConfigurationError("power-down currents must not exceed standby")
+
+
+#: The paper's Table IV configuration.
+PAPER_PARAMS = PowerParams()

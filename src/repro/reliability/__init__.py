@@ -1,0 +1,36 @@
+"""Reliability substrate: retention model, failure analysis, fault injection.
+
+* :mod:`repro.reliability.retention` — DRAM retention-time model (paper
+  Fig. 2, anchored at BER(64 ms) = 1e-9 and BER(1 s) = 10^-4.5).
+* :mod:`repro.reliability.failure` — binomial line/system failure
+  probability (paper Table I).
+* :mod:`repro.reliability.provisioning` — ECC-strength provisioning solver
+  (paper Sec. II-C: ECC-5 for reliability target, +1 for soft errors).
+* :mod:`repro.reliability.faults` — Monte-Carlo fault injection on the real
+  codecs, including ECC-mode-bit confusion experiments.
+"""
+
+from repro.reliability.failure import (
+    line_failure_probability,
+    system_failure_probability,
+    table1_rows,
+)
+from repro.reliability.faults import FaultInjectionCampaign, InjectionOutcome
+from repro.reliability.mttf import MttfAnalysis, MttfResult
+from repro.reliability.profiling import ProfilingReport, RetentionProfiler
+from repro.reliability.provisioning import required_ecc_strength
+from repro.reliability.retention import RetentionModel
+
+__all__ = [
+    "FaultInjectionCampaign",
+    "InjectionOutcome",
+    "MttfAnalysis",
+    "MttfResult",
+    "ProfilingReport",
+    "RetentionModel",
+    "RetentionProfiler",
+    "line_failure_probability",
+    "required_ecc_strength",
+    "system_failure_probability",
+    "table1_rows",
+]

@@ -1,0 +1,152 @@
+"""Retention-time profiling: the substrate RAPID/RAIDR/SECRET rely on.
+
+Profile-based refresh schemes must first *find* the weak cells.  The
+experimental literature the paper cites (Liu'13, Khan'14) shows this is
+hard: retention failures are data-pattern and temperature dependent, so
+a single profiling round misses a substantial fraction of weak cells,
+and VRT cells can look strong during every round and degrade later.
+
+This module models a multi-round profiling campaign over a sampled cell
+population and reports what the profile catches and what slips through —
+the quantitative basis for the paper's Sec. VII-B robustness argument
+(MECC needs no profile at all).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.reliability.retention import RetentionModel
+
+#: Per-round probability that a genuinely weak cell actually fails during
+#: one profiling pass (data-pattern/temperature coverage; Liu'13 reports
+#: single-pattern rounds missing a large share of weak cells).
+DEFAULT_DETECTION_PROBABILITY = 0.75
+
+
+@dataclass(frozen=True)
+class ProfilingReport:
+    """Outcome of a profiling campaign over a cell population."""
+
+    weak_cells: int
+    detected: int
+    missed: int
+    vrt_sleepers: int
+    rounds: int
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of the weak population the profile failed to find."""
+        if self.weak_cells == 0:
+            return 0.0
+        return self.missed / self.weak_cells
+
+    @property
+    def unprotected_cells(self) -> int:
+        """Cells that will fail in the field despite the profile."""
+        return self.missed + self.vrt_sleepers
+
+
+@dataclass
+class RetentionProfiler:
+    """Simulate a multi-round retention-profiling campaign.
+
+    Args:
+        retention: the cell retention model.
+        detection_probability: chance one round catches a weak cell.
+        vrt_fraction: fraction of *strong-looking* cells that are VRT
+            sleepers — they pass every round, then degrade in the field.
+        seed: RNG seed.
+    """
+
+    retention: RetentionModel = field(default_factory=RetentionModel)
+    detection_probability: float = DEFAULT_DETECTION_PROBABILITY
+    vrt_fraction: float = 1e-7
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.detection_probability <= 1.0:
+            raise ConfigurationError("detection_probability must be in (0, 1]")
+        if not 0.0 <= self.vrt_fraction <= 1.0:
+            raise ConfigurationError("vrt_fraction must be in [0, 1]")
+
+    def profile(
+        self,
+        total_cells: int,
+        test_period_s: float,
+        rounds: int = 1,
+    ) -> ProfilingReport:
+        """Run ``rounds`` profiling passes at ``test_period_s``.
+
+        The weak population is Binomial(total_cells, BER(test_period));
+        each weak cell is detected by each round independently with
+        ``detection_probability``.  VRT sleepers are drawn from the
+        strong population.
+        """
+        if total_cells < 0:
+            raise ConfigurationError("total_cells must be non-negative")
+        if test_period_s <= 0:
+            raise ConfigurationError("test_period_s must be positive")
+        if rounds < 1:
+            raise ConfigurationError("rounds must be >= 1")
+        rng = random.Random(self.seed)
+        ber = self.retention.ber_at_refresh_period(test_period_s)
+        weak = _binomial(rng, total_cells, ber)
+        miss_p = (1.0 - self.detection_probability) ** rounds
+        missed = _binomial(rng, weak, miss_p)
+        strong = total_cells - weak
+        sleepers = _binomial(rng, strong, self.vrt_fraction)
+        return ProfilingReport(
+            weak_cells=weak,
+            detected=weak - missed,
+            missed=missed,
+            vrt_sleepers=sleepers,
+            rounds=rounds,
+        )
+
+    def rounds_for_miss_rate(self, target_miss_rate: float) -> int:
+        """Profiling rounds needed to push the per-cell miss rate below a
+        target (ignores VRT, which no number of rounds fixes)."""
+        if not 0.0 < target_miss_rate < 1.0:
+            raise ConfigurationError("target_miss_rate must be in (0, 1)")
+        rounds = 1
+        miss = 1.0 - self.detection_probability
+        current = miss
+        while current > target_miss_rate:
+            rounds += 1
+            current *= miss
+            if rounds > 1000:
+                raise ConfigurationError("target unreachable")
+        return rounds
+
+
+def _binomial(rng: random.Random, n: int, p: float) -> int:
+    """Binomial sample; normal/Poisson approximations for large n."""
+    if p <= 0 or n == 0:
+        return 0
+    if p >= 1:
+        return n
+    mean = n * p
+    if n > 10_000:
+        if mean < 50:
+            # Poisson approximation (guard the underflow where
+            # exp(-mean) == 1.0 would make the sampler return -1).
+            import math
+
+            limit = math.exp(-mean)
+            if limit >= 1.0:
+                return 0
+            count = -1
+            product = 1.0
+            while product > limit:
+                count += 1
+                product *= rng.random()
+            return max(0, min(count, n))
+        # Normal approximation.
+        import math
+
+        std = math.sqrt(n * p * (1 - p))
+        return max(0, min(n, int(rng.gauss(mean, std) + 0.5)))
+    return sum(1 for _ in range(n) if rng.random() < p)

@@ -1,0 +1,104 @@
+"""ECC-strength provisioning (paper Sec. II-C).
+
+Given a raw BER (determined by the refresh period via the retention model)
+and a system-failure budget, find the minimum per-line correction strength.
+The paper concludes ECC-5 meets the 1-in-a-million target at BER 10^-4.5
+and adds one extra level for soft errors / variable-retention-time cells,
+arriving at ECC-6.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.reliability.failure import (
+    DEFAULT_LINE_BITS,
+    LINES_PER_GB,
+    TARGET_SYSTEM_FAILURE,
+    line_failure_probability,
+    system_failure_probability,
+)
+from repro.reliability.retention import RetentionModel
+
+
+def required_ecc_strength(
+    ber: float,
+    target_system_failure: float = TARGET_SYSTEM_FAILURE,
+    n_lines: int = LINES_PER_GB,
+    line_bits: int = DEFAULT_LINE_BITS,
+    soft_error_margin: int = 1,
+    max_t: int = 64,
+) -> int:
+    """Minimum ECC-t meeting the reliability target, plus soft-error margin.
+
+    Args:
+        ber: raw per-bit failure probability.
+        target_system_failure: acceptable probability that the whole memory
+            has at least one uncorrectable line (paper: 1e-6).
+        n_lines: number of lines in the memory.
+        line_bits: stored bits per line.
+        soft_error_margin: extra correction levels reserved for soft errors
+            and VRT cells (paper: 1, turning ECC-5 into ECC-6).
+        max_t: search bound.
+
+    Raises:
+        ConfigurationError: if no strength up to ``max_t`` meets the target.
+    """
+    if not 0 < target_system_failure < 1:
+        raise ConfigurationError("target_system_failure must be in (0, 1)")
+    if soft_error_margin < 0:
+        raise ConfigurationError("soft_error_margin must be >= 0")
+    for t in range(max_t + 1):
+        line_p = line_failure_probability(ber, t, line_bits)
+        if system_failure_probability(line_p, n_lines) < target_system_failure:
+            return t + soft_error_margin
+    raise ConfigurationError(
+        f"no ECC strength up to {max_t} meets target {target_system_failure} at BER {ber}"
+    )
+
+
+def required_strength_for_refresh_period(
+    period_s: float,
+    model: RetentionModel | None = None,
+    **kwargs,
+) -> int:
+    """Convenience: required ECC strength for a given refresh period."""
+    model = model or RetentionModel()
+    return required_ecc_strength(model.ber_at_refresh_period(period_s), **kwargs)
+
+
+def max_refresh_period_for_strength(
+    ecc_t: int,
+    model: RetentionModel | None = None,
+    target_system_failure: float = TARGET_SYSTEM_FAILURE,
+    n_lines: int = LINES_PER_GB,
+    line_bits: int = DEFAULT_LINE_BITS,
+    soft_error_margin: int = 1,
+) -> float:
+    """Longest refresh period (s) a given ECC strength can support.
+
+    Inverts :func:`required_ecc_strength` by bisection on the refresh
+    period.  The usable correction budget is ``ecc_t - soft_error_margin``.
+    """
+    if ecc_t < soft_error_margin:
+        raise ConfigurationError("ecc_t must be >= soft_error_margin")
+    model = model or RetentionModel()
+    usable_t = ecc_t - soft_error_margin
+
+    def meets_target(period: float) -> bool:
+        ber = model.ber_at_refresh_period(period)
+        line_p = line_failure_probability(ber, usable_t, line_bits)
+        return system_failure_probability(line_p, n_lines) < target_system_failure
+
+    lo, hi = 0.001, 0.001
+    if not meets_target(lo):
+        raise ConfigurationError("strength insufficient even at 1 ms refresh")
+    while meets_target(hi) and hi < 1e6:
+        lo = hi
+        hi *= 2.0
+    for _ in range(80):
+        mid = (lo + hi) / 2.0
+        if meets_target(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,127 @@
+"""DRAM retention-time model (paper Fig. 2).
+
+The paper derives its bit-failure-probability-vs-retention-time curve from
+Kim & Lee's 60 nm measurements and uses exactly two operating points:
+
+* at the JEDEC 64 ms refresh period the bit error rate is ~1e-9 (weak
+  bits at this level are repaired with spare rows before shipping);
+* at a 1 second refresh period the BER is 10^-4.5 (the paper's default).
+
+Between (and beyond) those anchors, Fig. 2's cumulative curve is close to
+a straight line on log-log axes, i.e. a power law
+``P(t) = P1 * (t / t1)**slope``.  We fit the slope through the two anchors
+and clamp to [0, 1].  This preserves everything the paper's experiments
+need and gives a smooth curve for sensitivity sweeps (refresh period vs.
+required ECC strength).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: JEDEC-standard refresh period in seconds.
+JEDEC_REFRESH_PERIOD_S = 0.064
+#: Paper's slow refresh period in idle mode, in seconds.
+SLOW_REFRESH_PERIOD_S = 1.0
+#: BER at the JEDEC period (after factory repair of weak bits).
+BER_AT_64MS = 1e-9
+#: The paper's default raw BER at a 1 second refresh period.
+BER_AT_1S = 10.0 ** -4.5
+
+
+@dataclass(frozen=True)
+class RetentionModel:
+    """Power-law retention-failure model anchored on the paper's two points.
+
+    Attributes:
+        anchor_time_s: retention time of the second anchor (default 1 s).
+        anchor_ber: bit failure probability at ``anchor_time_s``.
+        slope: log-log slope; default fits the (64 ms, 1e-9) anchor.
+    """
+
+    anchor_time_s: float = SLOW_REFRESH_PERIOD_S
+    anchor_ber: float = BER_AT_1S
+    slope: float = (
+        (math.log10(BER_AT_1S) - math.log10(BER_AT_64MS))
+        / (math.log10(SLOW_REFRESH_PERIOD_S) - math.log10(JEDEC_REFRESH_PERIOD_S))
+    )
+
+    def __post_init__(self) -> None:
+        if self.anchor_time_s <= 0:
+            raise ConfigurationError("anchor_time_s must be positive")
+        if not 0 < self.anchor_ber <= 1:
+            raise ConfigurationError("anchor_ber must be in (0, 1]")
+        if self.slope <= 0:
+            raise ConfigurationError("slope must be positive")
+
+    def bit_failure_probability(self, retention_time_s: float) -> float:
+        """P(cell retention < retention_time_s), clamped to [0, 1]."""
+        if retention_time_s <= 0:
+            return 0.0
+        log_p = math.log10(self.anchor_ber) + self.slope * (
+            math.log10(retention_time_s) - math.log10(self.anchor_time_s)
+        )
+        return min(1.0, 10.0 ** log_p)
+
+    def ber_at_refresh_period(self, period_s: float) -> float:
+        """Raw bit error rate when refreshing every ``period_s`` seconds.
+
+        A cell fails iff its retention time is below the refresh period, so
+        this equals :meth:`bit_failure_probability` at the period.
+        """
+        return self.bit_failure_probability(period_s)
+
+    def refresh_period_for_ber(self, ber: float) -> float:
+        """Longest refresh period (seconds) whose raw BER stays <= ber."""
+        if not 0 < ber <= 1:
+            raise ConfigurationError("ber must be in (0, 1]")
+        log_t = math.log10(self.anchor_time_s) + (
+            math.log10(ber) - math.log10(self.anchor_ber)
+        ) / self.slope
+        return 10.0 ** log_t
+
+    def sample_retention_times(self, n: int, rng) -> list[float]:
+        """Sample per-cell retention times (seconds) by inverting the CDF.
+
+        Useful for Monte-Carlo studies; ``rng`` is a ``random.Random``.
+        The inverse of ``P(t)`` is ``t(P) = t1 * (P / P1)**(1/slope)``.
+        """
+        if n < 0:
+            raise ConfigurationError("n must be non-negative")
+        inv_slope = 1.0 / self.slope
+        return [
+            self.anchor_time_s * (rng.random() / self.anchor_ber) ** inv_slope
+            for _ in range(n)
+        ]
+
+    def at_temperature_offset(self, delta_celsius: float) -> "RetentionModel":
+        """Model shifted by a temperature change (extension).
+
+        DRAM retention roughly halves for every 10 °C of temperature
+        rise (the basis of JEDEC's extended-temperature 2x refresh-rate
+        requirement).  A +ΔT shift scales every cell's retention time by
+        ``2^(-ΔT/10)``, which in this parametric model is equivalent to
+        scaling the anchor time the same way.
+
+        The paper's numbers correspond to the nominal operating point
+        (ΔT = 0); this knob supports hot-device sensitivity studies.
+        """
+        factor = 2.0 ** (-delta_celsius / 10.0)
+        return RetentionModel(
+            anchor_time_s=self.anchor_time_s * factor,
+            anchor_ber=self.anchor_ber,
+            slope=self.slope,
+        )
+
+    def curve(self, t_min_s: float = 0.01, t_max_s: float = 100.0, points: int = 41):
+        """(retention_time, failure_probability) samples for plotting Fig. 2."""
+        if t_min_s <= 0 or t_max_s <= t_min_s or points < 2:
+            raise ConfigurationError("invalid curve range")
+        log_min = math.log10(t_min_s)
+        log_max = math.log10(t_max_s)
+        step = (log_max - log_min) / (points - 1)
+        times = [10.0 ** (log_min + i * step) for i in range(points)]
+        return [(t, self.bit_failure_probability(t)) for t in times]

@@ -1,0 +1,115 @@
+"""Trace-driven cycle engine (USIMM-style, paper Sec. IV-A).
+
+Core model: in-order, 2-wide retire at 1.6 GHz (paper Table II).  Gap
+(non-memory) instructions retire at the trace's calibrated non-memory CPI;
+a demand read blocks retirement until its data returns from the memory
+controller *plus* the active ECC scheme's decode latency — the mechanism
+behind the paper's entire performance story.  Dirty write-backs are posted
+to the controller's write queue without blocking.
+
+ECC behaviour is injected via an :class:`repro.core.policy.EccPolicy`;
+MECC's downgrade write-backs enter the same write queue and therefore cost
+real bandwidth and power.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import EccPolicy, NoEccPolicy
+from repro.dram.config import PROC_HZ, DramOrganization, DramTimings
+from repro.dram.controller import MemoryController
+from repro.power.energy import ActiveEnergyModel, CodecActivity
+from repro.types import MemoryOp, SimResult
+from repro.workloads.trace import Trace
+
+
+class SimulationEngine:
+    """Run traces against one ECC policy and one memory controller.
+
+    Args:
+        policy: the ECC policy under evaluation.
+        controller: the memory controller (fresh one by default).
+        energy_model: converts utilization + codec events to joules.
+    """
+
+    def __init__(
+        self,
+        policy: EccPolicy | None = None,
+        controller: MemoryController | None = None,
+        energy_model: ActiveEnergyModel | None = None,
+        org: DramOrganization | None = None,
+        timings: DramTimings | None = None,
+    ):
+        self.policy = policy or NoEccPolicy()
+        self.controller = controller or MemoryController(org=org, timings=timings)
+        self.energy_model = energy_model or ActiveEnergyModel()
+
+    def run(self, trace: Trace) -> SimResult:
+        """Simulate the whole trace; returns the run summary."""
+        policy = self.policy
+        controller = self.controller
+        cpi = trace.nonmem_cpi
+        retire = 0.0  # retirement clock, processor cycles
+        reads = 0
+        read_latency_sum = 0
+        for record in trace.records:
+            if record.gap:
+                retire += record.gap * cpi
+            now = int(retire)
+            if record.op is MemoryOp.READ:
+                action = policy.on_read(record.address, now)
+                data_done = controller.read(record.address, now)
+                completion = data_done + action.decode_cycles
+                if action.writeback:
+                    # ECC-Downgrade re-encode: off the critical path.
+                    controller.write(record.address, completion)
+                reads += 1
+                read_latency_sum += completion - now
+                retire = float(completion)
+            else:
+                policy.on_write(record.address, now)
+                controller.write(record.address, now)
+        total_cycles = max(1, int(retire))
+        policy.on_run_end(total_cycles)
+        return self._summarize(trace, total_cycles, reads, read_latency_sum)
+
+    def _summarize(
+        self, trace: Trace, total_cycles: int, reads: int, read_latency_sum: int
+    ) -> SimResult:
+        policy = self.policy
+        stats = self.controller.stats
+        util = self.controller.utilization(total_cycles)
+        duration_s = total_cycles / PROC_HZ
+        codec = CodecActivity(
+            weak_decodes=policy.weak_decodes,
+            strong_decodes=policy.strong_decodes,
+            encodes=stats.writes,
+        )
+        energy = self.energy_model.energy(util, duration_s, codec)
+        # SMD keeps the slow (1 s) refresh while downgrades are disabled:
+        # scale the auto-refresh energy for that fraction of time.
+        slow_frac = policy.slow_refresh_fraction
+        if slow_frac > 0.0:
+            factor = (1.0 - slow_frac) + slow_frac / 16.0
+            energy.refresh *= factor
+        return SimResult(
+            instructions=trace.instructions,
+            cycles=total_cycles,
+            reads=reads,
+            writes=stats.writes,
+            downgrades=policy.downgrades,
+            strong_decodes=policy.strong_decodes,
+            weak_decodes=policy.weak_decodes,
+            energy=energy,
+            read_latency_sum=read_latency_sum,
+        )
+
+
+def simulate(
+    trace: Trace,
+    policy: EccPolicy | None = None,
+    org: DramOrganization | None = None,
+    timings: DramTimings | None = None,
+) -> SimResult:
+    """Convenience one-shot simulation with fresh engine state."""
+    engine = SimulationEngine(policy=policy, org=org, timings=timings)
+    return engine.run(trace)

@@ -1,0 +1,34 @@
+"""Workload substrate: traces, synthetic generators, SPEC2006 models.
+
+The paper drives USIMM with post-LLC miss traces of 28 SPEC2006
+benchmarks.  We reproduce the *statistics* of those traces — per-benchmark
+MPKI, baseline IPC, memory footprint, row locality, and phase behaviour
+(paper Table III) — with seeded synthetic generators, since the paper's
+results depend only on memory access patterns (its own argument in
+Sec. IV-B).
+"""
+
+from repro.workloads.daemons import DAEMON_WORKLOADS, DaemonSpec
+from repro.workloads.spec import (
+    ALL_BENCHMARKS,
+    BENCHMARKS_BY_NAME,
+    BenchmarkSpec,
+    MpkiClass,
+    benchmarks_in_class,
+)
+from repro.workloads.synth import SyntheticTraceGenerator
+from repro.workloads.trace import Trace, read_trace, write_trace
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BENCHMARKS_BY_NAME",
+    "BenchmarkSpec",
+    "DAEMON_WORKLOADS",
+    "DaemonSpec",
+    "MpkiClass",
+    "SyntheticTraceGenerator",
+    "Trace",
+    "benchmarks_in_class",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,153 @@
+"""Trace container and on-disk format.
+
+A trace is a sequence of :class:`repro.types.TraceRecord` — USIMM
+convention: each record carries the number of non-memory instructions
+since the previous memory access, the operation, and the line address.
+Trace metadata carries the non-memory CPI the core model should charge
+for gap instructions (the trace generator calibrates it against the
+benchmark's target baseline IPC).
+
+The text format is one record per line: ``<gap> <R|W> <hex-address>``,
+with ``#``-prefixed metadata headers.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import TraceError
+from repro.types import MemoryOp, TraceRecord
+
+
+@dataclass
+class Trace:
+    """An in-memory workload trace plus scheduling metadata.
+
+    Attributes:
+        name: workload name.
+        records: the access records.
+        nonmem_cpi: cycles charged per gap instruction by the core model
+            (captures non-memory stalls beyond the 2-wide retire limit).
+    """
+
+    name: str
+    records: list[TraceRecord] = field(default_factory=list)
+    nonmem_cpi: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.nonmem_cpi <= 0:
+            raise TraceError("nonmem_cpi must be positive")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions represented: gaps plus one per demand read.
+
+        Writes are dirty write-backs accompanying evictions, not retired
+        instructions, so they do not count.
+        """
+        return sum(
+            r.gap + (1 if r.op is MemoryOp.READ else 0) for r in self.records
+        )
+
+    @property
+    def reads(self) -> int:
+        return sum(1 for r in self.records if r.op is MemoryOp.READ)
+
+    @property
+    def writes(self) -> int:
+        return sum(1 for r in self.records if r.op is MemoryOp.WRITE)
+
+    @property
+    def mpki(self) -> float:
+        """Demand-read misses per kilo-instruction."""
+        instrs = self.instructions
+        if instrs == 0:
+            raise TraceError("empty trace has no MPKI")
+        return 1000.0 * self.reads / instrs
+
+    def footprint_bytes(self, line_bytes: int = 64) -> int:
+        """Bytes in distinct lines touched by the trace."""
+        return line_bytes * len({r.address // line_bytes for r in self.records})
+
+    def unique_pages(self, page_bytes: int = 4096) -> int:
+        """Distinct pages touched (the paper's footprint metric)."""
+        return len({r.address // page_bytes for r in self.records})
+
+
+_OP_CODES = {MemoryOp.READ: "R", MemoryOp.WRITE: "W"}
+_OP_FROM_CODE = {"R": MemoryOp.READ, "W": MemoryOp.WRITE}
+
+
+def write_trace(trace: Trace, stream: io.TextIOBase) -> None:
+    """Serialize a trace to a text stream."""
+    stream.write(f"# name: {trace.name}\n")
+    stream.write(f"# nonmem_cpi: {trace.nonmem_cpi!r}\n")
+    for record in trace.records:
+        stream.write(f"{record.gap} {_OP_CODES[record.op]} {record.address:#x}\n")
+
+
+def read_trace(stream: io.TextIOBase) -> Trace:
+    """Parse a trace from a text stream.
+
+    Raises:
+        TraceError: on malformed records or headers.
+    """
+    name = "unnamed"
+    nonmem_cpi = 0.5
+    records = []
+    for line_no, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if ":" in body:
+                key, _, value = body.partition(":")
+                key = key.strip()
+                value = value.strip()
+                if key == "name":
+                    name = value
+                elif key == "nonmem_cpi":
+                    try:
+                        nonmem_cpi = float(value)
+                    except ValueError as exc:
+                        raise TraceError(f"line {line_no}: bad nonmem_cpi") from exc
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise TraceError(f"line {line_no}: expected 'gap op address', got {line!r}")
+        gap_text, op_code, addr_text = parts
+        if op_code not in _OP_FROM_CODE:
+            raise TraceError(f"line {line_no}: unknown op {op_code!r}")
+        try:
+            gap = int(gap_text)
+            address = int(addr_text, 16)
+        except ValueError as exc:
+            raise TraceError(f"line {line_no}: bad numeric field") from exc
+        try:
+            records.append(TraceRecord(gap=gap, op=_OP_FROM_CODE[op_code], address=address))
+        except ValueError as exc:
+            raise TraceError(f"line {line_no}: {exc}") from exc
+    return Trace(name=name, records=records, nonmem_cpi=nonmem_cpi)
+
+
+def concatenate(name: str, traces: Iterable[Trace]) -> Trace:
+    """Join traces back to back (used to build multi-phase sessions)."""
+    traces = list(traces)
+    if not traces:
+        raise TraceError("cannot concatenate zero traces")
+    records: list[TraceRecord] = []
+    for t in traces:
+        records.extend(t.records)
+    # Weight the CPI by each trace's instruction share.
+    total_instrs = sum(t.instructions for t in traces)
+    cpi = sum(t.nonmem_cpi * t.instructions for t in traces) / max(1, total_instrs)
+    return Trace(name=name, records=records, nonmem_cpi=cpi)

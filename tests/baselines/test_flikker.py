@@ -1,0 +1,68 @@
+"""Tests for the Flikker baseline model."""
+
+import pytest
+
+from repro.baselines.flikker import FlikkerModel
+from repro.errors import ConfigurationError
+
+
+class TestEffectiveRate:
+    def test_paper_example(self):
+        """Paper Sec. VII-A: 1/4 critical at rate 1 + 3/4 at 1/16 ~= 1/3."""
+        model = FlikkerModel(critical_fraction=0.25, noncritical_refresh_divisor=16)
+        assert model.effective_refresh_rate == pytest.approx(0.297, abs=0.005)
+        assert model.effective_refresh_rate == pytest.approx(1 / 3, rel=0.12)
+
+    def test_mecc_beats_flikker(self):
+        """MECC's full-memory 1/16 beats any Flikker partition with a
+        non-trivial critical region."""
+        mecc_rate = 1 / 16
+        for critical in (0.1, 0.25, 0.5):
+            model = FlikkerModel(critical_fraction=critical)
+            assert model.effective_refresh_rate > mecc_rate
+
+    def test_zero_critical_degenerates_to_mecc_rate(self):
+        assert FlikkerModel(critical_fraction=0.0).effective_refresh_rate == 1 / 16
+
+    def test_all_critical_no_saving(self):
+        assert FlikkerModel(critical_fraction=1.0).effective_refresh_rate == 1.0
+
+    def test_rate_monotone_in_critical_fraction(self):
+        rates = [
+            FlikkerModel(critical_fraction=f).effective_refresh_rate
+            for f in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+
+
+class TestIntegrityCost:
+    def test_noncritical_corruption_is_nonzero(self):
+        """Flikker trades integrity: expected corrupted bits are material
+        (~190K bits in 768 MB non-critical at the 1 s BER)."""
+        model = FlikkerModel()
+        corrupt = model.expected_noncritical_corrupt_bits(1 << 30)
+        assert corrupt > 10_000
+
+    def test_corruption_scales_with_noncritical_size(self):
+        small = FlikkerModel(critical_fraction=0.75)
+        large = FlikkerModel(critical_fraction=0.25)
+        assert large.expected_noncritical_corrupt_bits(1 << 30) == pytest.approx(
+            3 * small.expected_noncritical_corrupt_bits(1 << 30)
+        )
+
+    def test_requires_source_changes(self):
+        assert FlikkerModel().requires_source_changes()
+
+
+class TestValidation:
+    def test_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            FlikkerModel(critical_fraction=1.5)
+
+    def test_bad_divisor(self):
+        with pytest.raises(ConfigurationError):
+            FlikkerModel(noncritical_refresh_divisor=0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            FlikkerModel().expected_noncritical_corrupt_bits(-1)

@@ -1,0 +1,86 @@
+"""Tests for the SECRET baseline and the VRT vulnerability study."""
+
+import pytest
+
+from repro.baselines.secret import SecretModel
+from repro.baselines.vrt import VrtModel
+from repro.errors import ConfigurationError
+
+
+class TestSecret:
+    def test_failing_population_at_one_second(self):
+        """Paper Sec. II-B: ~256K failing bits per 1 GB at BER 10^-4.5."""
+        model = SecretModel()
+        assert model.profiled_failing_cells == pytest.approx(271_000, rel=0.02)
+
+    def test_repair_storage_grows_with_period(self):
+        fast = SecretModel(target_period_s=0.256)
+        slow = SecretModel(target_period_s=1.0)
+        assert slow.repair_storage_bytes > 10 * fast.repair_storage_bytes
+        # ~1.2 MB of repair state at 1 s — the "strong correction" cost.
+        assert slow.repair_storage_bytes > 1 << 20
+
+    def test_always_on_latency(self):
+        """SECRET pays its lookup on every access; MECC's weak path does
+        not."""
+        assert SecretModel().always_on_latency() > 2
+
+    def test_refresh_rate(self):
+        assert SecretModel(target_period_s=1.024).refresh_rate_relative == pytest.approx(
+            1 / 16
+        )
+
+    def test_vrt_leaves_unrepaired_failures(self):
+        model = SecretModel()
+        assert model.unrepaired_failures_with_vrt(1e-7) > 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SecretModel(target_period_s=0)
+        with pytest.raises(ConfigurationError):
+            SecretModel().unrepaired_failures_with_vrt(2.0)
+
+
+class TestVrtStudy:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return VrtModel(seed=9)
+
+    def test_mecc_absorbs_realistic_vrt(self, model):
+        """At a realistic VRT rate (1e-7 of cells toggling low), MECC's
+        ECC-6 budget keeps uncorrectable lines essentially at zero."""
+        result = model.mecc_exposure(1e-7)
+        assert result.uncorrectable_lines < 1e-3
+
+    def test_profiled_schemes_corrupt_under_vrt(self, model):
+        """The same VRT rate corrupts real data under RAPID/RAIDR/SECRET:
+        with no unbudgeted correction, every flipped cell is a lost line."""
+        for result in model.compare(1e-7):
+            if result.scheme == "MECC":
+                continue
+            assert result.uncorrectable_lines > 100, result.scheme
+
+    def test_gap_is_orders_of_magnitude(self, model):
+        results = {r.scheme: r.uncorrectable_lines for r in model.compare(1e-7)}
+        assert results["RAIDR"] > 1e6 * max(results["MECC"], 1e-12)
+
+    def test_monte_carlo_agrees_with_closed_form(self, model):
+        """At an exaggerated VRT rate the sampled failure count matches
+        the binomial tail within statistical error."""
+        p = 0.004  # exaggerated so failures are observable in 2000 lines
+        lines = 2000
+        expected = model.mecc_exposure(p).uncorrectable_lines
+        expected_in_sample = expected * lines / model.total_lines
+        observed = model.monte_carlo_mecc_lines(p, lines=lines)
+        assert observed == pytest.approx(expected_in_sample, abs=4 * (expected_in_sample ** 0.5 + 1))
+
+    def test_exposure_monotone_in_vrt_rate(self, model):
+        low = model.mecc_exposure(1e-6).uncorrectable_lines
+        high = model.mecc_exposure(1e-4).uncorrectable_lines
+        assert high > low
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            model.mecc_exposure(-0.1)
+        with pytest.raises(ConfigurationError):
+            VrtModel(slow_period_s=0)

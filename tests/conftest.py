@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.system import ScaledRun, SystemConfig
+from repro.types import MemoryOp, TraceRecord
+from repro.workloads.trace import Trace
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture
+def system_config():
+    return SystemConfig()
+
+
+@pytest.fixture
+def small_run():
+    """A fast scaled run for integration tests."""
+    return ScaledRun(instructions=100_000)
+
+
+def make_trace(
+    accesses: list[tuple[int, str, int]],
+    name: str = "hand",
+    nonmem_cpi: float = 0.5,
+) -> Trace:
+    """Build a trace from (gap, 'R'|'W', byte_address) tuples."""
+    ops = {"R": MemoryOp.READ, "W": MemoryOp.WRITE}
+    records = [TraceRecord(gap=g, op=ops[o], address=a) for g, o, a in accesses]
+    return Trace(name=name, records=records, nonmem_cpi=nonmem_cpi)
+
+
+@pytest.fixture
+def hand_trace():
+    return make_trace

@@ -1,0 +1,110 @@
+"""Tests for the adaptive refresh governor."""
+
+import pytest
+
+from repro.core.governor import (
+    RefreshGovernor,
+    static_mecc_idle_energy,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def governor():
+    return RefreshGovernor()
+
+
+class TestDecisions:
+    def test_nominal_matches_the_paper(self, governor):
+        """At nominal temperature the governor picks the paper's 16x."""
+        decision = governor.decide(0.0)
+        assert decision.divider == 16
+        assert decision.period_s == pytest.approx(1.024)
+
+    def test_derates_with_temperature(self, governor):
+        dividers = [governor.decide(d).divider for d in (0.0, 10.0, 20.0, 30.0, 40.0)]
+        assert dividers == [16, 8, 4, 2, 1]
+
+    def test_never_exceeds_divider_cap(self):
+        """A cold device could tolerate longer periods, but the counter
+        width (and VRT caution) caps the stretch at 16x."""
+        governor = RefreshGovernor()
+        assert governor.decide(-20.0).divider == 16
+
+    def test_wider_counter_goes_further_when_safe(self):
+        wide = RefreshGovernor(max_divider_bits=6)
+        assert wide.decide(-20.0).divider > 16
+
+    def test_stronger_ecc_resists_derating(self):
+        strong = RefreshGovernor(ecc_t=8)
+        normal = RefreshGovernor(ecc_t=6)
+        assert strong.decide(10.0).divider >= normal.decide(10.0).divider
+        # At +25 C the power-of-two grid separates them: ECC-8 holds 4x
+        # where ECC-6 must drop to 2x.
+        assert strong.decide(25.0).divider > normal.decide(25.0).divider
+
+    def test_idle_power_tracks_divider(self, governor):
+        cool = governor.decide(0.0)
+        hot = governor.decide(30.0)
+        assert cool.idle_power_w < hot.idle_power_w
+
+    def test_decisions_cached(self, governor):
+        governor.decide(0.0)
+        assert 0.0 in governor._safe_period_cache
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RefreshGovernor(ecc_t=0)
+        with pytest.raises(ConfigurationError):
+            RefreshGovernor(max_divider_bits=17)
+
+
+class TestProfiles:
+    # A day: cool night, warm daytime use, one hot gaming stretch.
+    PROFILE = [
+        (8 * 3600.0, -5.0),
+        (12 * 3600.0, 5.0),
+        (2 * 3600.0, 25.0),
+        (2 * 3600.0, 10.0),
+    ]
+
+    def test_governor_energy_and_decisions(self):
+        governor = RefreshGovernor()
+        energy, decisions = governor.idle_energy_over_profile(self.PROFILE)
+        assert energy > 0
+        assert len(decisions) == 4
+        assert decisions[0].divider == 16  # cool night
+        assert decisions[2].divider < 8  # hot stretch derated
+
+    def test_static_mecc_violates_when_hot(self):
+        """Any above-nominal segment breaks static MECC's 1 s budget —
+        retention halves per +10 C, so even +5 C exceeds the bound."""
+        _, violations = static_mecc_idle_energy(self.PROFILE)
+        assert violations == 3  # the +5, +25 and +10 C segments
+
+    def test_governor_never_violates(self):
+        """Every governed period stays within the ECC-safe bound."""
+        governor = RefreshGovernor()
+        _, decisions = governor.idle_energy_over_profile(self.PROFILE)
+        from repro.core.governor import PERIOD_MARGIN
+
+        for decision in decisions:
+            assert decision.period_s <= decision.safe_period_s * PERIOD_MARGIN
+
+    def test_governor_costs_little_extra_energy(self):
+        """Safety costs some energy only on hot segments; over the day
+        the governor stays within ~20% of (unsafe) static MECC."""
+        governor = RefreshGovernor()
+        governed, _ = governor.idle_energy_over_profile(self.PROFILE)
+        static, violations = static_mecc_idle_energy(self.PROFILE)
+        assert violations > 0  # static is cheating on this profile
+        assert governed <= 1.2 * static
+
+    def test_validation(self):
+        governor = RefreshGovernor()
+        with pytest.raises(ConfigurationError):
+            governor.idle_energy_over_profile([])
+        with pytest.raises(ConfigurationError):
+            governor.idle_energy_over_profile([(-1.0, 0.0)])
+        with pytest.raises(ConfigurationError):
+            static_mecc_idle_energy([])

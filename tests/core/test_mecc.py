@@ -1,0 +1,152 @@
+"""Tests for the MECC controller state machine."""
+
+import pytest
+
+from repro.core.mdt import MemoryDowngradeTracker
+from repro.core.mecc import MeccController
+from repro.dram.config import DramOrganization
+from repro.dram.device import DramDevice
+from repro.ecc.codes import make_scheme
+from repro.errors import ConfigurationError
+from repro.types import EccMode, SystemState
+
+
+def small_controller(use_mdt=True):
+    org = DramOrganization(capacity_bytes=16 << 20)  # 16 MB for fast tests
+    mdt = MemoryDowngradeTracker(org, entries=16) if use_mdt else None
+    return MeccController(device=DramDevice(org=org), mdt=mdt, use_mdt=use_mdt)
+
+
+class TestStateMachine:
+    def test_starts_idle_with_slow_refresh(self):
+        mecc = small_controller()
+        assert mecc.state is SystemState.IDLE
+        assert mecc.refresh_period_s == pytest.approx(1.024)
+
+    def test_wake_restores_fast_refresh(self):
+        mecc = small_controller()
+        mecc.wake()
+        assert mecc.state is SystemState.ACTIVE
+        assert mecc.refresh_period_s == pytest.approx(0.064)
+
+    def test_idle_entry_restores_slow_refresh(self):
+        mecc = small_controller()
+        mecc.wake()
+        mecc.enter_idle()
+        assert mecc.refresh_period_s == pytest.approx(1.024)
+
+
+class TestDowngradePath:
+    def test_first_read_pays_strong_then_weak(self):
+        mecc = small_controller()
+        mecc.wake()
+        cycles1, writeback1 = mecc.on_read(0)
+        assert cycles1 == 30
+        assert writeback1 is True
+        cycles2, writeback2 = mecc.on_read(0)
+        assert cycles2 == 2
+        assert writeback2 is False
+        assert mecc.downgrades == 1
+        assert mecc.strong_decodes == 1
+        assert mecc.weak_decodes == 1
+
+    def test_downgrade_disabled_keeps_strong(self):
+        """SMD path: reads pay strong latency but lines stay strong."""
+        mecc = small_controller()
+        mecc.wake()
+        for _ in range(3):
+            cycles, writeback = mecc.on_read(0, downgrade_enabled=False)
+            assert cycles == 30
+            assert not writeback
+        assert mecc.downgrades == 0
+        assert mecc.line_store.all_strong()
+
+    def test_write_downgrades_line(self):
+        mecc = small_controller()
+        mecc.wake()
+        mecc.on_write(4096)
+        assert mecc.line_store.mode_of(64) is EccMode.WEAK
+        cycles, _ = mecc.on_read(4096)
+        assert cycles == 2
+
+    def test_write_with_downgrade_disabled_stays_strong(self):
+        mecc = small_controller()
+        mecc.wake()
+        mecc.on_write(4096, downgrade_enabled=False)
+        assert mecc.line_store.all_strong()
+
+    def test_mdt_records_regions(self):
+        mecc = small_controller()
+        mecc.wake()
+        mecc.on_read(0)
+        mecc.on_read(5 << 20)
+        assert mecc.mdt.marked_count == 2
+
+
+class TestUpgradePath:
+    def test_mdt_guided_upgrade_scans_only_marked(self):
+        mecc = small_controller()
+        mecc.wake()
+        mecc.on_read(0)
+        mecc.on_read(100)
+        report = mecc.enter_idle()
+        assert report.used_mdt
+        assert report.lines_scanned == mecc.mdt.lines_per_region  # one region
+        assert report.lines_converted == 2
+        assert mecc.line_store.all_strong()
+        assert mecc.mdt.marked_count == 0  # table reset
+
+    def test_full_scan_without_mdt(self):
+        mecc = small_controller(use_mdt=False)
+        mecc.wake()
+        mecc.on_read(0)
+        report = mecc.enter_idle()
+        assert not report.used_mdt
+        assert report.lines_scanned == mecc.device.org.total_lines
+        assert report.lines_converted == 1
+
+    def test_full_memory_upgrade_seconds(self):
+        """The 1 GB controller's full scan costs ~400 ms (paper Sec. VI-A)."""
+        mecc = MeccController(use_mdt=False)
+        mecc.wake()
+        mecc.on_read(0)
+        report = mecc.enter_idle()
+        assert report.seconds == pytest.approx(0.4, rel=0.1)
+
+    def test_mdt_upgrade_much_faster(self):
+        """MDT cuts upgrade latency ~8x for a 128 MB footprint."""
+        full = MeccController(use_mdt=False)
+        full.wake()
+        full.on_read(0)
+        t_full = full.enter_idle().seconds
+
+        tracked = MeccController()
+        tracked.wake()
+        for mb in range(128):
+            tracked.on_read(mb << 20)
+        t_mdt = tracked.enter_idle().seconds
+        assert t_full / t_mdt == pytest.approx(8.0, rel=0.05)
+
+    def test_upgrade_energy_scales_with_scan(self):
+        mecc = small_controller()
+        mecc.wake()
+        mecc.on_read(0)
+        report = mecc.enter_idle()
+        expected = report.lines_scanned * mecc.strong.encode_energy_pj * 1e-12
+        assert report.encode_energy_j == pytest.approx(expected)
+
+    def test_repeated_idle_entries_are_idempotent(self):
+        mecc = small_controller()
+        mecc.wake()
+        mecc.on_read(0)
+        first = mecc.enter_idle()
+        second = mecc.enter_idle()
+        assert first.lines_converted == 1
+        assert second.lines_converted == 0
+        assert second.lines_scanned == 0
+
+
+class TestValidation:
+    def test_strong_must_beat_weak(self):
+        with pytest.raises(ConfigurationError):
+            MeccController(weak=make_scheme(3), strong=make_scheme(2))

@@ -1,0 +1,89 @@
+"""Tests for ECC-mode-bit replication helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mode_bits import (
+    encode_replicas,
+    flips_to_misresolve,
+    majority_vote,
+    misresolve_probability,
+    tie_probability,
+)
+from repro.errors import ConfigurationError
+from repro.types import EccMode
+
+
+class TestEncodeAndVote:
+    def test_patterns(self):
+        assert encode_replicas(EccMode.WEAK) == 0b0000
+        assert encode_replicas(EccMode.STRONG) == 0b1111
+        assert encode_replicas(EccMode.STRONG, replicas=8) == 0xFF
+
+    def test_majority(self):
+        assert majority_vote(0b1111) is EccMode.STRONG
+        assert majority_vote(0b0111) is EccMode.STRONG
+        assert majority_vote(0b0001) is EccMode.WEAK
+        assert majority_vote(0b0000) is EccMode.WEAK
+
+    def test_tie_returns_none(self):
+        assert majority_vote(0b0011) is None
+        assert majority_vote(0b0101) is None
+
+    def test_odd_replicas_never_tie(self):
+        for pattern in range(8):
+            assert majority_vote(pattern, replicas=3) is not None
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ConfigurationError):
+            encode_replicas(EccMode.WEAK, replicas=0)
+        with pytest.raises(ConfigurationError):
+            majority_vote(0, replicas=0)
+
+
+class TestMisresolveAnalysis:
+    def test_flip_thresholds(self):
+        assert flips_to_misresolve(1) == 1
+        assert flips_to_misresolve(4) == 3
+        assert flips_to_misresolve(8) == 5
+
+    def test_four_way_is_very_safe_at_paper_ber(self):
+        """At BER 10^-4.5, 3-of-4 replica flips are ~1e-13 per line."""
+        p = misresolve_probability(10 ** -4.5, replicas=4)
+        assert p < 1e-12
+
+    def test_single_bit_is_fragile(self):
+        assert misresolve_probability(10 ** -4.5, replicas=1) == pytest.approx(
+            10 ** -4.5
+        )
+
+    def test_more_replicas_safer(self):
+        ber = 1e-3
+        probs = [misresolve_probability(ber, r) for r in (1, 2, 4, 8)]
+        # Note r=2 ties rather than misresolves at 1 flip; misresolve
+        # probability is monotone non-increasing in replica count.
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_tie_probability_even_only(self):
+        assert tie_probability(1e-3, replicas=3) == 0.0
+        assert tie_probability(1e-3, replicas=4) > 0.0
+
+    def test_tie_probability_formula(self):
+        ber = 0.01
+        expected = 6 * ber ** 2 * (1 - ber) ** 2
+        assert tie_probability(ber, 4) == pytest.approx(expected)
+
+    def test_rejects_bad_ber(self):
+        with pytest.raises(ConfigurationError):
+            misresolve_probability(1.5)
+        with pytest.raises(ConfigurationError):
+            tie_probability(-0.1)
+
+
+@given(st.floats(min_value=0.0, max_value=0.49),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=100)
+def test_property_probability_in_bounds(ber, replicas):
+    assert 0.0 <= misresolve_probability(ber, replicas) <= 1.0
+    assert 0.0 <= tie_probability(ber, replicas) <= 1.0

@@ -1,0 +1,103 @@
+"""Tests for the ECC policies the simulator evaluates."""
+
+import pytest
+
+from repro.core.mecc import MeccController
+from repro.core.policy import Ecc6Policy, MeccPolicy, NoEccPolicy, SecdedPolicy
+from repro.core.smd import SelectiveMemoryDowngrade
+
+
+class TestStaticPolicies:
+    def test_baseline_free(self):
+        policy = NoEccPolicy()
+        action = policy.on_read(0, 0)
+        assert action.decode_cycles == 0
+        assert not action.writeback
+        assert policy.name == "Baseline"
+
+    def test_secded_two_cycles(self):
+        policy = SecdedPolicy()
+        assert policy.on_read(0, 0).decode_cycles == 2
+        assert policy.weak_decodes == 1
+
+    def test_ecc6_thirty_cycles(self):
+        policy = Ecc6Policy()
+        assert policy.on_read(0, 0).decode_cycles == 30
+        assert policy.strong_decodes == 1
+
+    def test_static_policies_no_slow_refresh(self):
+        for policy in (NoEccPolicy(), SecdedPolicy(), Ecc6Policy()):
+            assert policy.slow_refresh_fraction == 0.0
+
+
+class TestMeccPolicy:
+    def test_first_touch_downgrade(self):
+        policy = MeccPolicy()
+        first = policy.on_read(0, 0)
+        assert first.decode_cycles == 30
+        assert first.writeback
+        second = policy.on_read(0, 100)
+        assert second.decode_cycles == 2
+        assert not second.writeback
+        assert policy.downgrades == 1
+
+    def test_controller_starts_awake(self):
+        policy = MeccPolicy()
+        assert policy.controller.refresh_period_s == pytest.approx(0.064)
+
+    def test_name_reflects_smd(self):
+        assert MeccPolicy().name == "MECC"
+        smd = SelectiveMemoryDowngrade(quantum_cycles=1000)
+        assert MeccPolicy(smd=smd).name == "MECC+SMD"
+
+    def test_counters_synced_on_run_end(self):
+        policy = MeccPolicy()
+        policy.on_read(0, 0)
+        policy.on_read(64, 10)
+        policy.on_read(0, 20)
+        policy.on_run_end(1000)
+        assert policy.strong_decodes == 2
+        assert policy.weak_decodes == 1
+
+
+class TestMeccWithSmd:
+    def make(self, quantum=1000, threshold=2.0):
+        smd = SelectiveMemoryDowngrade(threshold_mpkc=threshold, quantum_cycles=quantum)
+        return MeccPolicy(smd=smd)
+
+    def test_downgrade_initially_disabled(self):
+        policy = self.make()
+        action = policy.on_read(0, 0)
+        assert action.decode_cycles == 30
+        assert not action.writeback  # no downgrade while disabled
+
+    def test_heavy_traffic_enables_downgrades(self):
+        policy = self.make(quantum=1000)
+        for i in range(50):
+            policy.on_read(i * 64, i * 10)
+        # Cross the quantum boundary.
+        action = policy.on_read(0, 2000)
+        assert policy.downgrade_enabled
+        assert action.writeback
+
+    def test_light_traffic_keeps_slow_refresh(self):
+        policy = self.make(quantum=1000)
+        policy.on_read(0, 0)
+        policy.on_read(64, 50_000)
+        policy.on_run_end(100_000)
+        assert policy.slow_refresh_fraction == 1.0
+
+    def test_writes_count_as_traffic(self):
+        policy = self.make(quantum=1000)
+        for i in range(50):
+            policy.on_write(i * 64, i * 10)
+        policy.on_read(0, 2000)
+        assert policy.downgrade_enabled
+
+    def test_partial_slow_refresh_fraction(self):
+        policy = self.make(quantum=1000)
+        for i in range(50):
+            policy.on_read(i * 64, i * 10)
+        policy.on_read(0, 1500)  # enabled at cycle 1000
+        policy.on_run_end(4000)
+        assert policy.slow_refresh_fraction == pytest.approx(0.25)

@@ -1,0 +1,117 @@
+"""Tests for Selective Memory Downgrade (paper Sec. VI-B)."""
+
+import pytest
+
+from repro.core.smd import (
+    DEFAULT_THRESHOLD_MPKC,
+    PAPER_QUANTUM_CYCLES,
+    SelectiveMemoryDowngrade,
+)
+from repro.errors import ConfigurationError
+
+
+def smd(quantum=10_000, threshold=2.0):
+    return SelectiveMemoryDowngrade(threshold_mpkc=threshold, quantum_cycles=quantum)
+
+
+class TestDefaults:
+    def test_paper_parameters(self):
+        monitor = SelectiveMemoryDowngrade()
+        assert monitor.threshold_mpkc == DEFAULT_THRESHOLD_MPKC == 2.0
+        # 64 ms at 1.6 GHz ("approximately 100 Million cycles").
+        assert PAPER_QUANTUM_CYCLES == 102_400_000
+
+    def test_starts_disabled(self):
+        assert not SelectiveMemoryDowngrade().enabled
+
+
+class TestTriggering:
+    def test_heavy_traffic_enables_after_one_quantum(self):
+        monitor = smd(quantum=10_000)  # threshold: > 20 accesses/quantum
+        for i in range(30):
+            monitor.record_access(i * 300)  # 30 accesses inside quantum 0
+        monitor.record_access(10_001)  # first access of quantum 1
+        assert monitor.enabled
+        assert monitor.enabled_at_cycle == 10_000
+
+    def test_light_traffic_never_enables(self):
+        monitor = smd(quantum=10_000)
+        for i in range(100):
+            monitor.record_access(i * 1000)  # 10 accesses/quantum = MPKC 1
+        assert not monitor.enabled
+
+    def test_threshold_is_strict(self):
+        monitor = smd(quantum=10_000, threshold=2.0)
+        # Exactly 20 accesses per 10K cycles = MPKC 2.0, not > 2.0.
+        for q in range(5):
+            for i in range(20):
+                monitor.record_access(q * 10_000 + i * 500)
+        assert not monitor.enabled
+
+    def test_enables_on_late_phase(self):
+        monitor = smd(quantum=10_000)
+        # Quiet first 5 quanta, then a burst.
+        for i in range(10):
+            monitor.record_access(i * 5000)
+        for i in range(50):
+            monitor.record_access(60_000 + i * 100)
+        monitor.record_access(70_001)
+        assert monitor.enabled
+        assert monitor.enabled_at_cycle == 70_000
+
+    def test_stays_enabled(self):
+        """Once enabled, ECC-Downgrade persists for the active period."""
+        monitor = smd(quantum=1_000)
+        for i in range(50):
+            monitor.record_access(i * 10)
+        monitor.record_access(2000)
+        assert monitor.enabled
+        monitor.record_access(10 ** 9)  # long silence afterwards
+        assert monitor.enabled
+
+    def test_empty_quanta_skipped_correctly(self):
+        monitor = smd(quantum=1_000)
+        monitor.record_access(0)
+        # Jump many quanta ahead; the single access in quantum 0 gives
+        # MPKC 1 which is under the threshold.
+        monitor.record_access(50_500)
+        assert not monitor.enabled
+
+
+class TestReport:
+    def test_disabled_fraction_full_when_never_enabled(self):
+        monitor = smd()
+        assert monitor.report(100_000).disabled_fraction == 1.0
+
+    def test_disabled_fraction_partial(self):
+        monitor = smd(quantum=10_000)
+        for i in range(30):
+            monitor.record_access(i * 300)
+        monitor.record_access(10_001)
+        report = monitor.report(40_000)
+        assert report.disabled_fraction == pytest.approx(0.25)
+
+    def test_zero_cycles(self):
+        assert smd().report(0).disabled_fraction == 1.0
+
+
+class TestReset:
+    def test_reset_rearms(self):
+        monitor = smd(quantum=1_000)
+        for i in range(50):
+            monitor.record_access(i * 10)
+        monitor.record_access(1_500)
+        assert monitor.enabled
+        monitor.reset(now=2_000)
+        assert not monitor.enabled
+        assert monitor.enabled_at_cycle is None
+
+
+class TestValidation:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            SelectiveMemoryDowngrade(threshold_mpkc=0.0)
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ConfigurationError):
+            SelectiveMemoryDowngrade(quantum_cycles=0)

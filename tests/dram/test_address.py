@@ -1,0 +1,114 @@
+"""Tests for the address mapper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.address import AddressMapper
+from repro.dram.config import DramOrganization
+from repro.errors import ConfigurationError
+
+MAPPER = AddressMapper()
+
+
+class TestMapping:
+    def test_line_address(self):
+        assert MAPPER.line_address(0) == 0
+        assert MAPPER.line_address(63) == 0
+        assert MAPPER.line_address(64) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            MAPPER.line_address(-1)
+
+    def test_sequential_lines_share_row(self):
+        """Row-interleaved mapping: a 16 KB row holds 256 sequential lines."""
+        first = MAPPER.locate(0)
+        for i in range(1, 256):
+            loc = MAPPER.locate(i * 64)
+            assert loc.bank == first.bank
+            assert loc.row == first.row
+            assert loc.column_line == i
+
+    def test_row_crossing_changes_bank(self):
+        """The next row-worth of lines lands in the next bank."""
+        a = MAPPER.locate(0)
+        b = MAPPER.locate(256 * 64)
+        assert b.bank == (a.bank + 1) % 4
+        assert b.row == a.row
+
+    def test_bank_wraps_to_next_row(self):
+        a = MAPPER.locate(0)
+        b = MAPPER.locate(4 * 256 * 64)
+        assert b.bank == a.bank
+        assert b.row == a.row + 1
+
+    def test_addresses_beyond_capacity_wrap(self):
+        loc_low = MAPPER.locate(64)
+        loc_high = MAPPER.locate(64 + (1 << 30))
+        assert loc_low == loc_high
+
+
+class TestUniqueness:
+    def test_distinct_lines_distinct_coordinates(self):
+        seen = set()
+        for line in range(0, 1 << 14):
+            loc = MAPPER.locate(line * 64)
+            key = (loc.bank, loc.row, loc.column_line)
+            assert key not in seen
+            seen.add(key)
+
+    @given(st.integers(min_value=0, max_value=(1 << 24) - 1))
+    @settings(max_examples=200)
+    def test_property_in_bounds(self, line):
+        loc = MAPPER.locate(line * 64)
+        org = DramOrganization()
+        assert 0 <= loc.bank < org.banks
+        assert 0 <= loc.row < org.rows
+        assert 0 <= loc.column_line < org.lines_per_row
+
+    @given(st.integers(min_value=0, max_value=(1 << 24) - 1),
+           st.integers(min_value=0, max_value=(1 << 24) - 1))
+    @settings(max_examples=200)
+    def test_property_injective(self, a, b):
+        la, lb = MAPPER.locate(a * 64), MAPPER.locate(b * 64)
+        if a != b:
+            assert (la.bank, la.row, la.column_line) != (lb.bank, lb.row, lb.column_line)
+
+
+class TestBlockInterleaved:
+    def test_consecutive_lines_spread_across_banks(self):
+        mapper = AddressMapper(policy="block-interleaved")
+        banks = [mapper.locate(i * 64).bank for i in range(8)]
+        assert banks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_row_locality_sacrificed(self):
+        """Same bank revisited only every 4 lines; rows fill 4x slower."""
+        mapper = AddressMapper(policy="block-interleaved")
+        a = mapper.locate(0)
+        b = mapper.locate(4 * 64)
+        assert b.bank == a.bank
+        assert b.row == a.row
+        assert b.column_line == a.column_line + 1
+
+    def test_injective_like_row_interleaved(self):
+        mapper = AddressMapper(policy="block-interleaved")
+        seen = set()
+        for line in range(1 << 13):
+            loc = mapper.locate(line * 64)
+            key = (loc.bank, loc.row, loc.column_line)
+            assert key not in seen
+            seen.add(key)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapper(policy="hashed")
+
+    def test_controller_accepts_policy(self):
+        from repro.dram.controller import MemoryController
+
+        ctrl = MemoryController(mapping_policy="block-interleaved")
+        ctrl.read(0, 0)
+        ctrl.read(64, 0)  # next line -> different bank: no row hit
+        assert ctrl.stats.row_hits == 0
+        assert ctrl.stats.activates == 2

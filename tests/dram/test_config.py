@@ -1,0 +1,73 @@
+"""Tests for DRAM organization and timing configuration."""
+
+import pytest
+
+from repro.dram.config import (
+    PROC_CYCLES_PER_BUS_CYCLE,
+    PROC_HZ,
+    DramOrganization,
+    DramTimings,
+)
+from repro.errors import ConfigurationError
+
+
+class TestOrganization:
+    def test_paper_defaults(self):
+        """Table II: 1 GB, 1 channel, 1 rank, 4 banks, 16K rows, 64B lines."""
+        org = DramOrganization()
+        assert org.capacity_bytes == 1 << 30
+        assert org.channels == 1
+        assert org.ranks == 1
+        assert org.banks == 4
+        assert org.rows == 16 * 1024
+        assert org.line_bytes == 64
+
+    def test_derived_geometry(self):
+        org = DramOrganization()
+        assert org.total_lines == 1 << 24  # "16 million lines"
+        assert org.row_bytes == 16 * 1024  # 16 KB row buffer
+        assert org.lines_per_row == 256
+
+    def test_rejects_uneven_capacity(self):
+        with pytest.raises(ConfigurationError):
+            DramOrganization(capacity_bytes=1000, banks=3)
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ConfigurationError):
+            DramOrganization(banks=0)
+
+    def test_smaller_memory(self):
+        org = DramOrganization(capacity_bytes=256 << 20)
+        assert org.total_lines == (256 << 20) // 64
+
+
+class TestTimings:
+    def test_clock_ratio(self):
+        """1.6 GHz processor / 200 MHz bus = 8:1."""
+        assert PROC_CYCLES_PER_BUS_CYCLE == 8
+        assert PROC_HZ == 1_600_000_000
+
+    def test_composite_latencies(self):
+        t = DramTimings()
+        assert t.row_hit_latency == t.t_cl + t.t_burst
+        assert t.row_empty_latency == t.t_rcd + t.t_cl + t.t_burst
+        assert t.row_conflict_latency == t.t_rp + t.t_rcd + t.t_cl + t.t_burst
+        assert t.row_hit_latency < t.row_empty_latency < t.row_conflict_latency
+
+    def test_refresh_interval_is_64ms_over_8k(self):
+        t = DramTimings()
+        # 8192 refreshes per 64 ms: tREFI = 7.8125 us = 12500 proc cycles.
+        assert t.t_refi == 12496  # 1562 bus cycles (quantized)
+        assert abs(t.t_refi / PROC_HZ - 64e-3 / 8192) / (64e-3 / 8192) < 0.001
+
+    def test_ras_under_rc(self):
+        with pytest.raises(ConfigurationError):
+            DramTimings(t_ras=100 * 8, t_rc=50 * 8)
+
+    def test_rfc_under_refi(self):
+        with pytest.raises(ConfigurationError):
+            DramTimings(t_rfc=20000 * 8)
+
+    def test_rejects_zero_timing(self):
+        with pytest.raises(ConfigurationError):
+            DramTimings(t_cl=0)

@@ -1,0 +1,99 @@
+"""Property-based tests on memory-controller timing invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.config import DramTimings
+from repro.dram.controller import MemoryController
+
+T = DramTimings()
+
+
+@st.composite
+def request_sequences(draw):
+    """(address, inter-arrival gap) sequences over a small address pool."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    out = []
+    for _ in range(n):
+        line = draw(st.integers(min_value=0, max_value=4095))
+        gap = draw(st.integers(min_value=0, max_value=3000))
+        is_read = draw(st.booleans())
+        out.append((line * 64, gap, is_read))
+    return out
+
+
+@given(request_sequences())
+@settings(max_examples=60, deadline=None)
+def test_read_completions_monotone(seq):
+    """Later-issued reads never complete before earlier ones *start*,
+    and each read's latency respects the physical floor."""
+    ctrl = MemoryController()
+    now = 0
+    last_done = 0
+    for address, gap, is_read in seq:
+        now += gap
+        if is_read:
+            done = ctrl.read(address, now)
+            assert done >= now + T.row_hit_latency
+            assert done >= last_done - 0  # data bus serializes bursts
+            last_done = max(last_done, done)
+        else:
+            ctrl.write(address, now)
+
+
+@given(request_sequences())
+@settings(max_examples=60, deadline=None)
+def test_latency_bounded(seq):
+    """Every read completes within a generous bound: its own service plus
+    the worst-case backlog of queued writes and one refresh window."""
+    ctrl = MemoryController()
+    now = 0
+    worst_service = T.row_conflict_latency + T.t_rc + T.t_faw + T.t_xp
+    backlog_bound = ctrl.write_queue_capacity * (T.row_conflict_latency + T.t_rc)
+    for address, gap, is_read in seq:
+        now += gap
+        if is_read:
+            done = ctrl.read(address, now)
+            assert done - now <= worst_service + backlog_bound + T.t_rfc
+        else:
+            ctrl.write(address, now)
+
+
+@given(request_sequences())
+@settings(max_examples=40, deadline=None)
+def test_stats_consistent(seq):
+    ctrl = MemoryController()
+    now = 0
+    reads = writes = 0
+    for address, gap, is_read in seq:
+        now += gap
+        if is_read:
+            ctrl.read(address, now)
+            reads += 1
+        else:
+            ctrl.write(address, now)
+            writes += 1
+    ctrl.flush_writes(now + 10_000)
+    assert ctrl.stats.reads == reads
+    assert ctrl.stats.writes == writes
+    assert ctrl.stats.row_hits <= reads + writes
+    assert ctrl.stats.activates <= reads + writes
+    # Every serviced access either hit the row buffer or activated.
+    assert ctrl.stats.row_hits + ctrl.stats.activates >= reads + writes
+
+
+@given(request_sequences())
+@settings(max_examples=40, deadline=None)
+def test_utilization_well_formed(seq):
+    ctrl = MemoryController()
+    now = 10
+    for address, gap, is_read in seq:
+        now += gap
+        if is_read:
+            now = max(now, ctrl.read(address, now))
+        else:
+            ctrl.write(address, now)
+    util = ctrl.utilization(now + 1)
+    assert 0.0 <= util.frac_active_standby <= 1.0
+    assert 0.0 <= util.frac_precharge_powerdown <= 1.0
+    assert util.read_bursts_per_second >= 0.0

@@ -1,0 +1,101 @@
+"""Tests for the refresh machinery (modes + divider)."""
+
+import pytest
+
+from repro.dram.refresh import (
+    BASE_REFRESH_PERIOD_S,
+    RefreshDivider,
+    SelfRefreshController,
+)
+from repro.errors import ConfigurationError
+from repro.types import RefreshMode
+
+
+class TestDivider:
+    def test_four_bit_counter_gives_16x(self):
+        """Paper Sec. III-B: a 4-bit counter stretches 64 ms to ~1 s."""
+        divider = RefreshDivider()
+        assert divider.division_factor == 16
+        assert divider.effective_period_s == pytest.approx(1.024)
+
+    def test_forwards_one_in_sixteen(self):
+        divider = RefreshDivider()
+        forwarded = sum(divider.pulse() for _ in range(160))
+        assert forwarded == 10
+        assert divider.pulses_in == 160
+        assert divider.pulses_out == 10
+
+    def test_zero_bits_passthrough(self):
+        divider = RefreshDivider(counter_bits=0)
+        assert divider.division_factor == 1
+        assert all(divider.pulse() for _ in range(5))
+
+    def test_reset(self):
+        divider = RefreshDivider()
+        for _ in range(10):
+            divider.pulse()
+        divider.reset()
+        # After reset, the 16th pulse (not the 6th) forwards.
+        assert not any(divider.pulse() for _ in range(15))
+        assert divider.pulse()
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ConfigurationError):
+            RefreshDivider(counter_bits=-1)
+        with pytest.raises(ConfigurationError):
+            RefreshDivider(counter_bits=17)
+
+
+class TestModes:
+    def test_default_auto_refresh(self):
+        ctrl = SelfRefreshController()
+        assert ctrl.mode is RefreshMode.AUTO_REFRESH
+        assert ctrl.refresh_period_s == BASE_REFRESH_PERIOD_S
+        assert ctrl.retained_fraction == 1.0
+        assert ctrl.refresh_rate_relative == 1.0
+
+    def test_self_refresh_with_divider(self):
+        ctrl = SelfRefreshController()
+        ctrl.enter(RefreshMode.SELF_REFRESH, use_divider=True)
+        assert ctrl.refresh_period_s == pytest.approx(1.024)
+        assert ctrl.refresh_rate_relative == pytest.approx(1 / 16)
+        assert ctrl.retained_fraction == 1.0
+
+    def test_self_refresh_without_divider(self):
+        ctrl = SelfRefreshController()
+        ctrl.enter(RefreshMode.SELF_REFRESH)
+        assert ctrl.refresh_period_s == BASE_REFRESH_PERIOD_S
+
+    def test_pasr_loses_capacity(self):
+        """PASR refreshes only part of the array (paper Sec. II-A)."""
+        ctrl = SelfRefreshController(pasr_fraction=0.25)
+        ctrl.enter(RefreshMode.PARTIAL_ARRAY_SELF_REFRESH)
+        assert ctrl.retained_fraction == 0.25
+        assert ctrl.refresh_rate_relative == pytest.approx(0.25)
+
+    def test_dpd_loses_everything(self):
+        ctrl = SelfRefreshController()
+        ctrl.enter(RefreshMode.DEEP_POWER_DOWN)
+        assert ctrl.retained_fraction == 0.0
+        assert ctrl.refresh_rate_relative == 0.0
+        assert ctrl.refresh_period_s == float("inf")
+
+    def test_divider_only_in_self_refresh(self):
+        ctrl = SelfRefreshController()
+        with pytest.raises(ConfigurationError):
+            ctrl.enter(RefreshMode.AUTO_REFRESH, use_divider=True)
+
+    def test_rejects_bad_pasr_fraction(self):
+        with pytest.raises(ConfigurationError):
+            SelfRefreshController(pasr_fraction=0.0)
+
+    def test_mecc_vs_pasr_tradeoff(self):
+        """MECC's selling point: 16x refresh reduction with FULL capacity;
+        PASR gets rate reduction only by dropping contents."""
+        mecc_like = SelfRefreshController()
+        mecc_like.enter(RefreshMode.SELF_REFRESH, use_divider=True)
+        pasr = SelfRefreshController(pasr_fraction=1 / 16)
+        pasr.enter(RefreshMode.PARTIAL_ARRAY_SELF_REFRESH)
+        assert mecc_like.refresh_rate_relative == pytest.approx(pasr.refresh_rate_relative)
+        assert mecc_like.retained_fraction == 1.0
+        assert pasr.retained_fraction == pytest.approx(1 / 16)

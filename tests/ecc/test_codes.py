@@ -1,0 +1,84 @@
+"""Tests for the ECC scheme registry (cost models)."""
+
+import pytest
+
+from repro.ecc.codes import ECC6, NO_ECC, SECDED, EccScheme, SchemeKind, make_scheme
+from repro.errors import ConfigurationError
+
+
+class TestPaperSchemes:
+    def test_no_ecc_is_free(self):
+        assert NO_ECC.decode_cycles == 0
+        assert NO_ECC.storage_bits == 0
+        assert NO_ECC.kind is SchemeKind.NONE
+
+    def test_secded_matches_paper(self):
+        """SECDED: 2-cycle decode, 11 storage bits for a 64B line, ~3K gates."""
+        assert SECDED.decode_cycles == 2
+        assert SECDED.storage_bits == 11
+        assert SECDED.correctable == 1
+        assert SECDED.detectable == 2
+        assert SECDED.gate_count == 3_000
+
+    def test_ecc6_matches_paper(self):
+        """ECC-6: 30-cycle decode, 61 bits (6EC-7ED), 100K-200K gates, ~40 pJ."""
+        assert ECC6.decode_cycles == 30
+        assert ECC6.storage_bits == 61
+        assert ECC6.correctable == 6
+        assert ECC6.detectable == 7
+        assert 100_000 <= ECC6.gate_count <= 200_000
+        assert ECC6.decode_energy_pj == pytest.approx(40.0)
+
+    def test_decode_energy_much_below_line_read(self):
+        """Paper Sec. IV-C: 40 pJ decode vs ~12 nJ line read."""
+        from repro.power.calculator import DramPowerCalculator
+
+        read_energy_pj = DramPowerCalculator().line_read_energy_j() * 1e12
+        assert ECC6.decode_energy_pj < read_energy_pj / 100
+
+
+class TestMakeScheme:
+    def test_rejects_negative_strength(self):
+        with pytest.raises(ConfigurationError):
+            make_scheme(-1)
+
+    @pytest.mark.parametrize("t", range(2, 7))
+    def test_bch_storage_is_tm_plus_one(self, t):
+        scheme = make_scheme(t)
+        assert scheme.storage_bits == 10 * t + 1
+
+    @pytest.mark.parametrize("t", range(2, 7))
+    def test_bch_latency_linear_in_t(self, t):
+        assert make_scheme(t).decode_cycles == 5 * t
+
+    def test_without_extended_detection(self):
+        scheme = make_scheme(6, extended_detection=False)
+        assert scheme.storage_bits == 60
+        assert scheme.detectable == 6
+
+    def test_fits_in_72_64_budget(self):
+        """Paper Fig. 6: SECDED and ECC-6 both fit in 60 usable bits."""
+        usable = 64 - 4  # 64-bit field minus the 4 mode-replica bits
+        assert SECDED.storage_bits <= usable
+        assert make_scheme(6, extended_detection=False).storage_bits <= usable
+
+    def test_larger_lines(self):
+        scheme = make_scheme(6, line_bytes=128)
+        assert scheme.kind is SchemeKind.BCH
+        assert scheme.storage_bits == 6 * 11 + 1  # needs GF(2^11)
+
+
+class TestLatencyOverride:
+    def test_with_decode_cycles(self):
+        slow = ECC6.with_decode_cycles(60)
+        assert slow.decode_cycles == 60
+        assert slow.storage_bits == ECC6.storage_bits
+        assert ECC6.decode_cycles == 30  # original untouched
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ECC6.with_decode_cycles(-1)
+
+    def test_scheme_is_frozen(self):
+        with pytest.raises(AttributeError):
+            ECC6.decode_cycles = 5

@@ -1,0 +1,192 @@
+"""Unit and property tests for GF(2^m) arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.gf import (
+    GF2m,
+    get_field,
+    gf2_poly_degree,
+    gf2_poly_gcd,
+    gf2_poly_lcm,
+    gf2_poly_mod,
+    gf2_poly_mul,
+)
+from repro.errors import ConfigurationError
+
+FIELD = get_field(10)  # the ECC-6 field
+
+
+class TestConstruction:
+    def test_size_and_order(self):
+        field = GF2m(4)
+        assert field.size == 16
+        assert field.order == 15
+
+    def test_rejects_small_m(self):
+        with pytest.raises(ConfigurationError):
+            GF2m(2)
+
+    def test_rejects_large_m(self):
+        with pytest.raises(ConfigurationError):
+            GF2m(17)
+
+    def test_rejects_wrong_degree_poly(self):
+        with pytest.raises(ConfigurationError):
+            GF2m(4, primitive_poly=0b1011)  # degree 3, not 4
+
+    def test_rejects_non_primitive_poly(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive
+        # (its roots have order 5, not 15).
+        with pytest.raises(ConfigurationError):
+            GF2m(4, primitive_poly=0b11111)
+
+    def test_get_field_is_cached(self):
+        assert get_field(8) is get_field(8)
+
+    @pytest.mark.parametrize("m", range(3, 17))
+    def test_all_default_polynomials_are_primitive(self, m):
+        field = GF2m(m)
+        assert field.alpha_pow(field.order) == 1
+
+
+class TestArithmetic:
+    def test_add_is_xor(self):
+        assert FIELD.add(0b1010, 0b0110) == 0b1100
+
+    def test_mul_by_zero(self):
+        assert FIELD.mul(0, 123) == 0
+        assert FIELD.mul(123, 0) == 0
+
+    def test_mul_by_one(self):
+        assert FIELD.mul(1, 123) == 123
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            FIELD.inv(0)
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            FIELD.div(5, 0)
+
+    def test_pow_zero_base(self):
+        assert FIELD.pow(0, 0) == 1
+        assert FIELD.pow(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            FIELD.pow(0, -1)
+
+    def test_pow_negative_exponent(self):
+        a = 37
+        assert FIELD.mul(FIELD.pow(a, -1), a) == 1
+
+    def test_log_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            FIELD.log_alpha(0)
+
+    def test_alpha_log_roundtrip(self):
+        for e in (0, 1, 7, 500, 1022):
+            assert FIELD.log_alpha(FIELD.alpha_pow(e)) == e % FIELD.order
+
+
+nonzero = st.integers(min_value=1, max_value=FIELD.order)
+element = st.integers(min_value=0, max_value=FIELD.order)
+
+
+class TestFieldAxioms:
+    @given(element, element, element)
+    @settings(max_examples=200)
+    def test_mul_associative(self, a, b, c):
+        assert FIELD.mul(FIELD.mul(a, b), c) == FIELD.mul(a, FIELD.mul(b, c))
+
+    @given(element, element)
+    @settings(max_examples=200)
+    def test_mul_commutative(self, a, b):
+        assert FIELD.mul(a, b) == FIELD.mul(b, a)
+
+    @given(element, element, element)
+    @settings(max_examples=200)
+    def test_distributive(self, a, b, c):
+        left = FIELD.mul(a, FIELD.add(b, c))
+        right = FIELD.add(FIELD.mul(a, b), FIELD.mul(a, c))
+        assert left == right
+
+    @given(nonzero)
+    @settings(max_examples=200)
+    def test_inverse(self, a):
+        assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+    @given(nonzero, nonzero)
+    @settings(max_examples=200)
+    def test_div_is_mul_by_inverse(self, a, b):
+        assert FIELD.div(a, b) == FIELD.mul(a, FIELD.inv(b))
+
+    @given(element)
+    @settings(max_examples=100)
+    def test_characteristic_two(self, a):
+        assert FIELD.add(a, a) == 0
+
+
+class TestPolynomials:
+    def test_poly_eval_constant(self):
+        assert FIELD.poly_eval([7], 3) == 7
+
+    def test_poly_eval_linear(self):
+        # p(x) = 2 + 3x at x=5: 2 XOR mul(3, 5)
+        assert FIELD.poly_eval([2, 3], 5) == 2 ^ FIELD.mul(3, 5)
+
+    def test_poly_mul_identity(self):
+        assert FIELD.poly_mul([1], [4, 5, 6]) == [4, 5, 6]
+
+    def test_poly_mul_empty(self):
+        assert FIELD.poly_mul([], [1, 2]) == []
+
+    def test_minimal_polynomial_of_alpha(self):
+        # The minimal polynomial of alpha is the primitive polynomial.
+        assert FIELD.minimal_polynomial(1) == FIELD.primitive_poly
+
+    def test_minimal_polynomial_has_element_as_root(self):
+        field = get_field(6)
+        for e in (1, 3, 5, 9):
+            mask = field.minimal_polynomial(e)
+            coeffs = [(mask >> i) & 1 for i in range(mask.bit_length())]
+            assert field.poly_eval(coeffs, field.alpha_pow(e)) == 0
+
+
+class TestGf2PolyHelpers:
+    def test_degree(self):
+        assert gf2_poly_degree(0) == -1
+        assert gf2_poly_degree(1) == 0
+        assert gf2_poly_degree(0b1011) == 3
+
+    def test_mul_known(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert gf2_poly_mul(0b11, 0b11) == 0b101
+
+    def test_mod(self):
+        # x^2 + 1 mod (x + 1) = 0  since x=1 is a root
+        assert gf2_poly_mod(0b101, 0b11) == 0
+
+    def test_mod_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf2_poly_mod(0b101, 0)
+
+    def test_gcd(self):
+        # gcd((x+1)(x^2+x+1), (x+1)) = x+1
+        a = gf2_poly_mul(0b11, 0b111)
+        assert gf2_poly_gcd(a, 0b11) == 0b11
+
+    def test_lcm(self):
+        a, b = 0b11, 0b111  # coprime
+        assert gf2_poly_lcm(a, b) == gf2_poly_mul(a, b)
+
+    def test_lcm_with_common_factor(self):
+        a = gf2_poly_mul(0b11, 0b111)
+        assert gf2_poly_lcm(a, 0b11) == a
+
+    @given(st.integers(1, 1 << 12), st.integers(1, 1 << 12))
+    @settings(max_examples=100)
+    def test_lcm_divisible_by_both(self, a, b):
+        lcm = gf2_poly_lcm(a, b)
+        assert gf2_poly_mod(lcm, a) == 0
+        assert gf2_poly_mod(lcm, b) == 0

@@ -1,0 +1,107 @@
+"""Unit and property tests for the SEC-DED codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.hamming import SecDedCode
+from repro.errors import ConfigurationError, EncodingError, UncorrectableError
+
+WORD = SecDedCode(64)  # the classic (72,64)
+LINE = SecDedCode(516)  # 64B line + 4 mode bits (paper Fig. 6 ii)
+
+
+class TestConstruction:
+    def test_72_64(self):
+        assert WORD.codeword_bits == 72
+        assert WORD.check_bits == 8
+
+    def test_line_granularity_needs_11_bits(self):
+        """Paper Sec. III-D: SECDED over a 64-byte line needs 11 bits."""
+        assert LINE.check_bits == 11
+
+    def test_rejects_zero_data_bits(self):
+        with pytest.raises(ConfigurationError):
+            SecDedCode(0)
+
+    @pytest.mark.parametrize("k,total", [(4, 4 + 4), (11, 11 + 5), (26, 26 + 6), (57, 57 + 7)])
+    def test_check_bit_counts(self, k, total):
+        assert SecDedCode(k).codeword_bits == total
+
+
+class TestEncode:
+    def test_zero_roundtrip(self):
+        assert WORD.encode(0) == 0
+
+    def test_systematic_extraction(self):
+        data = 0xFEDCBA9876543210
+        assert WORD.extract_data(WORD.encode(data)) == data
+
+    def test_rejects_oversized(self):
+        with pytest.raises(EncodingError):
+            WORD.encode(1 << 64)
+
+    def test_codeword_has_even_parity(self):
+        for data in (1, 0xFF, 0xDEAD):
+            assert bin(WORD.encode(data)).count("1") % 2 == 0
+
+
+class TestDecode:
+    def test_clean(self):
+        result = WORD.decode(WORD.encode(42))
+        assert result.data == 42
+        assert result.corrected_position is None
+
+    def test_corrects_every_single_bit_position(self):
+        data = 0x0123456789ABCDEF
+        word = WORD.encode(data)
+        for pos in range(WORD.codeword_bits):
+            result = WORD.decode(word ^ (1 << pos))
+            assert result.data == data
+            assert result.corrected_position == pos
+            assert result.errors_corrected == 1
+
+    def test_detects_all_adjacent_double_errors(self):
+        data = 0xA5A5A5A5A5A5A5A5
+        word = WORD.encode(data)
+        for pos in range(WORD.codeword_bits - 1):
+            with pytest.raises(UncorrectableError):
+                WORD.decode(word ^ (0b11 << pos))
+
+    def test_detects_random_double_errors(self, rng):
+        data = rng.getrandbits(64)
+        word = WORD.encode(data)
+        for _ in range(50):
+            a, b = rng.sample(range(WORD.codeword_bits), 2)
+            with pytest.raises(UncorrectableError):
+                WORD.decode(word ^ (1 << a) ^ (1 << b))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(UncorrectableError):
+            WORD.decode(1 << 72)
+
+
+@given(data=st.integers(min_value=0, max_value=(1 << 64) - 1),
+       pos=st.integers(min_value=0, max_value=71))
+@settings(max_examples=200, deadline=None)
+def test_property_single_error_corrected(data, pos):
+    word = WORD.encode(data)
+    assert WORD.decode(word ^ (1 << pos)).data == data
+
+
+@given(data=st.integers(min_value=0, max_value=(1 << 516) - 1))
+@settings(max_examples=50, deadline=None)
+def test_property_line_granularity_roundtrip(data):
+    assert LINE.decode(LINE.encode(data)).data == data
+
+
+@given(data=st.integers(min_value=0, max_value=(1 << 64) - 1),
+       positions=st.lists(st.integers(0, 71), min_size=2, max_size=2, unique=True))
+@settings(max_examples=200, deadline=None)
+def test_property_double_error_never_silently_corrupts(data, positions):
+    """Double errors must be detected, never mis-decoded."""
+    word = WORD.encode(data)
+    for p in positions:
+        word ^= 1 << p
+    with pytest.raises(UncorrectableError):
+        WORD.decode(word)

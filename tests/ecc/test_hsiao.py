@@ -1,0 +1,102 @@
+"""Tests for the Hsiao SEC-DED construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.hamming import SecDedCode
+from repro.ecc.hsiao import HsiaoCode
+from repro.errors import ConfigurationError, EncodingError, UncorrectableError
+
+WORD = HsiaoCode(64)
+
+
+class TestConstruction:
+    def test_72_64_shape(self):
+        """The classic industrial configuration: 8 check bits for 64."""
+        assert WORD.check_bits == 8
+        assert WORD.codeword_bits == 72
+
+    def test_line_granularity_matches_hamming(self):
+        """512+4 data bits need 11 check bits — same budget as our
+        extended-Hamming SEC-DED, so Fig. 6's layout is construction-
+        independent."""
+        assert HsiaoCode(516).check_bits == SecDedCode(516).check_bits == 11
+
+    def test_columns_are_odd_weight_and_unique(self):
+        columns = WORD._data_columns
+        assert len(set(columns)) == len(columns)
+        for column in columns:
+            assert bin(column).count("1") % 2 == 1
+            assert bin(column).count("1") >= 3  # unit vectors are checks
+
+    def test_gate_count_supports_cost_model(self):
+        """The (72,64) Hsiao encoder lands in the few-hundred-XOR range,
+        consistent with the ~3K-gate full SECDED codec estimate the
+        latency/area model uses."""
+        assert 150 <= WORD.xor_gate_estimate() <= 400
+
+    def test_hsiao_h_is_sparser_than_naive(self):
+        """Minimum-weight-first selection keeps H near the theoretical
+        minimum: average data-column weight close to 3."""
+        avg_weight = (WORD.total_ones_in_h - WORD.check_bits) / WORD.data_bits
+        assert avg_weight < 3.5
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            HsiaoCode(0)
+
+
+class TestRoundTrips:
+    def test_clean(self):
+        data = 0xDEADBEEFCAFEF00D
+        result = WORD.decode(WORD.encode(data))
+        assert result.data == data
+        assert result.corrected_position is None
+
+    def test_corrects_every_position(self):
+        data = 0x0123456789ABCDEF
+        word = WORD.encode(data)
+        for position in range(WORD.codeword_bits):
+            result = WORD.decode(word ^ (1 << position))
+            assert result.data == data
+            assert result.corrected_position == position
+
+    def test_detects_all_double_errors_exhaustive_checks(self, rng):
+        data = rng.getrandbits(64)
+        word = WORD.encode(data)
+        for _ in range(200):
+            a, b = rng.sample(range(WORD.codeword_bits), 2)
+            with pytest.raises(UncorrectableError):
+                WORD.decode(word ^ (1 << a) ^ (1 << b))
+
+    def test_rejects_oversized(self):
+        with pytest.raises(EncodingError):
+            WORD.encode(1 << 64)
+        with pytest.raises(UncorrectableError):
+            WORD.decode(1 << 72)
+
+
+class TestAgainstExtendedHamming:
+    """Both constructions guarantee SEC-DED; Hsiao needs no overall
+    parity and (for 64 data bits) the same total check bits."""
+
+    def test_same_rate_at_64(self):
+        assert HsiaoCode(64).codeword_bits == SecDedCode(64).codeword_bits
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=71))
+    @settings(max_examples=150, deadline=None)
+    def test_property_single_correction_parity(self, data, position):
+        hsiao = WORD.decode(WORD.encode(data) ^ (1 << position))
+        assert hsiao.data == data
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.lists(st.integers(0, 71), min_size=2, max_size=2, unique=True))
+    @settings(max_examples=150, deadline=None)
+    def test_property_double_detection(self, data, positions):
+        word = WORD.encode(data)
+        for p in positions:
+            word ^= 1 << p
+        with pytest.raises(UncorrectableError):
+            WORD.decode(word)

@@ -1,0 +1,162 @@
+"""Tests for the morphable (72,64)-compatible line layout."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.layout import EccFieldLayout, LineCodec
+from repro.errors import ConfigurationError, ModeBitError
+from repro.types import EccMode
+
+CODEC = LineCodec()
+
+
+class TestConstruction:
+    def test_stored_line_is_72_bytes(self):
+        """The whole morphable line fits the (72,64) DIMM budget."""
+        assert CODEC.stored_bits == 576
+
+    def test_strong_code_uses_60_bits(self):
+        assert CODEC.strong_code.parity_bits == 60
+
+    def test_weak_code_uses_11_bits(self):
+        assert CODEC.weak_code.check_bits == 11
+
+    def test_rejects_overstrong_code(self):
+        with pytest.raises(ConfigurationError):
+            LineCodec(strong_t=7)  # 70 parity bits > 60 available
+
+    def test_layout_code_bits(self):
+        assert EccFieldLayout().code_bits == 60
+
+
+class TestModeReplicas:
+    def test_patterns(self):
+        weak = CODEC.encode(0, EccMode.WEAK)
+        strong = CODEC.encode(0, EccMode.STRONG)
+        assert CODEC.read_mode_replicas(weak) == 0b0000
+        assert CODEC.read_mode_replicas(strong) == 0b1111
+
+    def test_majority_resolution(self):
+        assert CODEC.resolve_mode(0b1110) is EccMode.STRONG
+        assert CODEC.resolve_mode(0b0001) is EccMode.WEAK
+        assert CODEC.resolve_mode(0b0011) is None  # tie
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("mode", [EccMode.WEAK, EccMode.STRONG])
+    def test_clean(self, mode, rng):
+        data = rng.getrandbits(512)
+        result = CODEC.decode(CODEC.encode(data, mode))
+        assert result.data == data
+        assert result.mode is mode
+        assert result.errors_corrected == 0
+        assert not result.used_trial_decode
+
+    def test_strong_corrects_six_errors_anywhere(self, rng):
+        data = rng.getrandbits(512)
+        stored = CODEC.encode(data, EccMode.STRONG)
+        for p in rng.sample(range(576), 6):
+            stored ^= 1 << p
+        result = CODEC.decode(stored)
+        assert result.data == data
+        assert result.mode is EccMode.STRONG
+
+    def test_weak_corrects_single_data_error(self, rng):
+        data = rng.getrandbits(512)
+        stored = CODEC.encode(data, EccMode.WEAK)
+        stored ^= 1 << 300  # a data bit
+        result = CODEC.decode(stored)
+        assert result.data == data
+        assert result.mode is EccMode.WEAK
+
+    def test_strong_errors_hitting_all_mode_replicas(self, rng):
+        """Flipping every replica still decodes correctly via trial decode."""
+        data = rng.getrandbits(512)
+        stored = CODEC.encode(data, EccMode.STRONG)
+        stored ^= 0b1111  # all four replicas now claim WEAK
+        result = CODEC.decode(stored)
+        assert result.data == data
+        assert result.mode is EccMode.STRONG
+
+    def test_strong_with_replica_tie_uses_trial_decode(self, rng):
+        data = rng.getrandbits(512)
+        stored = CODEC.encode(data, EccMode.STRONG)
+        stored ^= 0b0011  # two of four replicas flipped: tie
+        result = CODEC.decode(stored)
+        assert result.data == data
+        assert result.mode is EccMode.STRONG
+        assert result.used_trial_decode
+
+    def test_weak_with_replica_tie_is_never_silent(self, rng):
+        data = rng.getrandbits(512)
+        stored = CODEC.encode(data, EccMode.WEAK)
+        stored ^= 0b1100
+        # A tie means two replica errors — beyond SEC-DED's single-error
+        # budget.  The guarantee is no *silent* wrong answer: either the
+        # right data comes back or the failure is flagged.
+        try:
+            result = CODEC.decode(stored)
+        except ModeBitError:
+            return
+        assert result.data == data
+
+    def test_rejects_oversized_data(self):
+        with pytest.raises(ConfigurationError):
+            CODEC.encode(1 << 512, EccMode.WEAK)
+
+
+class TestNoSilentModeConfusion:
+    def test_weak_line_never_accepted_as_strong(self, rng):
+        """A clean weak line tried as strong must fail, not alias."""
+        for _ in range(10):
+            data = rng.getrandbits(512)
+            stored = CODEC.encode(data, EccMode.WEAK)
+            with pytest.raises((ModeBitError, Exception)):
+                CODEC._decode_as(stored, EccMode.STRONG, trial=True)
+
+    def test_strong_line_never_accepted_as_weak(self, rng):
+        for _ in range(10):
+            data = rng.getrandbits(512)
+            stored = CODEC.encode(data, EccMode.STRONG)
+            with pytest.raises((ModeBitError, Exception)):
+                CODEC._decode_as(stored, EccMode.WEAK, trial=True)
+
+
+@given(data=st.integers(min_value=0, max_value=(1 << 512) - 1),
+       mode=st.sampled_from([EccMode.WEAK, EccMode.STRONG]))
+@settings(max_examples=30, deadline=None)
+def test_property_roundtrip(data, mode):
+    result = CODEC.decode(CODEC.encode(data, mode))
+    assert result.data == data
+    assert result.mode is mode
+
+
+@given(data=st.integers(min_value=0, max_value=(1 << 512) - 1),
+       positions=st.lists(st.integers(0, 575), min_size=1, max_size=6, unique=True))
+@settings(max_examples=25, deadline=None)
+def test_property_strong_corrects_any_six(data, positions):
+    stored = CODEC.encode(data, EccMode.STRONG)
+    for p in positions:
+        stored ^= 1 << p
+    result = CODEC.decode(stored)
+    assert result.data == data
+    assert result.mode is EccMode.STRONG
+
+
+class TestLayoutValidation:
+    def test_rejects_zero_mode_bits(self):
+        with pytest.raises(ConfigurationError):
+            EccFieldLayout(mode_bits=0)
+
+    def test_rejects_field_without_code_room(self):
+        with pytest.raises(ConfigurationError):
+            EccFieldLayout(field_bits=4, mode_bits=4)
+
+    def test_single_mode_bit_layout_works(self, rng):
+        """1-way 'replication' is valid (just fragile — see the
+        redundancy ablation); the codec still round-trips."""
+        codec = LineCodec(layout=EccFieldLayout(field_bits=64, mode_bits=1))
+        data = rng.getrandbits(512)
+        for mode in (EccMode.WEAK, EccMode.STRONG):
+            assert codec.decode(codec.encode(data, mode)).data == data

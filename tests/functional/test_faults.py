@@ -1,0 +1,155 @@
+"""Tests for the stored-bit fault processes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.functional.faults import FaultProcess, SoftErrorModel
+from repro.reliability.retention import RetentionModel
+
+
+class TestSoftErrors:
+    def test_zero_duration_zero_probability(self):
+        assert SoftErrorModel().flip_probability(0.0) == 0.0
+
+    def test_probability_grows_with_time(self):
+        model = SoftErrorModel(rate_per_bit_s=1e-9)
+        assert model.flip_probability(100.0) > model.flip_probability(1.0)
+
+    def test_saturates_below_one(self):
+        model = SoftErrorModel(rate_per_bit_s=1.0)
+        assert model.flip_probability(1e6) <= 1.0
+
+    def test_small_rate_linear(self):
+        model = SoftErrorModel(rate_per_bit_s=1e-13)
+        assert model.flip_probability(10.0) == pytest.approx(1e-12, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SoftErrorModel(rate_per_bit_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            SoftErrorModel().flip_probability(-1.0)
+
+
+class TestFaultProcess:
+    def test_retention_probability_matches_model(self):
+        process = FaultProcess()
+        assert process.retention_flip_probability(1.0) == pytest.approx(10 ** -4.5)
+
+    def test_no_retention_flips_below_period(self):
+        """An interval shorter than the refresh period sees only soft
+        errors (every cell gets refreshed in time)."""
+        process = FaultProcess(soft_errors=SoftErrorModel(rate_per_bit_s=0.0), seed=1)
+        for _ in range(50):
+            assert process.sample_line_flips(1.0, 0.5) == []
+
+    def test_flips_at_slow_period(self):
+        """With an exaggerated BER, flips appear within few samples."""
+        process = FaultProcess(
+            retention=RetentionModel(anchor_ber=0.01), seed=2
+        )
+        total = sum(len(process.sample_line_flips(1.0, 10.0)) for _ in range(50))
+        # Expectation: 50 lines * 576 bits * ~0.01 = ~288 flips.
+        assert 150 < total < 500
+
+    def test_positions_in_range(self):
+        process = FaultProcess(retention=RetentionModel(anchor_ber=0.05), seed=3)
+        for _ in range(20):
+            for p in process.sample_line_flips(1.0, 5.0):
+                assert 0 <= p < 576
+
+    def test_expected_flips_per_line(self):
+        process = FaultProcess()
+        expected = process.expected_flips_per_line(1.0, 60.0)
+        assert expected == pytest.approx(576 * 10 ** -4.5, rel=0.01)
+
+    def test_deterministic(self):
+        a = FaultProcess(retention=RetentionModel(anchor_ber=0.01), seed=5)
+        b = FaultProcess(retention=RetentionModel(anchor_ber=0.01), seed=5)
+        assert [a.sample_line_flips(1.0, 5.0) for _ in range(10)] == [
+            b.sample_line_flips(1.0, 5.0) for _ in range(10)
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultProcess(line_bits=0)
+        with pytest.raises(ConfigurationError):
+            FaultProcess().sample_line_flips(1.0, -1.0)
+
+
+class TestLineFaultState:
+    """The fixed weak-cell population model (persistent storage physics)."""
+
+    def make(self, seed=0):
+        from repro.functional.faults import LineFaultState
+        import random
+
+        return LineFaultState(576), random.Random(seed)
+
+    def test_starts_empty(self):
+        state, _ = self.make()
+        assert state.weak_count == 0
+        assert state.decayed_cells(1.0) == []
+
+    def test_extend_samples_population(self):
+        state, rng = self.make(1)
+        state.extend(0.01, rng)
+        # ~5.8 expected weak cells at f=0.01 over 576 bits.
+        assert 0 < state.weak_count < 30
+
+    def test_extend_is_monotone_and_idempotent(self):
+        state, rng = self.make(2)
+        state.extend(0.01, rng)
+        count = state.weak_count
+        state.extend(0.01, rng)  # same level: no growth
+        assert state.weak_count == count
+        state.extend(0.05, rng)  # higher level: grows
+        assert state.weak_count >= count
+
+    def test_decayed_subset_consistency(self):
+        """Cells failing at a fast-period BER also fail at slower ones."""
+        state, rng = self.make(3)
+        state.extend(0.05, rng)
+        fast = {p for p, _ in state.decayed_cells(0.01)}
+        slow = {p for p, _ in state.decayed_cells(0.05)}
+        assert fast <= slow
+
+    def test_decay_values_are_stable(self):
+        state, rng = self.make(4)
+        state.extend(0.05, rng)
+        first = sorted(state.decayed_cells(0.05))
+        second = sorted(state.decayed_cells(0.05))
+        assert first == second
+
+    def test_errors_bounded_not_accumulating(self):
+        """The whole point: repeated settling of an unread line is capped
+        by the fixed weak population, unlike i.i.d. resampling."""
+        from repro.functional.memory import FunctionalMemory
+        from repro.reliability.retention import RetentionModel
+        from repro.functional.faults import FaultProcess, SoftErrorModel
+        from repro.types import EccMode
+        import random
+
+        faults = FaultProcess(
+            retention=RetentionModel(anchor_ber=0.003),
+            soft_errors=SoftErrorModel(rate_per_bit_s=0.0),
+            seed=11,
+        )
+        memory = FunctionalMemory(faults=faults)
+        memory.set_refresh_period(1.024)
+        data = random.Random(0).getrandbits(512)
+        memory.write(0, data, EccMode.STRONG)
+        # A full simulated *week* unread: errors stay within the line's
+        # weak population (expected ~1.7 cells), far under ECC-6's budget.
+        memory.advance_time(7 * 24 * 3600.0)
+        assert memory.read(0) == data
+        assert memory.counters.detected_uncorrectable == 0
+
+    def test_per_line_rng_deterministic(self):
+        from repro.functional.faults import FaultProcess
+
+        process = FaultProcess(seed=5)
+        a = process.rng_for_line(42).random()
+        b = process.rng_for_line(42).random()
+        c = process.rng_for_line(43).random()
+        assert a == b
+        assert a != c

@@ -1,0 +1,171 @@
+"""Tests for the functional (data-holding) memory."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.functional.faults import FaultProcess, SoftErrorModel
+from repro.functional.memory import FunctionalMemory, NoEccMemory
+from repro.reliability.retention import RetentionModel
+from repro.types import EccMode
+
+
+def quiet_memory():
+    """Memory with fault injection disabled."""
+    return FunctionalMemory(faults=None)
+
+
+def hot_memory(seed=0, anchor_ber=0.002):
+    """Memory with an exaggerated retention BER so faults are frequent."""
+    faults = FaultProcess(
+        retention=RetentionModel(anchor_ber=anchor_ber),
+        soft_errors=SoftErrorModel(rate_per_bit_s=0.0),
+        seed=seed,
+    )
+    return FunctionalMemory(faults=faults)
+
+
+class TestBasicDataPath:
+    def test_write_read_roundtrip(self, rng):
+        memory = quiet_memory()
+        data = rng.getrandbits(512)
+        memory.write(0, data, EccMode.STRONG)
+        assert memory.read(0) == data
+
+    def test_unwritten_lines_read_zero(self):
+        memory = quiet_memory()
+        assert memory.read(4096) == 0
+        assert memory.mode_of(4096) is EccMode.STRONG
+
+    def test_downgrade_on_read(self, rng):
+        memory = quiet_memory()
+        data = rng.getrandbits(512)
+        memory.write(0, data, EccMode.STRONG)
+        assert memory.read(0, downgrade=True) == data
+        assert memory.mode_of(0) is EccMode.WEAK
+        assert memory.counters.downgrades == 1
+
+    def test_upgrade_line(self, rng):
+        memory = quiet_memory()
+        data = rng.getrandbits(512)
+        memory.write(0, data, EccMode.WEAK)
+        assert memory.upgrade_line(0)
+        assert memory.mode_of(0) is EccMode.STRONG
+        assert memory.counters.upgrades == 1
+        assert memory.read(0) == data
+
+    def test_weak_addresses(self):
+        memory = quiet_memory()
+        memory.write(0, 1, EccMode.WEAK)
+        memory.write(64, 2, EccMode.STRONG)
+        memory.write(128, 3, EccMode.WEAK)
+        assert sorted(memory.weak_addresses()) == [0, 128]
+
+    def test_sparse_materialization(self):
+        memory = quiet_memory()
+        memory.write(0, 1, EccMode.STRONG)
+        memory.read(1 << 29)
+        assert memory.materialized_lines == 2
+
+    def test_validation(self):
+        memory = quiet_memory()
+        with pytest.raises(ConfigurationError):
+            memory.write(0, 1 << 512, EccMode.WEAK)
+        with pytest.raises(ConfigurationError):
+            memory.read(-1)
+        with pytest.raises(ConfigurationError):
+            memory.advance_time(-1.0)
+        with pytest.raises(ConfigurationError):
+            memory.set_refresh_period(0.0)
+
+
+class TestFaultInjectionPath:
+    def test_strong_lines_survive_slow_refresh(self, rng):
+        """At an elevated BER (~1.2 expected flips/line), ECC-6 corrects
+        every line over many idle periods."""
+        memory = hot_memory(seed=1)
+        memory.set_refresh_period(1.024)
+        expected = {}
+        for line in range(32):
+            data = rng.getrandbits(512)
+            memory.write(line * 64, data, EccMode.STRONG)
+            expected[line] = data
+        for _ in range(5):
+            memory.advance_time(120.0)
+            for line, data in expected.items():
+                assert memory.read(line * 64) == data
+        assert memory.counters.corrected_bits > 50
+        assert memory.counters.silent_corruptions == 0
+        assert memory.counters.detected_uncorrectable == 0
+
+    def test_weak_lines_fail_at_slow_refresh(self, rng):
+        """SEC-DED at a 1 s period with the same BER quickly hits
+        detected-uncorrectable (or worse) — the paper's reason to upgrade
+        before idling."""
+        memory = hot_memory(seed=2, anchor_ber=0.01)
+        memory.set_refresh_period(1.024)
+        for line in range(32):
+            memory.write(line * 64, rng.getrandbits(512), EccMode.WEAK)
+        memory.advance_time(300.0)
+        losses = 0
+        for line in range(32):
+            result = memory.read(line * 64)
+            if result is None:
+                losses += 1
+        assert memory.counters.data_loss_events > 0
+        assert losses == memory.counters.detected_uncorrectable
+
+    def test_fast_refresh_protects_weak_lines(self, rng):
+        """At the 64 ms period the BER is negligible: SEC-DED suffices
+        (active mode in the paper)."""
+        memory = hot_memory(seed=3)
+        memory.set_refresh_period(0.064)
+        data = rng.getrandbits(512)
+        memory.write(0, data, EccMode.WEAK)
+        memory.advance_time(1000.0)
+        assert memory.read(0) == data
+        assert memory.counters.data_loss_events == 0
+
+    def test_scrubbing_resets_fault_clock(self, rng):
+        """Each read scrubs corrected errors, so errors do not accumulate
+        across reads."""
+        memory = hot_memory(seed=4, anchor_ber=0.001)
+        memory.set_refresh_period(1.024)
+        data = rng.getrandbits(512)
+        memory.write(0, data, EccMode.STRONG)
+        for _ in range(30):
+            memory.advance_time(60.0)
+            assert memory.read(0) == data
+        assert memory.counters.silent_corruptions == 0
+
+    def test_refresh_period_change_settles_faults(self, rng):
+        """Flips accrued at the slow period must not be forgotten when
+        switching to the fast period."""
+        memory = hot_memory(seed=5, anchor_ber=0.004)
+        memory.set_refresh_period(1.024)
+        data = rng.getrandbits(512)
+        memory.write(0, data, EccMode.STRONG)
+        memory.advance_time(600.0)
+        memory.set_refresh_period(0.064)  # wake-up
+        assert memory.read(0) == data
+        # Correction happened even though the read occurred at the fast
+        # period: the flips were settled at the switch.
+        assert memory.counters.corrected_bits >= 0
+
+
+class TestNoEccMemory:
+    def test_roundtrip_without_faults(self, rng):
+        memory = NoEccMemory(faults=None)
+        data = rng.getrandbits(512)
+        memory.write(0, data)
+        assert memory.read(0) == data
+
+    def test_corrupts_at_slow_refresh(self, rng):
+        faults = FaultProcess(retention=RetentionModel(anchor_ber=0.01), seed=6)
+        memory = NoEccMemory(faults=faults)
+        memory.set_refresh_period(1.024)
+        for line in range(16):
+            memory.write(line * 64, rng.getrandbits(512))
+        memory.advance_time(300.0)
+        for line in range(16):
+            memory.read(line * 64)
+        assert memory.counters.silent_corruptions > 0

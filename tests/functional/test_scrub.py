@@ -1,0 +1,105 @@
+"""Tests for the patrol scrubber."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.functional.faults import FaultProcess, SoftErrorModel
+from repro.functional.memory import FunctionalMemory
+from repro.functional.scrub import PatrolScrubber
+from repro.reliability.retention import RetentionModel
+from repro.types import EccMode
+
+
+def memory_with_soft_errors(rate=1e-6, seed=0):
+    """Soft errors only (retention off) so accumulation is unbounded
+    without scrubbing."""
+    faults = FaultProcess(
+        retention=RetentionModel(anchor_ber=1e-30),
+        soft_errors=SoftErrorModel(rate_per_bit_s=rate),
+        seed=seed,
+    )
+    return FunctionalMemory(faults=faults)
+
+
+class TestScrubPass:
+    def test_scans_materialized_lines(self, rng):
+        memory = memory_with_soft_errors()
+        for line in range(10):
+            memory.write(line * 64, rng.getrandbits(512), EccMode.STRONG)
+        scrubber = PatrolScrubber(memory)
+        report = scrubber.scrub_pass()
+        assert report.lines_scanned == 10
+        assert report.energy_j == pytest.approx(
+            10 * scrubber.calculator.line_read_energy_j()
+        )
+
+    def test_corrects_accumulated_soft_errors(self, rng):
+        memory = memory_with_soft_errors(rate=1e-5, seed=1)
+        data = {line: rng.getrandbits(512) for line in range(20)}
+        for line, value in data.items():
+            memory.write(line * 64, value, EccMode.STRONG)
+        scrubber = PatrolScrubber(memory)
+        # ~1e-5/bit/s * 576 bits * 100 s = ~0.6 flips per line per sweep.
+        reports = scrubber.run_for(duration_s=1000.0, interval_s=100.0)
+        assert sum(r.bits_corrected for r in reports) > 0
+        assert all(r.failures == 0 for r in reports)
+        for line, value in data.items():
+            assert memory.read(line * 64) == value
+
+    def test_sparse_scrubbing_risks_pileup(self):
+        """The trade-off: scrubbing rarely lets independent soft errors
+        pile past SEC-DED's single-error budget within one interval.
+
+        At 2e-6 flips/bit/s a 576-bit line accumulates ~0.06 expected
+        flips per 50 s interval (pile-up essentially never) but ~2.3 per
+        2000 s interval (most lines exceed the budget).  The metric is
+        lines actually lost at the end, not per-sweep detections.
+        """
+        def run(interval):
+            import random
+
+            data_rng = random.Random(99)
+            faults = FaultProcess(
+                retention=RetentionModel(anchor_ber=1e-30),
+                soft_errors=SoftErrorModel(rate_per_bit_s=2e-6),
+                seed=7,
+            )
+            memory = FunctionalMemory(faults=faults)
+            expected = {}
+            for line in range(30):
+                value = data_rng.getrandbits(512)
+                memory.write(line * 64, value, EccMode.WEAK)
+                expected[line] = value
+            scrubber = PatrolScrubber(memory)
+            scrubber.run_for(duration_s=2000.0, interval_s=interval)
+            lost = 0
+            for line, value in expected.items():
+                if memory.read(line * 64) != value:
+                    lost += 1
+            return lost
+
+        frequent = run(50.0)
+        rare = run(2000.0)
+        assert frequent < 5
+        assert rare > 10
+        assert rare > frequent
+
+    def test_energy_accounting(self):
+        memory = memory_with_soft_errors()
+        memory.write(0, 1, EccMode.STRONG)
+        scrubber = PatrolScrubber(memory)
+        scrubber.run_for(duration_s=300.0, interval_s=100.0)
+        assert scrubber.passes == 3
+        assert scrubber.total_energy_j > 0
+        assert scrubber.average_power_w(300.0) == pytest.approx(
+            scrubber.total_energy_j / 300.0
+        )
+
+    def test_validation(self):
+        scrubber = PatrolScrubber(memory_with_soft_errors())
+        with pytest.raises(ConfigurationError):
+            scrubber.run_for(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            scrubber.run_for(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            scrubber.average_power_w(0.0)

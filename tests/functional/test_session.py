@@ -1,0 +1,121 @@
+"""Tests for functional MECC sessions (the paper's Fig. 4 loop, on data)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.functional.faults import FaultProcess, SoftErrorModel
+from repro.functional.memory import NoEccMemory
+from repro.functional.session import FunctionalMeccSession
+from repro.reliability.retention import RetentionModel
+from repro.types import EccMode
+
+
+def hot_faults(seed=0, ber=0.001):
+    return FaultProcess(
+        retention=RetentionModel(anchor_ber=ber),
+        soft_errors=SoftErrorModel(rate_per_bit_s=0.0),
+        seed=seed,
+    )
+
+
+class TestSchemes:
+    def test_mecc_never_loses_data(self):
+        session = FunctionalMeccSession(
+            scheme="mecc", working_set_lines=32, faults=hot_faults(1),
+            seed=1, accesses_per_active_phase=48,
+        )
+        report = session.run(cycles=10)
+        assert not report.lost_data
+        assert report.verified_lines == 32
+        # The slow refresh actually produced errors that were corrected.
+        assert report.counters.corrected_bits > 0
+        assert report.counters.downgrades > 0
+        assert report.counters.upgrades > 0
+
+    def test_ecc6_never_loses_data(self):
+        session = FunctionalMeccSession(
+            scheme="ecc6", working_set_lines=32, faults=hot_faults(2), seed=2,
+        )
+        report = session.run(cycles=10)
+        assert not report.lost_data
+        assert report.counters.downgrades == 0
+
+    def test_secded_safe_at_fast_refresh(self):
+        """SEC-DED is fine because its idle refresh stays at 64 ms (no
+        refresh saving, but no loss either)."""
+        session = FunctionalMeccSession(
+            scheme="secded", working_set_lines=32, faults=hot_faults(3), seed=3,
+        )
+        report = session.run(cycles=10)
+        assert not report.lost_data
+        # ...and no refresh-error corrections were ever needed.
+        assert report.counters.corrected_bits == 0
+
+    def test_no_ecc_at_slow_refresh_loses_data(self):
+        """The strawman: a 1 s refresh without ECC corrupts reads."""
+        session = FunctionalMeccSession(
+            scheme="none-slow", working_set_lines=32, faults=hot_faults(4), seed=4,
+        )
+        report = session.run(cycles=10)
+        assert report.lost_data
+        assert report.counters.silent_corruptions > 0
+        assert isinstance(session.memory, NoEccMemory)
+
+    def test_paper_ber_long_session_mecc_clean(self):
+        """At the paper's real 1 s BER (10^-4.5), a multi-hour session
+        corrects a handful of bits and never loses a line."""
+        session = FunctionalMeccSession(
+            scheme="mecc", working_set_lines=48, faults=FaultProcess(seed=5),
+            seed=5, idle_seconds=600.0, accesses_per_active_phase=64,
+        )
+        report = session.run(cycles=12)
+        assert report.simulated_seconds > 7000
+        assert not report.lost_data
+
+
+class TestMechanics:
+    def test_mecc_mode_cycle(self):
+        """Lines end every cycle strong (post-upgrade)."""
+        session = FunctionalMeccSession(
+            scheme="mecc", working_set_lines=8, faults=None, seed=6,
+            accesses_per_active_phase=32,
+        )
+        session.run_cycle()
+        assert session.memory.weak_addresses() == []
+        for line in range(8):
+            assert session.memory.mode_of(line * 64) is EccMode.STRONG
+
+    def test_downgrades_happen_within_cycle(self):
+        session = FunctionalMeccSession(
+            scheme="mecc", working_set_lines=8, faults=None, seed=7,
+            accesses_per_active_phase=32,
+        )
+        session.run_cycle()
+        assert session.memory.counters.downgrades > 0
+        assert session.memory.counters.upgrades > 0
+
+    def test_secded_never_morphs(self):
+        session = FunctionalMeccSession(
+            scheme="secded", working_set_lines=8, faults=None, seed=8,
+        )
+        session.run_cycle()
+        assert session.memory.counters.downgrades == 0
+        assert session.memory.counters.upgrades == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FunctionalMeccSession(scheme="magic")
+        with pytest.raises(ConfigurationError):
+            FunctionalMeccSession(working_set_lines=0)
+        with pytest.raises(ConfigurationError):
+            FunctionalMeccSession(active_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            FunctionalMeccSession().run(cycles=0)
+
+    def test_deterministic(self):
+        a = FunctionalMeccSession(scheme="mecc", faults=hot_faults(9), seed=9,
+                                  working_set_lines=16).run(5)
+        b = FunctionalMeccSession(scheme="mecc", faults=hot_faults(9), seed=9,
+                                  working_set_lines=16).run(5)
+        assert a.counters.corrected_bits == b.counters.corrected_bits
+        assert a.verified_lines == b.verified_lines

@@ -1,0 +1,107 @@
+"""The paper's generalization claim: morphing between arbitrary ECC levels.
+
+Paper Sec. VIII: "While we have used ECC-6 as strong ECC and SECDED for
+weak ECC ... the MECC scheme is useful for morphing between arbitrary
+levels of ECC, which trades off robustness with performance or power
+savings."  These tests exercise the controller and simulator with
+non-default scheme pairs and alternative line geometries.
+"""
+
+import pytest
+
+from repro.core.mecc import MeccController
+from repro.core.policy import MeccPolicy
+from repro.dram.device import DramDevice
+from repro.ecc.codes import make_scheme
+from repro.ecc.layout import EccFieldLayout, LineCodec
+from repro.errors import ConfigurationError
+from repro.sim.engine import simulate
+from repro.types import EccMode
+from repro.workloads.spec import BENCHMARKS_BY_NAME
+
+
+class TestArbitrarySchemePairs:
+    @pytest.mark.parametrize("weak_t,strong_t", [(1, 3), (2, 6), (1, 4), (3, 6)])
+    def test_controller_accepts_pair(self, weak_t, strong_t):
+        controller = MeccController(
+            weak=make_scheme(weak_t), strong=make_scheme(strong_t)
+        )
+        controller.wake()
+        cycles, writeback = controller.on_read(0)
+        assert cycles == make_scheme(strong_t).decode_cycles
+        assert writeback
+        cycles, _ = controller.on_read(0)
+        assert cycles == make_scheme(weak_t).decode_cycles
+
+    def test_rejects_degenerate_pairs(self):
+        with pytest.raises(ConfigurationError):
+            MeccController(weak=make_scheme(3), strong=make_scheme(3))
+        with pytest.raises(ConfigurationError):
+            MeccController(weak=make_scheme(6), strong=make_scheme(2))
+
+    def test_stronger_weak_scheme_trades_performance(self):
+        """ECC-2 as the weak code costs more than SECDED in active mode
+        but tolerates a longer active-mode refresh stretch — the
+        robustness/performance dial the paper describes."""
+        trace = BENCHMARKS_BY_NAME["sphinx"].trace(60_000)
+        secded_weak = MeccPolicy(controller=MeccController(
+            weak=make_scheme(1), strong=make_scheme(6)))
+        ecc2_weak = MeccPolicy(controller=MeccController(
+            weak=make_scheme(2), strong=make_scheme(6)))
+        fast = simulate(trace, secded_weak)
+        slow = simulate(trace, ecc2_weak)
+        assert slow.cycles > fast.cycles
+        # ECC-2 corrects double errors (robustness gained).
+        assert make_scheme(2).correctable == 2
+
+    def test_stronger_strong_scheme_allows_longer_refresh(self):
+        """An (hypothetical) ECC-8 strong code stretches the safe period
+        beyond ECC-6's ~1 s at the cost of more decode latency."""
+        from repro.reliability.provisioning import max_refresh_period_for_strength
+
+        assert max_refresh_period_for_strength(8) > max_refresh_period_for_strength(6)
+        assert make_scheme(8).decode_cycles > make_scheme(6).decode_cycles
+
+
+class TestAlternativeGeometries:
+    def test_128_byte_lines(self, rng):
+        """A 128B line with a proportional ECC budget (128 bits) morphs
+        between SEC-DED and ECC-6 over GF(2^11)."""
+        codec = LineCodec(
+            line_bytes=128, strong_t=6, layout=EccFieldLayout(field_bits=128)
+        )
+        assert codec.strong_code.m == 11
+        data = rng.getrandbits(1024)
+        for mode in (EccMode.WEAK, EccMode.STRONG):
+            stored = codec.encode(data, mode)
+            result = codec.decode(stored)
+            assert result.data == data and result.mode is mode
+        # Six errors anywhere still correct in strong mode.
+        stored = codec.encode(data, EccMode.STRONG)
+        for p in rng.sample(range(codec.stored_bits), 6):
+            stored ^= 1 << p
+        assert codec.decode(stored).data == data
+
+    def test_32_byte_lines(self, rng):
+        codec = LineCodec(
+            line_bytes=32, strong_t=3, layout=EccFieldLayout(field_bits=32)
+        )
+        data = rng.getrandbits(256)
+        stored = codec.encode(data, EccMode.STRONG)
+        for p in rng.sample(range(codec.stored_bits), 3):
+            stored ^= 1 << p
+        assert codec.decode(stored).data == data
+
+    def test_budget_overflow_rejected(self):
+        """ECC-6 over a 32B line needs 54 bits > the 28 available."""
+        with pytest.raises(ConfigurationError):
+            LineCodec(line_bytes=32, strong_t=6, layout=EccFieldLayout(field_bits=32))
+
+    def test_bigger_memory_device(self):
+        """A 4 GB device (the paper's 'next generation') scales the
+        upgrade-time arithmetic linearly: ~1.6 s full scan."""
+        from repro.dram.config import DramOrganization
+
+        org = DramOrganization(capacity_bytes=4 << 30, rows=64 * 1024)
+        device = DramDevice(org=org)
+        assert device.full_upgrade_seconds() == pytest.approx(1.6, rel=0.08)

@@ -1,0 +1,107 @@
+"""Configuration-matrix tests: the stack works beyond Table II.
+
+The paper evaluates one system; a library must hold up across the
+configuration space.  Run a small fixed workload through combinations of
+organization, timings, mapping, and policy, asserting structural sanity
+(and a few directional physics checks) everywhere.
+"""
+
+import pytest
+
+from repro.dram.config import DramOrganization, DramTimings, PROC_CYCLES_PER_BUS_CYCLE
+from repro.dram.controller import MemoryController
+from repro.sim.engine import SimulationEngine
+from repro.sim.system import SystemConfig
+from repro.workloads.spec import BENCHMARKS_BY_NAME
+
+TRACE = BENCHMARKS_BY_NAME["sphinx"].trace(25_000, calibrate=False)
+
+ORGS = {
+    "paper-1GB": DramOrganization(),
+    "2GB-8banks": DramOrganization(capacity_bytes=2 << 30, banks=8),
+    "2channel": DramOrganization(channels=2),
+    "512MB": DramOrganization(capacity_bytes=512 << 20),
+}
+
+
+class TestOrganizationMatrix:
+    @pytest.mark.parametrize("name", list(ORGS))
+    @pytest.mark.parametrize("policy_name", ["baseline", "secded", "ecc6", "mecc"])
+    def test_runs_and_is_sane(self, name, policy_name):
+        org = ORGS[name]
+        config = SystemConfig(org=org)
+        engine = SimulationEngine(
+            policy=config.policy_by_name(policy_name),
+            controller=MemoryController(org=org),
+        )
+        result = engine.run(TRACE)
+        assert result.instructions == TRACE.instructions
+        assert 0.0 < result.ipc <= 2.0
+        assert result.energy.total > 0
+
+    def test_more_banks_never_slower(self):
+        few = SimulationEngine(
+            controller=MemoryController(org=ORGS["paper-1GB"])
+        ).run(TRACE)
+        many = SimulationEngine(
+            controller=MemoryController(org=ORGS["2GB-8banks"])
+        ).run(TRACE)
+        # More banks -> fewer row conflicts for the same stream.
+        assert many.cycles <= few.cycles * 1.02
+
+    @pytest.mark.parametrize("mapping", ["row-interleaved", "block-interleaved"])
+    def test_mappings_with_mecc(self, mapping):
+        config = SystemConfig()
+        engine = SimulationEngine(
+            policy=config.policy_by_name("mecc"),
+            controller=MemoryController(mapping_policy=mapping),
+        )
+        result = engine.run(TRACE)
+        assert result.downgrades > 0
+
+
+class TestTimingMatrix:
+    def test_slower_bus_slower_system(self):
+        """Halving the bus speed (doubling every DRAM timing) slows a
+        memory-bound run."""
+        slow = DramTimings(
+            t_rcd=6 * PROC_CYCLES_PER_BUS_CYCLE,
+            t_rp=6 * PROC_CYCLES_PER_BUS_CYCLE,
+            t_cl=6 * PROC_CYCLES_PER_BUS_CYCLE,
+            t_ras=16 * PROC_CYCLES_PER_BUS_CYCLE,
+            t_rc=22 * PROC_CYCLES_PER_BUS_CYCLE,
+            t_burst=8 * PROC_CYCLES_PER_BUS_CYCLE,
+            t_rfc=44 * PROC_CYCLES_PER_BUS_CYCLE,
+        )
+        fast_run = SimulationEngine(controller=MemoryController()).run(TRACE)
+        slow_run = SimulationEngine(
+            controller=MemoryController(timings=slow)
+        ).run(TRACE)
+        assert slow_run.cycles > fast_run.cycles
+
+    def test_decode_latency_dominates_on_fast_memory(self):
+        """The faster the memory, the *bigger* ECC-6's relative penalty —
+        the decode becomes a larger share of each miss."""
+        fast = DramTimings(
+            t_rcd=2 * PROC_CYCLES_PER_BUS_CYCLE,
+            t_rp=2 * PROC_CYCLES_PER_BUS_CYCLE,
+            t_cl=2 * PROC_CYCLES_PER_BUS_CYCLE,
+            t_ras=6 * PROC_CYCLES_PER_BUS_CYCLE,
+            t_rc=8 * PROC_CYCLES_PER_BUS_CYCLE,
+            t_burst=2 * PROC_CYCLES_PER_BUS_CYCLE,
+            t_rfc=22 * PROC_CYCLES_PER_BUS_CYCLE,
+        )
+        config = SystemConfig()
+
+        def penalty(timings):
+            base = SimulationEngine(
+                policy=config.baseline_policy(),
+                controller=MemoryController(timings=timings),
+            ).run(TRACE)
+            ecc6 = SimulationEngine(
+                policy=config.ecc6_policy(),
+                controller=MemoryController(timings=timings),
+            ).run(TRACE)
+            return 1.0 - ecc6.ipc / base.ipc
+
+        assert penalty(fast) > penalty(DramTimings())

@@ -1,0 +1,147 @@
+"""End-to-end tests of the paper's headline claims at reduced scale.
+
+Each test states the claim from the paper it checks; tolerances are wide
+because the runs are scaled down ~10,000x, but every *direction* and
+rough magnitude must hold.
+"""
+
+import pytest
+
+from repro.analysis import experiments as X
+from repro.sim.engine import simulate
+from repro.sim.stats import geometric_mean
+from repro.sim.system import ScaledRun, SystemConfig
+from repro.workloads.spec import BENCHMARKS_BY_NAME
+
+RUN = ScaledRun(instructions=150_000)
+NAMES = ("povray", "hmmer", "gobmk", "dealII", "sphinx", "milc", "libq", "lbm")
+SUBSET = tuple(BENCHMARKS_BY_NAME[n] for n in NAMES)
+
+
+@pytest.fixture(scope="module")
+def perf():
+    X.clear_caches()
+    return X.fig7_performance(RUN, SUBSET)
+
+
+class TestHeadlinePerformanceClaims:
+    def test_secded_is_nearly_free(self, perf):
+        """Paper: SECDED costs ~0.5% on average."""
+        assert perf.geomean("secded") > 0.985
+
+    def test_ecc6_costs_about_ten_percent(self, perf):
+        """Paper: ECC-6 costs 10% on average, up to ~21%."""
+        geomean = perf.geomean("ecc6")
+        assert 0.82 <= geomean <= 0.94
+        worst = min(perf.normalized(b, "ecc6") for b in [s.name for s in SUBSET])
+        assert worst <= 0.85
+
+    def test_mecc_within_a_few_percent_of_baseline(self, perf):
+        """Paper: MECC's average slowdown is ~1.2% (within 2%)."""
+        assert perf.geomean("mecc") > 0.95
+
+    def test_mecc_bridges_the_gap(self, perf):
+        """MECC sits between SECDED and ECC-6, close to SECDED."""
+        secded = perf.geomean("secded")
+        ecc6 = perf.geomean("ecc6")
+        mecc = perf.geomean("mecc")
+        assert ecc6 < mecc < secded
+        assert (secded - mecc) < (mecc - ecc6)
+
+    def test_slowdown_grows_with_memory_intensity(self, perf):
+        """ECC-6 hurts High-MPKI much more than Low-MPKI (paper Fig. 3)."""
+        low = perf.normalized("povray", "ecc6")
+        high = perf.normalized("libq", "ecc6")
+        assert low > 0.99
+        assert high < 0.85
+
+
+class TestHeadlinePowerClaims:
+    def test_refresh_reduced_16x_in_idle(self):
+        """Paper abstract: refresh operations in idle mode drop 16x."""
+        out = X.fig8_idle_power()
+        assert out["MECC"]["refresh_norm"] == pytest.approx(1 / 16)
+
+    def test_idle_power_halved(self):
+        """Paper abstract: memory power in idle mode drops ~2x."""
+        out = X.fig8_idle_power()
+        assert 0.40 <= out["MECC"]["total_norm"] <= 0.60
+
+    def test_total_memory_energy_reduced(self):
+        """Paper Fig. 10: MECC cuts total memory energy (~15% at the
+        paper's active/idle power ratio; more here because our simulated
+        active power is closer to the 9x-idle ratio of Fig. 1)."""
+        out = X.fig10_total_energy(RUN, benchmarks=SUBSET)
+        assert out["mecc"]["total_norm"] < 0.92
+        assert out["mecc"]["idle_j"] < 0.6 * out["baseline"]["idle_j"]
+
+
+class TestEnhancementClaims:
+    def test_mdt_cuts_upgrade_time_8x(self):
+        """Paper Sec. VI-A: 400 ms -> ~50 ms for a ~128 MB footprint."""
+        from repro.core.mecc import MeccController
+
+        full = MeccController(use_mdt=False)
+        full.wake()
+        full.on_read(0)
+        t_full = full.enter_idle().seconds
+        assert t_full == pytest.approx(0.4, rel=0.1)
+
+        mdt_ctrl = MeccController()
+        mdt_ctrl.wake()
+        for mb in range(128):
+            mdt_ctrl.on_read(mb << 20)
+        t_mdt = mdt_ctrl.enter_idle().seconds
+        assert t_mdt == pytest.approx(0.05, rel=0.1)
+
+    def test_smd_keeps_seven_benchmarks_disabled(self):
+        """Paper Sec. VI-B: povray-class workloads never enable
+        ECC-Downgrade; memory-bound ones enable quickly."""
+        out = X.fig14_smd_disabled(RUN, SUBSET)
+        assert out["povray"] == 1.0
+        assert out["hmmer"] == 1.0
+        assert out["libq"] < 0.15
+        assert out["lbm"] < 0.15
+
+    def test_smd_performance_within_two_percent(self):
+        """Paper: SMD's average performance is within 2% of baseline...
+        at full scale; allow extra scale-artifact slack here."""
+        config = SystemConfig()
+        ratios = []
+        for spec in SUBSET:
+            trace = X._trace_for(spec, RUN)
+            base = simulate(trace, config.policy_by_name("baseline"))
+            smd = simulate(
+                trace,
+                config.policy_by_name("mecc+smd", quantum_cycles=RUN.quantum_cycles),
+            )
+            ratios.append(smd.ipc / base.ipc)
+        assert geometric_mean(ratios) > 0.94
+
+
+class TestDataIntegrityEndToEnd:
+    def test_idle_wake_cycle_with_real_codec(self, rng):
+        """Full MECC story on real codewords: encode strong, corrupt at
+        the 1 s BER, wake, decode, downgrade to weak, re-encode, idle,
+        upgrade back to strong — data survives every step."""
+        from repro.ecc.layout import LineCodec
+        from repro.types import EccMode
+
+        codec = LineCodec()
+        data = rng.getrandbits(512)
+        # Idle: stored strong; a 1 s refresh period flips up to 6 bits.
+        stored = codec.encode(data, EccMode.STRONG)
+        for pos in rng.sample(range(576), 4):
+            stored ^= 1 << pos
+        # Wake: first access decodes strong, re-encodes weak (downgrade).
+        decoded = codec.decode(stored)
+        assert decoded.data == data
+        stored = codec.encode(decoded.data, EccMode.WEAK)
+        # Active mode: 64 ms refresh, at most a soft-error single flip.
+        stored ^= 1 << rng.randrange(512)
+        decoded = codec.decode(stored)
+        assert decoded.data == data
+        assert decoded.mode is EccMode.WEAK
+        # Idle entry: ECC-Upgrade back to strong.
+        stored = codec.encode(decoded.data, EccMode.STRONG)
+        assert codec.decode(stored).data == data

@@ -1,0 +1,104 @@
+"""Property-based tests on simulator-wide invariants.
+
+Hypothesis generates small random traces; the invariants must hold for
+*every* trace, not just the calibrated SPEC models:
+
+* decode latency is monotone: more cycles per decode never helps;
+* MECC's IPC is bracketed by ECC-6 (below) and the baseline (above);
+* normalized results are deterministic for a fixed trace;
+* energy is positive and increases with traffic.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import Ecc6Policy, MeccPolicy, NoEccPolicy, SecdedPolicy
+from repro.ecc.codes import make_scheme
+from repro.sim.engine import simulate
+from repro.types import MemoryOp, TraceRecord
+from repro.workloads.trace import Trace
+
+
+@st.composite
+def small_traces(draw):
+    """Random short traces: mixed reads/writes over a small address pool."""
+    n = draw(st.integers(min_value=5, max_value=60))
+    records = []
+    for _ in range(n):
+        gap = draw(st.integers(min_value=0, max_value=400))
+        is_read = draw(st.booleans())
+        line = draw(st.integers(min_value=0, max_value=255))
+        records.append(TraceRecord(
+            gap=gap,
+            op=MemoryOp.READ if is_read else MemoryOp.WRITE,
+            address=line * 64,
+        ))
+    # Ensure at least one read so IPC denominators are sane.
+    records.append(TraceRecord(gap=10, op=MemoryOp.READ, address=0))
+    cpi = draw(st.floats(min_value=0.5, max_value=2.0))
+    return Trace(name="prop", records=records, nonmem_cpi=cpi)
+
+
+@given(small_traces())
+@settings(max_examples=40, deadline=None)
+def test_decode_latency_monotone(trace):
+    """Raising the strong decode latency never speeds anything up."""
+    fast = simulate(trace, Ecc6Policy(make_scheme(6).with_decode_cycles(10)))
+    slow = simulate(trace, Ecc6Policy(make_scheme(6).with_decode_cycles(50)))
+    assert slow.cycles >= fast.cycles
+
+
+@given(small_traces())
+@settings(max_examples=40, deadline=None)
+def test_mecc_bracketed(trace):
+    """baseline >= MECC >= ECC-6 in IPC, for any access pattern."""
+    base = simulate(trace, NoEccPolicy())
+    mecc = simulate(trace, MeccPolicy())
+    ecc6 = simulate(trace, Ecc6Policy())
+    assert base.cycles <= mecc.cycles + 1
+    # MECC pays at most what ECC-6 pays in decode stalls; its extra
+    # write-backs can cost a little queueing, hence the small slack.
+    assert mecc.cycles <= ecc6.cycles + trace.reads * 2 + 64
+
+
+@given(small_traces())
+@settings(max_examples=30, deadline=None)
+def test_simulation_deterministic(trace):
+    a = simulate(trace, SecdedPolicy())
+    b = simulate(trace, SecdedPolicy())
+    assert a.cycles == b.cycles
+    assert a.energy.total == b.energy.total
+
+
+@given(small_traces())
+@settings(max_examples=30, deadline=None)
+def test_energy_positive_and_bounded(trace):
+    result = simulate(trace, NoEccPolicy())
+    assert result.energy.total > 0
+    # Background+refresh power alone bounds energy below ~active power
+    # times duration; use a generous envelope (1 W is far above any
+    # mobile DRAM's ceiling).
+    duration_s = result.cycles / 1.6e9
+    assert result.energy.total < 1.0 * duration_s + 1e-6
+
+
+@given(small_traces())
+@settings(max_examples=30, deadline=None)
+def test_instruction_conservation(trace):
+    """The engine retires exactly the trace's instructions."""
+    result = simulate(trace, NoEccPolicy())
+    assert result.instructions == trace.instructions
+    assert result.reads == trace.reads
+
+
+@given(small_traces())
+@settings(max_examples=30, deadline=None)
+def test_mecc_decode_accounting(trace):
+    """Every read decodes exactly once, strong or weak; each distinct
+    line downgrades at most once."""
+    policy = MeccPolicy()
+    result = simulate(trace, policy)
+    assert result.strong_decodes + result.weak_decodes == result.reads
+    distinct_lines = len({r.address // 64 for r in trace.records})
+    assert result.downgrades <= distinct_lines

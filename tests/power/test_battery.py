@@ -1,0 +1,60 @@
+"""Tests for the battery-life model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.battery import BatteryModel
+from repro.power.calculator import DramPowerCalculator
+
+
+class TestStandby:
+    def test_standby_hours_formula(self):
+        battery = BatteryModel(capacity_wh=10.0, other_standby_w=0.015)
+        # 20 mW total -> 10 Wh / 0.02 W = 500 h.
+        assert battery.standby_hours(0.005) == pytest.approx(500.0)
+
+    def test_lower_memory_power_longer_standby(self):
+        battery = BatteryModel()
+        assert battery.standby_hours(0.002) > battery.standby_hours(0.005)
+
+    def test_zero_drain_infinite(self):
+        battery = BatteryModel(other_standby_w=0.0)
+        assert battery.standby_hours(0.0) == float("inf")
+
+    def test_mecc_extends_standby_meaningfully(self):
+        """With a 15 mW system floor and the paper's memory powers
+        (4.6 mW -> 2.4 mW), MECC stretches standby by ~10-15%."""
+        battery = BatteryModel()
+        out = battery.standby_extension()
+        assert out["mecc_hours"] > out["baseline_hours"]
+        assert 0.05 <= out["extension_fraction"] <= 0.25
+
+    def test_extension_grows_when_memory_dominates(self):
+        """On a device with a tiny non-memory floor, memory refresh is
+        the whole story and MECC's extension approaches the 2x idle-power
+        ratio."""
+        lean = BatteryModel(other_standby_w=0.001)
+        heavy = BatteryModel(other_standby_w=0.100)
+        assert (
+            lean.standby_extension()["extension_fraction"]
+            > heavy.standby_extension()["extension_fraction"]
+        )
+        assert lean.standby_extension()["extension_fraction"] > 0.4
+
+    def test_days_budget(self):
+        battery = BatteryModel(capacity_wh=10.0, other_standby_w=0.0)
+        calc = DramPowerCalculator()
+        fraction = battery.standby_days_budget(calc.idle_power(0.064).total, days=7.0)
+        # ~4.6 mW for a week = ~0.77 Wh = ~7.7% of a 10 Wh battery,
+        # from memory refresh+self-refresh alone.
+        assert fraction == pytest.approx(0.077, abs=0.005)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatteryModel(capacity_wh=0.0)
+        with pytest.raises(ConfigurationError):
+            BatteryModel(other_standby_w=-1.0)
+        with pytest.raises(ConfigurationError):
+            BatteryModel().standby_hours(-0.1)
+        with pytest.raises(ConfigurationError):
+            BatteryModel().standby_days_budget(0.01, -1.0)

@@ -1,0 +1,109 @@
+"""Tests for the IDD-based power calculator (paper Figs. 8/9 substrate)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.calculator import BankUtilization, DramPowerCalculator
+
+CALC = DramPowerCalculator()
+
+
+def util(**kwargs):
+    defaults = dict(
+        frac_active_standby=0.3,
+        frac_precharge_standby=0.0,
+        frac_active_powerdown=0.0,
+        frac_precharge_powerdown=0.7,
+        activates_per_second=1e6,
+        read_bursts_per_second=5e6,
+        write_bursts_per_second=1e6,
+    )
+    defaults.update(kwargs)
+    return BankUtilization(**defaults)
+
+
+class TestIdlePower:
+    def test_refresh_scales_16x(self):
+        """Paper Fig. 8 left: refresh power drops exactly 16x at 1.024 s."""
+        base = CALC.refresh_power_idle(0.064)
+        slow = CALC.refresh_power_idle(1.024)
+        assert base / slow == pytest.approx(16.0)
+
+    def test_refresh_is_about_half_of_idle(self):
+        """Paper Sec. V-B: 'refresh power accounts for only half the idle
+        power'."""
+        idle = CALC.idle_power(0.064)
+        share = idle.refresh / idle.total
+        assert 0.4 <= share <= 0.6
+
+    def test_idle_power_reduction_is_almost_2x(self):
+        """Paper: MECC/ECC-6 reduce idle power by ~43% ('almost 2X')."""
+        base = CALC.idle_power(0.064).total
+        slow = CALC.idle_power(1.024).total
+        reduction = 1.0 - slow / base
+        assert 0.40 <= reduction <= 0.55
+
+    def test_background_is_idd8(self):
+        idle = CALC.idle_power(0.064)
+        assert idle.background == pytest.approx(1.7 * 0.0013)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            CALC.refresh_power_idle(0.0)
+
+
+class TestActivePower:
+    def test_components_positive(self):
+        power = CALC.active_power(util())
+        assert power.background > 0
+        assert power.activate_precharge > 0
+        assert power.read_write > 0
+        assert power.refresh > 0
+        assert power.total == pytest.approx(
+            power.background + power.activate_precharge + power.read_write + power.refresh
+        )
+
+    def test_scales_with_traffic(self):
+        low = CALC.active_power(util(read_bursts_per_second=1e6))
+        high = CALC.active_power(util(read_bursts_per_second=1e7))
+        assert high.read_write > low.read_write
+        assert high.read_write / low.read_write == pytest.approx(
+            (1e7 + 1e6) / (1e6 + 1e6)
+        )
+
+    def test_powerdown_saves_background(self):
+        awake = CALC.active_power(util(frac_active_standby=1.0, frac_precharge_powerdown=0.0))
+        asleep = CALC.active_power(util(frac_active_standby=0.0, frac_precharge_powerdown=1.0))
+        assert asleep.background < awake.background / 10
+
+    def test_active_power_dwarfs_idle_power(self):
+        """Paper Fig. 1: active-mode memory power is ~9x idle or more."""
+        active = CALC.active_power(util()).total
+        idle = CALC.idle_power(0.064).total
+        assert active > 8 * idle
+
+    def test_slow_refresh_cuts_active_refresh_component(self):
+        fast = CALC.active_power(util(), refresh_period_s=0.064)
+        slow = CALC.active_power(util(), refresh_period_s=1.024)
+        assert fast.refresh / max(slow.refresh, 1e-12) == pytest.approx(16.0, rel=0.01)
+
+
+class TestLineReadEnergy:
+    def test_about_12_nanojoules(self):
+        """Paper Sec. IV-C: reading a line costs ~12 nJ."""
+        energy = CALC.line_read_energy_j()
+        assert 8e-9 <= energy <= 15e-9
+
+
+class TestUtilizationValidation:
+    def test_fraction_sum_checked(self):
+        with pytest.raises(ConfigurationError):
+            util(frac_active_standby=0.8, frac_precharge_powerdown=0.7)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            util(frac_active_standby=-0.1)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            util(activates_per_second=-1.0)

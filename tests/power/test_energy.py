@@ -1,0 +1,100 @@
+"""Tests for energy/EDP accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.calculator import BankUtilization
+from repro.power.energy import (
+    ActiveEnergyModel,
+    CodecActivity,
+    energy_delay_product,
+    total_energy_split,
+)
+from repro.types import EnergyBreakdown
+
+
+def make_util():
+    return BankUtilization(
+        frac_active_standby=0.25,
+        frac_precharge_standby=0.0,
+        frac_active_powerdown=0.0,
+        frac_precharge_powerdown=0.75,
+        activates_per_second=2e6,
+        read_bursts_per_second=8e6,
+        write_bursts_per_second=2e6,
+    )
+
+
+class TestEdp:
+    def test_formula(self):
+        assert energy_delay_product(2.0, 3.0) == 6.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            energy_delay_product(-1.0, 1.0)
+
+
+class TestActiveEnergyModel:
+    def test_energy_linear_in_duration(self):
+        model = ActiveEnergyModel()
+        one = model.energy(make_util(), 1.0)
+        two = model.energy(make_util(), 2.0)
+        assert two.total == pytest.approx(2 * one.total)
+
+    def test_codec_energy_counted(self):
+        model = ActiveEnergyModel()
+        codec = CodecActivity(weak_decodes=1000, strong_decodes=100, encodes=500)
+        with_codec = model.energy(make_util(), 1.0, codec)
+        without = model.energy(make_util(), 1.0)
+        expected_pj = 1000 * 2.0 + 100 * 40.0 + 500 * 2.0
+        assert with_codec.ecc_codec == pytest.approx(expected_pj * 1e-12)
+        assert with_codec.total - without.total == pytest.approx(expected_pj * 1e-12)
+
+    def test_codec_energy_negligible_vs_dram(self):
+        """Paper Sec. IV-C: codec energy is negligible next to DRAM."""
+        model = ActiveEnergyModel()
+        codec = CodecActivity(strong_decodes=10_000, encodes=10_000)
+        breakdown = model.energy(make_util(), 1.0, codec)
+        assert breakdown.ecc_codec < 0.001 * breakdown.total
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ConfigurationError):
+            ActiveEnergyModel().energy(make_util(), -1.0)
+
+    def test_codec_activity_validation(self):
+        with pytest.raises(ConfigurationError):
+            CodecActivity(weak_decodes=-1)
+
+
+class TestEnergyBreakdown:
+    def test_add_and_scale(self):
+        a = EnergyBreakdown(background=1.0, refresh=2.0)
+        b = EnergyBreakdown(background=0.5, read_write=1.5)
+        c = a + b
+        assert c.background == 1.5
+        assert c.refresh == 2.0
+        assert c.read_write == 1.5
+        assert c.scaled(2.0).total == pytest.approx(2 * c.total)
+
+
+class TestTotalEnergySplit:
+    def test_paper_duty_cycle(self):
+        """95% idle, active/idle powers -> energy split."""
+        split = total_energy_split(
+            active_power_w=0.2, idle_power_w=0.005, total_time_s=3600.0
+        )
+        assert split.active_energy_j == pytest.approx(0.2 * 180)
+        assert split.idle_energy_j == pytest.approx(0.005 * 3420)
+
+    def test_idle_fraction_of_energy(self):
+        split = total_energy_split(0.1, 0.1, 100.0, idle_time_fraction=0.5)
+        assert split.idle_fraction_of_energy == pytest.approx(0.5)
+
+    def test_zero_time(self):
+        split = total_energy_split(0.1, 0.01, 0.0)
+        assert split.total_j == 0.0
+        assert split.idle_fraction_of_energy == 0.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            total_energy_split(0.1, 0.01, 10.0, idle_time_fraction=1.5)

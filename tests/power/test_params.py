@@ -1,0 +1,42 @@
+"""Tests for the DRAM power parameters (paper Table IV)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.params import PAPER_PARAMS, PowerParams
+
+
+class TestPaperTableIV:
+    def test_values(self):
+        p = PAPER_PARAMS
+        assert p.vdd == 1.7
+        assert p.idd0 == pytest.approx(0.095)
+        assert p.idd2p == pytest.approx(0.0006)
+        assert p.idd3p == pytest.approx(0.003)
+        assert p.idd4 == pytest.approx(0.135)
+        assert p.idd5 == pytest.approx(0.100)
+        assert p.idd8 == pytest.approx(0.0013)
+
+    def test_refresh_interval(self):
+        """8192 refresh commands per 64 ms."""
+        assert PAPER_PARAMS.t_refi == pytest.approx(0.064 / 8192)
+
+
+class TestValidation:
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            PowerParams(vdd=0.0)
+        with pytest.raises(ConfigurationError):
+            PowerParams(idd5=-1.0)
+
+    def test_rejects_ras_over_rc(self):
+        with pytest.raises(ConfigurationError):
+            PowerParams(t_ras=60e-9, t_rc=55e-9)
+
+    def test_rejects_powerdown_above_standby(self):
+        with pytest.raises(ConfigurationError):
+            PowerParams(idd2p=0.05, idd2n=0.02)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PAPER_PARAMS.vdd = 2.0

@@ -1,0 +1,140 @@
+"""Tests for the binomial failure analysis: must reproduce paper Table I."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.reliability.failure import (
+    DEFAULT_BER,
+    DEFAULT_LINE_BITS,
+    LINES_PER_GB,
+    expected_failed_bits,
+    line_failure_probability,
+    system_failure_probability,
+    table1_rows,
+)
+
+#: Paper Table I, line-failure column (printed to 2 significant digits).
+PAPER_LINE_FAILURE = {
+    0: 1.8e-2,
+    1: 1.6e-4,
+    2: 9.8e-7,
+    3: 4.5e-9,
+    4: 1.6e-11,
+    5: 4.9e-14,
+    6: 1.2e-16,
+}
+
+#: Paper Table I, system-failure column.
+PAPER_SYSTEM_FAILURE = {
+    0: 1.0,
+    1: 1.0,
+    2: 1.0,
+    3: 7.2e-2,
+    4: 2.7e-4,
+    5: 8.1e-7,
+    6: 1.8e-9,
+}
+
+
+class TestTable1:
+    @pytest.mark.parametrize("t,expected", PAPER_LINE_FAILURE.items())
+    def test_line_failure_matches_paper(self, t, expected):
+        measured = line_failure_probability(DEFAULT_BER, t)
+        assert measured == pytest.approx(expected, rel=0.15)
+
+    @pytest.mark.parametrize("t,expected", PAPER_SYSTEM_FAILURE.items())
+    def test_system_failure_matches_paper(self, t, expected):
+        line_p = line_failure_probability(DEFAULT_BER, t)
+        measured = system_failure_probability(line_p)
+        # The paper's 16M-line rounding gives ~20% slack at the extremes.
+        assert measured == pytest.approx(expected, rel=0.35)
+
+    def test_table_rows_structure(self):
+        rows = table1_rows()
+        assert len(rows) == 7
+        assert rows[0].label == "No ECC"
+        assert rows[6].label == "ECC-6"
+
+    def test_ecc5_meets_target_ecc4_does_not(self):
+        """Paper Sec. II-C: the 1e-6 target needs ECC-5."""
+        rows = {r.ecc_t: r.system_failure for r in table1_rows()}
+        assert rows[5] < 1e-6
+        assert rows[4] > 1e-6
+
+
+class TestLineFailure:
+    def test_zero_ber(self):
+        assert line_failure_probability(0.0, 3) == 0.0
+
+    def test_full_ber(self):
+        assert line_failure_probability(1.0, 3) == pytest.approx(1.0)
+
+    def test_strength_at_least_line_bits(self):
+        assert line_failure_probability(0.5, DEFAULT_LINE_BITS) == 0.0
+
+    def test_monotone_decreasing_in_t(self):
+        probs = [line_failure_probability(DEFAULT_BER, t) for t in range(8)]
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+
+    def test_monotone_increasing_in_ber(self):
+        probs = [line_failure_probability(b, 3) for b in (1e-6, 1e-5, 1e-4, 1e-3)]
+        assert all(a < b for a, b in zip(probs, probs[1:]))
+
+    def test_no_ecc_closed_form(self):
+        """With t=0, failure = 1 - (1-p)^n exactly."""
+        p = 1e-4
+        expected = 1.0 - (1.0 - p) ** DEFAULT_LINE_BITS
+        assert line_failure_probability(p, 0) == pytest.approx(expected, rel=1e-9)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            line_failure_probability(-0.1, 1)
+        with pytest.raises(ConfigurationError):
+            line_failure_probability(0.1, -1)
+        with pytest.raises(ConfigurationError):
+            line_failure_probability(0.1, 1, line_bits=0)
+
+
+class TestSystemFailure:
+    def test_zero_lines(self):
+        assert system_failure_probability(0.5, 0) == 0.0
+
+    def test_zero_line_prob(self):
+        assert system_failure_probability(0.0) == 0.0
+
+    def test_certain_line_failure(self):
+        assert system_failure_probability(1.0) == 1.0
+
+    def test_small_probability_linearization(self):
+        """For tiny p, system failure ~= n * p."""
+        p = 1e-12
+        assert system_failure_probability(p) == pytest.approx(LINES_PER_GB * p, rel=1e-4)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            system_failure_probability(1.5)
+        with pytest.raises(ConfigurationError):
+            system_failure_probability(0.5, -1)
+
+
+class TestExpectedFailedBits:
+    def test_paper_magnitudes(self):
+        """~32K failing bits per 1Gb array at BER 10^-4.5 (paper Sec. II-B)."""
+        assert expected_failed_bits(DEFAULT_BER, 1 << 30) == pytest.approx(33_940, rel=0.02)
+
+    def test_rejects_bad(self):
+        with pytest.raises(ConfigurationError):
+            expected_failed_bits(2.0, 100)
+
+
+@given(ber=st.floats(min_value=1e-9, max_value=1e-2),
+       t=st.integers(min_value=0, max_value=8))
+@settings(max_examples=100)
+def test_property_probability_bounds(ber, t):
+    p = line_failure_probability(ber, t)
+    assert 0.0 <= p <= 1.0
+    s = system_failure_probability(p)
+    assert 0.0 <= s <= 1.0
+    assert s >= p or LINES_PER_GB == 0  # more lines, more risk

@@ -1,0 +1,96 @@
+"""Tests for the MTTDL (mean time to data loss) analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability.mttf import MttfAnalysis, MttfResult, YEAR_S
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return MttfAnalysis()
+
+
+class TestResultArithmetic:
+    def test_rate_governed_mttf(self):
+        result = MttfResult("x", 1e-9, accumulating_loss_rate_per_s=1e-8,
+                            refresh_period_s=1.0)
+        assert result.mttf_s == pytest.approx(1e8)
+        assert result.mttf_years == pytest.approx(1e8 / YEAR_S)
+
+    def test_doomed_deployment_fails_at_first_window(self):
+        result = MttfResult("x", 1.0, 0.0, refresh_period_s=1.024)
+        assert result.mttf_s == pytest.approx(1.024)
+
+    def test_zero_rate_infinite(self):
+        assert MttfResult("x", 0.0, 0.0, 1.0).mttf_s == float("inf")
+
+
+class TestSchemeComparison:
+    def test_paper_configurations(self, analysis):
+        results = {r.scheme: r for r in analysis.compare()}
+        baseline = results["SECDED @ 64 ms"]
+        mecc = results["MECC/ECC-6 @ 1 s"]
+        ecc5 = results["ECC-5 @ 1 s (no margin)"]
+        naive = results["SECDED @ 1 s (naive)"]
+        # Deployment risk: the paper's 1e-6 population target is the
+        # dividing line between ECC-5 and ECC-6.
+        assert ecc5.deployment_loss_probability > 1e-6
+        assert mecc.deployment_loss_probability < 1e-6
+        assert baseline.deployment_loss_probability == 0.0  # factory repair
+        # Accumulating MTTDL: both deployed configs outlive any device.
+        assert baseline.mttf_years > 1000
+        assert mecc.mttf_years > 1000
+        # Slow refresh without strong ECC dies at the first slow window.
+        assert naive.deployment_loss_probability == pytest.approx(1.0)
+        assert naive.mttf_s == pytest.approx(1.024)
+
+    def test_margin_buys_orders_of_magnitude(self, analysis):
+        """The +1 soft-error level: ECC-6's at-capacity population is far
+        smaller than ECC-5's, so its accumulating loss rate is orders of
+        magnitude lower."""
+        results = {r.scheme: r for r in analysis.compare()}
+        assert (
+            results["MECC/ECC-6 @ 1 s"].accumulating_loss_rate_per_s
+            < 1e-2 * results["ECC-5 @ 1 s (no margin)"].accumulating_loss_rate_per_s
+        )
+
+    def test_baseline_limited_by_soft_errors_only(self):
+        quiet = MttfAnalysis(soft_error_rate=0.0, vrt_rate=0.0)
+        result = quiet.scheme_mttf("quiet", 1, 0.064)
+        assert result.mttf_s == float("inf")
+
+    def test_vrt_only_matters_at_slow_refresh(self):
+        heavy_vrt = MttfAnalysis(soft_error_rate=0.0, vrt_rate=1e-9)
+        fast = heavy_vrt.scheme_mttf("fast", 1, 0.064)
+        slow = heavy_vrt.scheme_mttf("slow", 6, 1.024)
+        assert fast.accumulating_loss_rate_per_s == 0.0
+        assert slow.accumulating_loss_rate_per_s > 0.0
+
+    def test_bigger_memory_fails_sooner(self):
+        small = MttfAnalysis(n_lines=1 << 22)  # 256 MB
+        big = MttfAnalysis(n_lines=1 << 26)  # 4 GB
+        assert (
+            big.scheme_mttf("b", 5, 1.024).accumulating_loss_rate_per_s
+            > small.scheme_mttf("s", 5, 1.024).accumulating_loss_rate_per_s
+        )
+
+    def test_hot_device_raises_deployment_risk(self):
+        from repro.reliability.retention import RetentionModel
+
+        hot = MttfAnalysis(retention=RetentionModel().at_temperature_offset(20.0))
+        nominal = MttfAnalysis()
+        assert (
+            hot.scheme_mttf("hot", 6, 1.024).deployment_loss_probability
+            > nominal.scheme_mttf("nom", 6, 1.024).deployment_loss_probability
+        )
+
+    def test_validation(self, analysis):
+        with pytest.raises(ConfigurationError):
+            MttfAnalysis(n_lines=0)
+        with pytest.raises(ConfigurationError):
+            MttfAnalysis(vrt_rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            analysis.scheme_mttf("x", -1, 1.0)
+        with pytest.raises(ConfigurationError):
+            analysis.scheme_mttf("x", 6, 0.0)

@@ -1,0 +1,88 @@
+"""Tests for the retention-profiling model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability.profiling import ProfilingReport, RetentionProfiler
+
+GB_CELLS = 8 << 30
+
+
+class TestProfiling:
+    def test_population_matches_ber(self):
+        profiler = RetentionProfiler(seed=1)
+        report = profiler.profile(GB_CELLS, test_period_s=1.0)
+        # ~271K weak cells per 1 GB at BER 10^-4.5 (paper Sec. II-B).
+        assert report.weak_cells == pytest.approx(271_000, rel=0.05)
+
+    def test_single_round_misses_a_quarter(self):
+        profiler = RetentionProfiler(seed=2)
+        report = profiler.profile(GB_CELLS, 1.0, rounds=1)
+        assert report.miss_rate == pytest.approx(0.25, abs=0.02)
+
+    def test_more_rounds_fewer_misses(self):
+        profiler = RetentionProfiler(seed=3)
+        one = profiler.profile(GB_CELLS, 1.0, rounds=1)
+        ten = profiler.profile(GB_CELLS, 1.0, rounds=10)
+        assert ten.missed < one.missed / 100
+        assert ten.detected > one.detected
+
+    def test_vrt_sleepers_survive_any_rounds(self):
+        """No amount of profiling catches cells that degrade later."""
+        profiler = RetentionProfiler(seed=4, vrt_fraction=1e-6)
+        report = profiler.profile(GB_CELLS, 1.0, rounds=50)
+        assert report.vrt_sleepers > 1000
+        assert report.unprotected_cells >= report.vrt_sleepers
+
+    def test_report_accounting(self):
+        profiler = RetentionProfiler(seed=5)
+        report = profiler.profile(GB_CELLS, 1.0, rounds=3)
+        assert report.detected + report.missed == report.weak_cells
+        assert report.rounds == 3
+
+    def test_zero_cells(self):
+        report = RetentionProfiler().profile(0, 1.0)
+        assert report.weak_cells == 0
+        assert report.miss_rate == 0.0
+
+    def test_rounds_for_miss_rate(self):
+        profiler = RetentionProfiler(detection_probability=0.75)
+        # (0.25)^r <= 1e-6 -> r = 10.
+        assert profiler.rounds_for_miss_rate(1e-6) == 10
+        assert profiler.rounds_for_miss_rate(0.25) == 1
+
+    def test_deterministic(self):
+        a = RetentionProfiler(seed=7).profile(1 << 20, 1.0, rounds=2)
+        b = RetentionProfiler(seed=7).profile(1 << 20, 1.0, rounds=2)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetentionProfiler(detection_probability=0.0)
+        with pytest.raises(ConfigurationError):
+            RetentionProfiler(vrt_fraction=2.0)
+        profiler = RetentionProfiler()
+        with pytest.raises(ConfigurationError):
+            profiler.profile(-1, 1.0)
+        with pytest.raises(ConfigurationError):
+            profiler.profile(100, 0.0)
+        with pytest.raises(ConfigurationError):
+            profiler.profile(100, 1.0, rounds=0)
+        with pytest.raises(ConfigurationError):
+            profiler.rounds_for_miss_rate(0.0)
+
+
+class TestMeccContrast:
+    def test_mecc_needs_no_profile(self):
+        """The punchline: even a 10-round profile leaves thousands of
+        unprotected cells per GB (misses + VRT sleepers), each a data
+        loss for RAPID/RAIDR/SECRET; MECC budgets for random failures and
+        needs zero profiling rounds."""
+        profiler = RetentionProfiler(seed=9, vrt_fraction=1e-7)
+        report = profiler.profile(GB_CELLS, 1.0, rounds=10)
+        assert report.unprotected_cells > 500
+        # MECC's exposure at the same operating point, for reference:
+        from repro.baselines.vrt import VrtModel
+
+        mecc = VrtModel(seed=9).mecc_exposure(1e-7)
+        assert mecc.uncorrectable_lines < 1e-3

@@ -1,0 +1,102 @@
+"""Tests for the trace-driven cycle engine."""
+
+import pytest
+
+from repro.core.policy import Ecc6Policy, MeccPolicy, NoEccPolicy, SecdedPolicy
+from repro.dram.config import DramTimings
+from repro.sim.engine import SimulationEngine, simulate
+
+T = DramTimings()
+
+
+class TestBlockingCore:
+    def test_single_read_latency(self, hand_trace):
+        """One read: retire clock = gap cycles + memory latency."""
+        trace = hand_trace([(100, "R", 0)], nonmem_cpi=0.5)
+        result = simulate(trace, NoEccPolicy())
+        # 100 instructions at CPI 0.5 = 50 cycles; the idle rank pays the
+        # power-down exit, then the read blocks on a row-empty access.
+        expected = 50 + T.t_xp + T.row_empty_latency
+        assert result.cycles == expected
+        assert result.reads == 1
+
+    def test_gap_cpi_respected(self, hand_trace):
+        trace = hand_trace([(100, "R", 0)], nonmem_cpi=2.0)
+        result = simulate(trace, NoEccPolicy())
+        assert result.cycles == 200 + T.t_xp + T.row_empty_latency
+
+    def test_reads_serialize(self, hand_trace):
+        """An in-order blocking core exposes each miss's full latency."""
+        trace = hand_trace([(0, "R", 0), (0, "R", 64)], nonmem_cpi=0.5)
+        result = simulate(trace, NoEccPolicy())
+        assert result.cycles == T.row_empty_latency + T.row_hit_latency
+
+    def test_decode_latency_added_per_read(self, hand_trace):
+        trace = hand_trace([(0, "R", 0), (0, "R", 64)], nonmem_cpi=0.5)
+        base = simulate(trace, NoEccPolicy())
+        secded = simulate(trace, SecdedPolicy())
+        ecc6 = simulate(trace, Ecc6Policy())
+        assert secded.cycles == base.cycles + 2 * 2
+        assert ecc6.cycles == base.cycles + 2 * 30
+
+    def test_writes_do_not_block(self, hand_trace):
+        reads_only = hand_trace([(100, "R", 0)])
+        with_write = hand_trace([(0, "W", 4096), (100, "R", 0)])
+        a = simulate(reads_only, NoEccPolicy())
+        b = simulate(with_write, NoEccPolicy())
+        # The write is absorbed into the idle gap before the read.
+        assert b.cycles <= a.cycles + T.t_xp
+
+    def test_ipc_capped_by_retire_width(self, hand_trace):
+        trace = hand_trace([(10_000, "R", 0)], nonmem_cpi=0.5)
+        result = simulate(trace, NoEccPolicy())
+        assert result.ipc <= 2.0
+
+
+class TestMeccIntegration:
+    def test_first_touch_slow_second_fast(self, hand_trace):
+        trace = hand_trace([(0, "R", 0), (0, "R", 0)], nonmem_cpi=0.5)
+        result = simulate(trace, MeccPolicy())
+        assert result.strong_decodes == 1
+        assert result.weak_decodes == 1
+        assert result.downgrades == 1
+
+    def test_downgrade_writeback_reaches_controller(self, hand_trace):
+        engine = SimulationEngine(policy=MeccPolicy())
+        trace = hand_trace([(0, "R", 0), (50_000, "R", 64)], nonmem_cpi=0.5)
+        result = engine.run(trace)
+        # Two downgrades produce two write-backs; the idle gap lets the
+        # controller drain at least the first one.
+        assert result.downgrades == 2
+        assert engine.controller.stats.writes + len(engine.controller.write_queue) == 2
+
+
+class TestResults:
+    def test_mpki_measured(self, hand_trace):
+        trace = hand_trace([(999, "R", 0)])
+        result = simulate(trace, NoEccPolicy())
+        assert result.mpki == pytest.approx(1.0)
+
+    def test_energy_positive(self, hand_trace):
+        trace = hand_trace([(1000, "R", 0), (1000, "R", 64)])
+        result = simulate(trace, NoEccPolicy())
+        assert result.energy.total > 0
+        assert result.energy.background > 0
+        assert result.energy.refresh > 0
+
+    def test_avg_read_latency(self, hand_trace):
+        trace = hand_trace([(100, "R", 0)])
+        result = simulate(trace, NoEccPolicy())
+        assert result.avg_read_latency == pytest.approx(T.t_xp + T.row_empty_latency)
+
+    def test_smd_slow_refresh_scales_energy(self, hand_trace):
+        from repro.core.smd import SelectiveMemoryDowngrade
+
+        trace = hand_trace([(10_000, "R", 0), (10_000, "R", 64)])
+        never = MeccPolicy(smd=SelectiveMemoryDowngrade(quantum_cycles=10**9))
+        result_slow = simulate(trace, never)
+        result_fast = simulate(trace, MeccPolicy())
+        assert never.slow_refresh_fraction == 1.0
+        assert result_slow.energy.refresh == pytest.approx(
+            result_fast.energy.refresh / 16.0, rel=0.05
+        )

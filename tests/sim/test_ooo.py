@@ -1,0 +1,85 @@
+"""Tests for the out-of-order (ROB) core model."""
+
+import pytest
+
+from repro.core.policy import Ecc6Policy, NoEccPolicy
+from repro.errors import ConfigurationError
+from repro.sim.engine import simulate
+from repro.sim.ooo import OooSimulationEngine, _RetireTimeline
+from repro.workloads.spec import BENCHMARKS_BY_NAME
+
+
+class TestRetireTimeline:
+    def test_before_first_checkpoint(self):
+        timeline = _RetireTimeline()
+        assert timeline.time_of(0) == 0.0
+        assert timeline.time_of(-5) == 0.0
+
+    def test_interpolation(self):
+        timeline = _RetireTimeline()
+        timeline.record(100, 200.0)
+        assert timeline.time_of(50) == pytest.approx(100.0)
+        assert timeline.time_of(100) == pytest.approx(200.0)
+
+    def test_consumes_old_checkpoints(self):
+        timeline = _RetireTimeline()
+        for i in range(1, 6):
+            timeline.record(i * 100, i * 150.0)
+        assert timeline.time_of(450) == pytest.approx(675.0)
+        assert len(timeline._points) <= 2
+
+    def test_monotonicity_enforced(self):
+        timeline = _RetireTimeline()
+        timeline.record(100, 200.0)
+        with pytest.raises(ConfigurationError):
+            timeline.record(50, 300.0)
+        with pytest.raises(ConfigurationError):
+            timeline.record(200, 100.0)
+
+
+class TestOooEngine:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return BENCHMARKS_BY_NAME["libq"].trace(60_000)
+
+    def test_rob_one_matches_inorder_engine(self, trace):
+        """With a 1-entry window the OoO model degenerates to blocking."""
+        blocking = simulate(trace, NoEccPolicy())
+        ooo = OooSimulationEngine(policy=NoEccPolicy(), rob_size=1).run(trace)
+        assert ooo.cycles == pytest.approx(blocking.cycles, rel=0.01)
+
+    def test_mlp_improves_ipc(self, trace):
+        small = OooSimulationEngine(policy=NoEccPolicy(), rob_size=1).run(trace)
+        large = OooSimulationEngine(policy=NoEccPolicy(), rob_size=128).run(trace)
+        assert large.ipc > 1.2 * small.ipc
+
+    def test_mlp_hides_decode_latency(self, trace):
+        """ECC-6's relative cost shrinks as the window grows — the
+        paper's in-order core is strong ECC's worst case."""
+        def normalized(rob):
+            base = OooSimulationEngine(policy=NoEccPolicy(), rob_size=rob).run(trace)
+            ecc6 = OooSimulationEngine(policy=Ecc6Policy(), rob_size=rob).run(trace)
+            return ecc6.ipc / base.ipc
+
+        assert normalized(128) > normalized(16) > normalized(1)
+
+    def test_instruction_conservation(self, trace):
+        result = OooSimulationEngine(policy=NoEccPolicy(), rob_size=32).run(trace)
+        assert result.instructions == trace.instructions
+        assert result.reads == trace.reads
+
+    def test_energy_accounted(self, trace):
+        result = OooSimulationEngine(policy=NoEccPolicy(), rob_size=32).run(trace)
+        assert result.energy.total > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OooSimulationEngine(rob_size=0)
+        with pytest.raises(ConfigurationError):
+            OooSimulationEngine(retire_width=0)
+
+    def test_retire_width_caps_ipc(self):
+        trace = BENCHMARKS_BY_NAME["povray"].trace(30_000)
+        wide = OooSimulationEngine(policy=NoEccPolicy(), rob_size=64, retire_width=4)
+        result = wide.run(trace)
+        assert result.ipc <= 4.0

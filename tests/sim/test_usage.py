@@ -1,0 +1,90 @@
+"""Tests for the bursty usage model and session evaluator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.usage import SessionEvaluator, UsageModel, UsagePhase
+from repro.types import SystemState
+
+
+class TestUsageModel:
+    def test_duty_cycle(self):
+        """Long-run idle share should track the configured 95%."""
+        model = UsageModel(seed=3)
+        phases = model.phases(20_000.0)
+        idle = sum(p.duration_s for p in phases if p.state is SystemState.IDLE)
+        total = sum(p.duration_s for p in phases)
+        assert total == pytest.approx(20_000.0)
+        assert idle / total == pytest.approx(0.95, abs=0.02)
+
+    def test_alternating_states(self):
+        phases = UsageModel().phases(2000.0)
+        for a, b in zip(phases, phases[1:]):
+            assert a.state is not b.state
+
+    def test_starts_active(self):
+        assert UsageModel().phases(100.0)[0].state is SystemState.ACTIVE
+
+    def test_idle_period_derivation(self):
+        model = UsageModel(active_burst_s=5.0, idle_fraction=0.95)
+        assert model.idle_period_s == pytest.approx(95.0)
+
+    def test_deterministic(self):
+        a = UsageModel(seed=5).phases(1000.0)
+        b = UsageModel(seed=5).phases(1000.0)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UsageModel(active_burst_s=0)
+        with pytest.raises(ConfigurationError):
+            UsageModel(idle_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            UsageModel(jitter=1.0)
+        with pytest.raises(ConfigurationError):
+            UsageModel().phases(0.0)
+        with pytest.raises(ConfigurationError):
+            UsagePhase(state=SystemState.IDLE, duration_s=0.0)
+
+
+class TestSessionEvaluator:
+    def phases(self):
+        return [
+            UsagePhase(SystemState.ACTIVE, 10.0),
+            UsagePhase(SystemState.IDLE, 190.0),
+        ]
+
+    def test_active_power_dominates(self):
+        evaluator = SessionEvaluator(active_power_w=0.1)
+        samples = evaluator.evaluate(self.phases())
+        assert samples[0].power_w == pytest.approx(0.1)
+        assert samples[1].power_w < 0.01
+
+    def test_slow_refresh_cuts_idle_energy(self):
+        fast = SessionEvaluator(idle_refresh_period_s=0.064)
+        slow = SessionEvaluator(idle_refresh_period_s=1.024)
+        _, idle_fast = fast.total_energy(self.phases())
+        _, idle_slow = slow.total_energy(self.phases())
+        assert idle_slow < 0.6 * idle_fast
+
+    def test_upgrade_overhead_charged_once_per_idle_entry(self):
+        plain = SessionEvaluator(idle_refresh_period_s=1.024)
+        with_upgrade = SessionEvaluator(
+            idle_refresh_period_s=1.024, upgrade_seconds=0.05, upgrade_energy_j=1e-6
+        )
+        _, idle_plain = plain.total_energy(self.phases())
+        _, idle_up = with_upgrade.total_energy(self.phases())
+        assert idle_up > idle_plain
+        # The overhead is bounded by scan_time * active_power + energy.
+        assert idle_up - idle_plain < 0.05 * 0.150 + 1e-5
+
+    def test_upgrade_capped_by_phase_duration(self):
+        evaluator = SessionEvaluator(upgrade_seconds=100.0)
+        samples = evaluator.evaluate([UsagePhase(SystemState.IDLE, 1.0)])
+        assert samples[0].upgrade_overhead_j <= 100.0 * evaluator.active_power_w
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SessionEvaluator(active_power_w=0.0)
+        with pytest.raises(ConfigurationError):
+            SessionEvaluator(upgrade_seconds=-1.0)

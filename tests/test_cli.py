@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXHIBITS, build_parser, main
+
+
+class TestParser:
+    def test_all_exhibits_are_choices(self):
+        parser = build_parser()
+        for name in EXHIBITS:
+            args = parser.parse_args([name])
+            assert args.exhibit == name
+
+    def test_default_instructions(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.instructions == 400_000
+
+    def test_rejects_unknown_exhibit(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXHIBITS:
+            assert name in out
+
+    def test_analytic_exhibits(self, capsys):
+        for name in ("table1", "fig2", "fig8", "related-work"):
+            assert main([name]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Fig. 8" in out
+
+    def test_simulation_exhibit_small(self, capsys):
+        from repro.analysis.experiments import clear_caches
+
+        clear_caches()
+        assert main(["fig3", "--instructions", "30000"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert "High-MPKI" in out
+
+
+class TestTraceTools:
+    def test_trace_gen_and_sim_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "t.trace"
+        assert main(["trace-gen", "--benchmark", "povray",
+                     "--instructions", "30000", "-o", str(path)]) == 0
+        assert path.exists()
+        assert main(["trace-sim", "-i", str(path), "--policy", "secded"]) == 0
+        out = capsys.readouterr().out
+        assert "povray" in out
+        assert "IPC" in out
+
+    def test_trace_gen_requires_output(self, capsys):
+        assert main(["trace-gen", "--benchmark", "povray"]) == 2
+
+    def test_trace_gen_unknown_benchmark(self, capsys):
+        assert main(["trace-gen", "--benchmark", "doom", "-o", "/tmp/x"]) == 2
+
+    def test_trace_sim_requires_input(self, capsys):
+        assert main(["trace-sim"]) == 2
+
+
+class TestFaultInject:
+    def test_fixed_errors(self, capsys):
+        assert main(["fault-inject", "--errors", "6", "--trials", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "corrected" in out
+        assert "silent-corruption rate 0.0000" in out
+
+    def test_ber_mode(self, capsys):
+        assert main(["fault-inject", "--mode", "weak", "--trials", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "weak mode" in out
+
+
+class TestCsvExport:
+    def test_csv_requires_output(self):
+        assert main(["csv"]) == 2
+
+    def test_csv_export(self, tmp_path, capsys):
+        from repro.analysis.experiments import clear_caches
+
+        clear_caches()
+        assert main(["csv", "-o", str(tmp_path), "--instructions", "20000"]) == 0
+        assert (tmp_path / "table1.csv").exists()
+        assert (tmp_path / "fig7.csv").exists()

@@ -1,0 +1,46 @@
+"""Tests for the idle-time daemon workload models."""
+
+import pytest
+
+from repro.core.smd import DEFAULT_THRESHOLD_MPKC
+from repro.errors import ConfigurationError
+from repro.workloads.daemons import BENIGN_DAEMONS, DAEMON_WORKLOADS, DaemonSpec
+
+
+class TestSpecs:
+    def test_benign_daemons_below_smd_threshold(self):
+        """SMD's point: routine daemons never trip the traffic threshold."""
+        for daemon in BENIGN_DAEMONS:
+            assert daemon.mpkc < DEFAULT_THRESHOLD_MPKC, daemon.name
+
+    def test_pathological_daemons_exceed_threshold(self):
+        """The paper's battery-drainers (mm-qcamera, Unified) do trip it."""
+        pathological = [d for d in DAEMON_WORKLOADS if d not in BENIGN_DAEMONS]
+        assert len(pathological) == 2
+        for daemon in pathological:
+            assert daemon.mpkc > DEFAULT_THRESHOLD_MPKC, daemon.name
+
+    def test_benign_bursts_are_short(self):
+        """Paper Sec. VI-B: periodic activities are a few milliseconds."""
+        for daemon in BENIGN_DAEMONS:
+            burst_seconds = daemon.burst_instructions / daemon.ipc / 1.6e9
+            assert burst_seconds < 0.005, daemon.name
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DaemonSpec("bad", period_s=0, burst_instructions=1, mpki=1, ipc=1, footprint_kb=1)
+        with pytest.raises(ConfigurationError):
+            DaemonSpec("bad", period_s=1, burst_instructions=1, mpki=0, ipc=1, footprint_kb=1)
+
+
+class TestTraces:
+    def test_trace_generation(self):
+        daemon = BENIGN_DAEMONS[0]
+        trace = daemon.trace()
+        assert trace.instructions == pytest.approx(daemon.burst_instructions, rel=0.05)
+        assert trace.mpki == pytest.approx(daemon.mpki, rel=0.4)
+
+    def test_footprint_bounded(self):
+        daemon = BENIGN_DAEMONS[0]
+        trace = daemon.trace()
+        assert trace.footprint_bytes() <= daemon.footprint_kb * 1024 + 256

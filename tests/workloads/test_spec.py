@@ -1,0 +1,135 @@
+"""Tests for the 28-benchmark SPEC2006 model table."""
+
+import pytest
+
+from repro.workloads.spec import (
+    ALL_BENCHMARKS,
+    BENCHMARKS_BY_NAME,
+    DEFAULT_COLD_FRACTION,
+    MIN_WORKING_SET_LINES,
+    SMD_ALWAYS_DISABLED,
+    BenchmarkSpec,
+    MpkiClass,
+    benchmarks_in_class,
+    class_averages,
+)
+
+
+class TestTableIII:
+    """The spec table must reproduce paper Table III's class averages."""
+
+    def test_28_benchmarks(self):
+        assert len(ALL_BENCHMARKS) == 28
+        assert len(BENCHMARKS_BY_NAME) == 28  # names unique
+
+    def test_class_sizes(self):
+        assert len(benchmarks_in_class(MpkiClass.LOW)) == 8
+        assert len(benchmarks_in_class(MpkiClass.MED)) == 13
+        assert len(benchmarks_in_class(MpkiClass.HIGH)) == 7
+
+    def test_low_class_averages(self):
+        avg = class_averages()[MpkiClass.LOW]
+        assert avg["mpki"] == pytest.approx(0.3, abs=0.02)
+        assert avg["ipc"] == pytest.approx(1.514, abs=0.01)
+        assert avg["footprint_mb"] == pytest.approx(26, rel=0.03)
+
+    def test_med_class_averages(self):
+        avg = class_averages()[MpkiClass.MED]
+        assert avg["mpki"] == pytest.approx(4.7, abs=0.1)
+        assert avg["ipc"] == pytest.approx(0.887, abs=0.01)
+        assert avg["footprint_mb"] == pytest.approx(96.4, rel=0.03)
+
+    def test_high_class_averages(self):
+        avg = class_averages()[MpkiClass.HIGH]
+        assert avg["mpki"] == pytest.approx(23.5, abs=0.3)
+        assert avg["ipc"] == pytest.approx(0.359, abs=0.005)
+        assert avg["footprint_mb"] == pytest.approx(259.1, rel=0.03)
+
+    def test_classification_boundaries(self):
+        for spec in ALL_BENCHMARKS:
+            if spec.mpki < 1:
+                assert spec.mpki_class is MpkiClass.LOW
+            elif spec.mpki <= 10:
+                assert spec.mpki_class is MpkiClass.MED
+            else:
+                assert spec.mpki_class is MpkiClass.HIGH
+
+    def test_mcf_excluded(self):
+        """The paper drops mcf (1.4 GB footprint > 1 GB memory)."""
+        assert "mcf" not in BENCHMARKS_BY_NAME
+        assert all(b.footprint_mb < 1024 for b in ALL_BENCHMARKS)
+
+    def test_libquantum_is_most_sensitive(self):
+        """libq has the highest MPKI-per-IPC-budget — the paper's worst
+        case for ECC-6 (21% slowdown)."""
+        libq = BENCHMARKS_BY_NAME["libq"]
+        sensitivity = {b.name: b.mpki * b.ipc for b in ALL_BENCHMARKS}
+        top3 = sorted(sensitivity, key=sensitivity.get, reverse=True)[:3]
+        assert "libq" in top3
+        assert libq.mpki_class is MpkiClass.HIGH
+
+
+class TestSmdPrerequisites:
+    def test_seven_benchmarks_below_threshold(self):
+        """The paper's 7 never-downgrade benchmarks must sit below the
+        SMD threshold (MPKC = 2) in every phase."""
+        assert len(SMD_ALWAYS_DISABLED) == 7
+        for name in SMD_ALWAYS_DISABLED:
+            spec = BENCHMARKS_BY_NAME[name]
+            peak_intensity = max(p.intensity for p in spec.phases) if spec.phases else 1.0
+            peak_mpkc = spec.mpki * peak_intensity * spec.ipc * (1 + spec.write_fraction)
+            assert peak_mpkc < 2.0, name
+
+    def test_high_mpki_benchmarks_exceed_threshold(self):
+        for spec in benchmarks_in_class(MpkiClass.HIGH):
+            mpkc = spec.mpki * spec.ipc * (1 + spec.write_fraction)
+            assert mpkc > 2.0, spec.name
+
+    def test_phase_intensities_average_to_one(self):
+        for spec in ALL_BENCHMARKS:
+            if spec.phases:
+                avg = sum(p.weight * p.intensity for p in spec.phases)
+                assert avg == pytest.approx(1.0, abs=0.01), spec.name
+
+
+class TestGenerators:
+    def test_working_set_scales_with_instructions(self):
+        spec = BENCHMARKS_BY_NAME["libq"]
+        small = spec.generator(100_000)
+        large = spec.generator(1_000_000)
+        assert large.working_set_bytes > small.working_set_bytes
+
+    def test_working_set_floor(self):
+        spec = BENCHMARKS_BY_NAME["povray"]
+        generator = spec.generator(100_000)
+        assert generator.working_set_bytes == MIN_WORKING_SET_LINES * 64
+
+    def test_cold_fraction_sizing(self):
+        spec = BENCHMARKS_BY_NAME["lbm"]
+        instructions = 1_000_000
+        generator = spec.generator(instructions)
+        expected_reads = spec.mpki * instructions / 1000
+        assert generator.working_set_bytes == pytest.approx(
+            DEFAULT_COLD_FRACTION * expected_reads * 64, rel=0.01
+        )
+
+    def test_full_footprint_without_instructions(self):
+        spec = BENCHMARKS_BY_NAME["libq"]
+        generator = spec.generator()
+        assert generator.working_set_bytes is None
+        assert generator.footprint_bytes == spec.footprint_bytes
+
+    def test_calibrated_trace_hits_target_ipc(self):
+        """Calibration keeps measured baseline IPC near Table III."""
+        from repro.core.policy import NoEccPolicy
+        from repro.sim.engine import simulate
+
+        spec = BENCHMARKS_BY_NAME["sphinx"]
+        trace = spec.trace(150_000)
+        result = simulate(trace, NoEccPolicy())
+        assert result.ipc == pytest.approx(spec.ipc, rel=0.12)
+
+    def test_uncalibrated_trace_skips_simulation(self):
+        spec = BENCHMARKS_BY_NAME["sphinx"]
+        trace = spec.trace(50_000, calibrate=False)
+        assert trace.nonmem_cpi == spec.generator(50_000).nonmem_cpi

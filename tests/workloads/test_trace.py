@@ -1,0 +1,105 @@
+"""Tests for the trace container and text format."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceError
+from repro.types import MemoryOp, TraceRecord
+from repro.workloads.trace import Trace, concatenate, read_trace, write_trace
+
+
+def sample_trace():
+    records = [
+        TraceRecord(gap=10, op=MemoryOp.READ, address=0x1000),
+        TraceRecord(gap=0, op=MemoryOp.WRITE, address=0x2000),
+        TraceRecord(gap=5, op=MemoryOp.READ, address=0x1040),
+    ]
+    return Trace(name="sample", records=records, nonmem_cpi=0.75)
+
+
+class TestProperties:
+    def test_instructions_exclude_writebacks(self):
+        trace = sample_trace()
+        # gaps 10+0+5 plus one instruction per READ.
+        assert trace.instructions == 17
+
+    def test_counts(self):
+        trace = sample_trace()
+        assert trace.reads == 2
+        assert trace.writes == 1
+        assert len(trace) == 3
+
+    def test_mpki(self):
+        trace = sample_trace()
+        assert trace.mpki == pytest.approx(1000 * 2 / 17)
+
+    def test_empty_trace_mpki_raises(self):
+        with pytest.raises(TraceError):
+            _ = Trace(name="empty").mpki
+
+    def test_footprint(self):
+        trace = sample_trace()
+        assert trace.footprint_bytes() == 3 * 64
+
+    def test_unique_pages(self):
+        trace = sample_trace()
+        assert trace.unique_pages() == 2  # 0x1000/0x1040 share a 4K page
+
+    def test_rejects_bad_cpi(self):
+        with pytest.raises(TraceError):
+            Trace(name="x", nonmem_cpi=0.0)
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord(gap=-1, op=MemoryOp.READ, address=0)
+        with pytest.raises(ValueError):
+            TraceRecord(gap=0, op=MemoryOp.READ, address=-5)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        trace = sample_trace()
+        buffer = io.StringIO()
+        write_trace(trace, buffer)
+        buffer.seek(0)
+        loaded = read_trace(buffer)
+        assert loaded.name == trace.name
+        assert loaded.nonmem_cpi == trace.nonmem_cpi
+        assert loaded.records == trace.records
+
+    def test_read_skips_blank_lines(self):
+        loaded = read_trace(io.StringIO("\n10 R 0x40\n\n"))
+        assert len(loaded) == 1
+
+    def test_read_rejects_malformed(self):
+        with pytest.raises(TraceError):
+            read_trace(io.StringIO("10 R\n"))
+        with pytest.raises(TraceError):
+            read_trace(io.StringIO("10 X 0x40\n"))
+        with pytest.raises(TraceError):
+            read_trace(io.StringIO("ten R 0x40\n"))
+        with pytest.raises(TraceError):
+            read_trace(io.StringIO("-3 R 0x40\n"))
+
+    def test_read_bad_header_cpi(self):
+        with pytest.raises(TraceError):
+            read_trace(io.StringIO("# nonmem_cpi: abc\n"))
+
+
+class TestConcatenate:
+    def test_joins_records(self):
+        a, b = sample_trace(), sample_trace()
+        joined = concatenate("both", [a, b])
+        assert len(joined) == 6
+        assert joined.instructions == 34
+
+    def test_cpi_weighted(self):
+        a = Trace("a", [TraceRecord(100, MemoryOp.READ, 0)], nonmem_cpi=1.0)
+        b = Trace("b", [TraceRecord(100, MemoryOp.READ, 0)], nonmem_cpi=2.0)
+        joined = concatenate("ab", [a, b])
+        assert joined.nonmem_cpi == pytest.approx(1.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            concatenate("none", [])
