@@ -167,7 +167,10 @@ def _functional(run: ScaledRun) -> str:
     from repro.functional.session import FunctionalMeccSession
     from repro.reliability.retention import RetentionModel
 
+    from repro.analysis.report import render_codec_counters
+
     rows = []
+    codec_counters = {}
     for scheme in ("mecc", "secded", "ecc6", "none-slow"):
         faults = FaultProcess(
             retention=RetentionModel(anchor_ber=1e-3),
@@ -180,15 +183,19 @@ def _functional(run: ScaledRun) -> str:
         )
         report = session.run(cycles=12)
         c = report.counters
+        codec = getattr(session.memory, "codec", None)
+        if codec is not None:
+            codec_counters[scheme] = codec.codec_counters()["line"]
         rows.append([
             scheme, c.reads, c.corrected_bits, c.detected_uncorrectable,
             c.silent_corruptions, "LOST" if report.lost_data else "intact",
         ])
-    return format_table(
+    table = format_table(
         ["scheme", "reads", "corrected bits", "detected", "silent", "data"],
         rows,
         title="Functional integrity — real codewords, accelerated faults",
     )
+    return table + "\n\n" + render_codec_counters(codec_counters)
 
 
 def _device(run: ScaledRun) -> str:

@@ -6,20 +6,36 @@ line (512 data bits) this means m=10 and, for ECC-6, 60 parity bits —
 exactly the budget available in a (72,64)-style ECC DIMM once SECDED is
 moved to line granularity (paper Fig. 6).
 
-This module implements the real codec: systematic encoding by polynomial
-division, syndrome computation, Berlekamp–Massey, and Chien search.  The
-cycle simulator only uses the *latency model* of these codes
-(:mod:`repro.ecc.codes`), but fault-injection studies
-(:mod:`repro.reliability.faults`) exercise this implementation directly
-to validate the paper's correction-strength claims.
+Two implementations live side by side:
+
+* the **fast path** (:meth:`BchCode.encode` / :meth:`BchCode.decode`)
+  folds precomputed generator-matrix rows and packed parity-check
+  columns byte-at-a-time (:mod:`repro.ecc.matrix`), with batch variants
+  (:meth:`BchCode.encode_batch` etc.) for bulk traffic;
+* the **reference path** (:meth:`BchCode.encode_reference` /
+  :meth:`BchCode.decode_reference`) keeps the original polynomial
+  division and per-bit syndrome evaluation.  It is the oracle for the
+  differential test harness (``tests/ecc/test_differential.py``) and is
+  deliberately untouched by the fast-path tables.
+
+Both paths share Berlekamp–Massey and Chien search, so they are
+bit-identical by construction everywhere except parity/syndrome
+computation — exactly what the differential suite verifies.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
+from repro.ecc.counters import CodecCounters
 from repro.ecc.gf import GF2m, get_field, gf2_poly_degree, gf2_poly_lcm, gf2_poly_mod
+from repro.ecc.matrix import build_chunk_tables, cached_tables, fold_word
 from repro.errors import ConfigurationError, EncodingError, UncorrectableError
+
+#: Bit width of one packed-syndrome lane (fits any supported GF(2^m)).
+_LANE_BITS = 16
+_LANE_MASK = (1 << _LANE_BITS) - 1
 
 
 @dataclass(frozen=True)
@@ -40,6 +56,71 @@ class DecodeResult:
         return len(self.corrected_positions)
 
 
+@dataclass(frozen=True)
+class _BchTables:
+    """Precomputed fast-path matrices for one (t, data_bits, m) config.
+
+    Attributes:
+        parity: chunk tables over the data bits; folding a data word
+            yields its ``parity_bits``-bit remainder.
+        syndrome: chunk tables over the base codeword bits; folding a
+            received word yields all ``2t`` syndromes packed into
+            16-bit lanes (lane ``j-1`` holds ``S_j``).
+    """
+
+    parity: list[list[int]]
+    syndrome: list[list[int]]
+
+
+def _generator_for(t: int, m: int, primitive_poly: int) -> int:
+    """g(x) = lcm of minimal polynomials of alpha^1 .. alpha^(2t), cached."""
+
+    def build() -> int:
+        field = get_field(m)
+        gen = 1
+        for j in range(1, 2 * t + 1):
+            gen = gf2_poly_lcm(gen, field.minimal_polynomial(j))
+        return gen
+
+    return cached_tables(("bch-generator", t, m, primitive_poly), build)
+
+
+def _tables_for(
+    t: int, data_bits: int, m: int, generator: int, base_len: int, field: GF2m
+) -> _BchTables:
+    """Fast-path tables, cached per (t, data_bits, m, generator)."""
+
+    def build() -> _BchTables:
+        parity_bits = gf2_poly_degree(generator)
+        top = 1 << parity_bits
+        # Generator-matrix rows: x^(parity_bits + i) mod g(x), built
+        # incrementally (multiply by x, reduce) instead of dividing a
+        # full-length polynomial for every row.
+        r = gf2_poly_mod(top, generator)
+        rows = []
+        for _ in range(data_bits):
+            rows.append(r)
+            r <<= 1
+            if r & top:
+                r ^= generator
+        # Parity-check columns: lane j-1 of column p holds alpha^(j*p).
+        exp = field._exp
+        order = field.order
+        columns = []
+        for p in range(base_len):
+            packed = 0
+            for j in range(1, 2 * t + 1):
+                packed |= exp[(j * p) % order] << ((j - 1) * _LANE_BITS)
+            columns.append(packed)
+        return _BchTables(
+            parity=build_chunk_tables(rows),
+            syndrome=build_chunk_tables(columns),
+        )
+
+    key = ("bch", t, data_bits, m, generator)
+    return cached_tables(key, build)
+
+
 class BchCode:
     """A shortened, systematic, t-error-correcting binary BCH code.
 
@@ -56,6 +137,11 @@ class BchCode:
     Codeword layout (LSB first): ``[parity | data]`` — data occupies the
     high ``data_bits`` bits, parity the low bits, and the optional extended
     parity bit sits above the data.
+
+    Attributes:
+        counters: :class:`repro.ecc.counters.CodecCounters` tallying the
+            fast-path traffic of this instance (reference-path calls are
+            not counted).
     """
 
     def __init__(self, t: int, data_bits: int, m: int | None = None, extended: bool = False):
@@ -77,7 +163,7 @@ class BchCode:
         self.n_full = (1 << m) - 1
         self.data_bits = data_bits
         self.extended = extended
-        self.generator = self._build_generator()
+        self.generator = _generator_for(t, m, self.field.primitive_poly)
         self.parity_bits = gf2_poly_degree(self.generator)
         base_len = data_bits + self.parity_bits
         if base_len > self.n_full:
@@ -90,21 +176,56 @@ class BchCode:
         self._data_shift = self.parity_bits
         self._ext_bit = 1 << (base_len) if extended else 0
         self._base_len = base_len
-
-    def _build_generator(self) -> int:
-        """g(x) = lcm of minimal polynomials of alpha^1 .. alpha^(2t)."""
-        gen = 1
-        for j in range(1, 2 * self.t + 1):
-            gen = gf2_poly_lcm(gen, self.field.minimal_polynomial(j))
-        return gen
+        self._base_mask = (1 << base_len) - 1
+        self._tables = _tables_for(
+            t, data_bits, m, self.generator, base_len, self.field
+        )
+        self.counters = CodecCounters()
 
     # -- encode -------------------------------------------------------------
 
     def encode(self, data: int) -> int:
-        """Systematically encode ``data`` into a codeword int.
+        """Systematically encode ``data`` into a codeword int (fast path).
 
         Raises:
             EncodingError: if data does not fit in ``data_bits``.
+        """
+        if data < 0 or data >> self.data_bits:
+            raise EncodingError(f"data does not fit in {self.data_bits} bits")
+        word = (data << self.parity_bits) | fold_word(self._tables.parity, data)
+        if self.extended and _parity_of(word):
+            word |= self._ext_bit
+        self.counters.encodes += 1
+        return word
+
+    def encode_batch(self, datas: Iterable[int]) -> list[int]:
+        """Encode many data words; equivalent to ``[encode(d) for d in datas]``.
+
+        The loop binds the hot tables locally, which matters for the
+        Monte-Carlo campaigns that push millions of words through here.
+        """
+        tables = self._tables.parity
+        shift = self.parity_bits
+        data_bits = self.data_bits
+        extended = self.extended
+        ext_bit = self._ext_bit
+        out = []
+        append = out.append
+        for data in datas:
+            if data < 0 or data >> data_bits:
+                raise EncodingError(f"data does not fit in {data_bits} bits")
+            word = (data << shift) | fold_word(tables, data)
+            if extended and _parity_of(word):
+                word |= ext_bit
+            append(word)
+        self.counters.encodes += len(out)
+        return out
+
+    def encode_reference(self, data: int) -> int:
+        """Reference (oracle) encoder: systematic polynomial division.
+
+        Bit-identical to :meth:`encode`; kept as the slow path for the
+        differential test harness.  Does not touch :attr:`counters`.
         """
         if data < 0 or data >> self.data_bits:
             raise EncodingError(f"data does not fit in {self.data_bits} bits")
@@ -117,9 +238,25 @@ class BchCode:
 
     def extract_data(self, codeword: int) -> int:
         """Pull the data bits out of a codeword without decoding."""
-        return (codeword & ((1 << self._base_len) - 1)) >> self._data_shift
+        return (codeword & self._base_mask) >> self._data_shift
 
     # -- decode -------------------------------------------------------------
+
+    def check(self, received: int) -> bool:
+        """True iff ``received`` is a valid codeword (syndrome-only test).
+
+        This is the cheapest integrity probe: one table fold, no error
+        location.  Out-of-range words are simply invalid.
+        """
+        if received < 0 or received >> self.codeword_bits:
+            return False
+        if fold_word(self._tables.syndrome, received & self._base_mask):
+            return False
+        return not (self.extended and _parity_of(received))
+
+    def check_batch(self, words: Iterable[int]) -> list[bool]:
+        """Vectorized :meth:`check` over many received words."""
+        return [self.check(word) for word in words]
 
     def decode(self, received: int) -> DecodeResult:
         """Correct up to t errors in ``received`` and return the data.
@@ -131,16 +268,69 @@ class BchCode:
                 silently, as in real hardware.
         """
         if received < 0 or received >> self.codeword_bits:
+            self.counters.record_detected()
             raise UncorrectableError("received word has out-of-range bits")
-        base = received & ((1 << self._base_len) - 1)
-        syndromes = self._syndromes(base)
-        if all(s == 0 for s in syndromes):
+        base = received & self._base_mask
+        packed = fold_word(self._tables.syndrome, base)
+        if packed == 0:
             if self.extended and _parity_of(received):
                 # Clean BCH word but bad overall parity: the error is the
                 # extended parity bit itself.
+                self.counters.record_decode(1)
+                return DecodeResult(self.extract_data(base), (self._base_len,))
+            self.counters.record_decode(0)
+            return DecodeResult(self.extract_data(base), ())
+        syndromes = [
+            (packed >> (j * _LANE_BITS)) & _LANE_MASK for j in range(2 * self.t)
+        ]
+        try:
+            result = self._locate_and_correct(received, base, syndromes)
+        except UncorrectableError:
+            self.counters.record_detected()
+            raise
+        self.counters.record_decode(result.errors_corrected)
+        return result
+
+    def decode_batch(
+        self, words: Iterable[int]
+    ) -> list[DecodeResult | UncorrectableError]:
+        """Decode many received words without raising.
+
+        Returns one entry per word: the :class:`DecodeResult` on success,
+        or the :class:`UncorrectableError` instance the word produced —
+        callers classify outcomes with ``isinstance`` instead of
+        try/except per word.
+        """
+        out: list[DecodeResult | UncorrectableError] = []
+        append = out.append
+        for word in words:
+            try:
+                append(self.decode(word))
+            except UncorrectableError as exc:
+                append(exc)
+        return out
+
+    def decode_reference(self, received: int) -> DecodeResult:
+        """Reference (oracle) decoder using per-bit syndrome evaluation.
+
+        Bit-identical to :meth:`decode` (same Berlekamp–Massey and Chien
+        search); the differential harness replays traffic through both.
+        Does not touch :attr:`counters`.
+        """
+        if received < 0 or received >> self.codeword_bits:
+            raise UncorrectableError("received word has out-of-range bits")
+        base = received & self._base_mask
+        syndromes = self._syndromes_reference(base)
+        if all(s == 0 for s in syndromes):
+            if self.extended and _parity_of(received):
                 return DecodeResult(self.extract_data(base), (self._base_len,))
             return DecodeResult(self.extract_data(base), ())
+        return self._locate_and_correct(received, base, syndromes)
 
+    def _locate_and_correct(
+        self, received: int, base: int, syndromes: list[int]
+    ) -> DecodeResult:
+        """Shared back half of both decode paths: BM + Chien + fixup."""
         sigma = self._berlekamp_massey(syndromes)
         n_errors = len(sigma) - 1
         if n_errors > self.t:
@@ -176,7 +366,7 @@ class BchCode:
             corrected ^= 1 << pos
         return DecodeResult(self.extract_data(corrected), tuple(sorted(positions)))
 
-    def _syndromes(self, received: int) -> list[int]:
+    def _syndromes_reference(self, received: int) -> list[int]:
         """S_j = r(alpha^j) for j = 1..2t, iterating over set bits only."""
         field = self.field
         exp = field._exp

@@ -66,11 +66,16 @@ class GF2m:
 
     def _build_tables(self) -> tuple[list[int], list[int]]:
         exp = [0] * (2 * self.order)
-        log = [0] * self.size
+        # -1 marks "not yet visited".  A 0-initialized log table cannot
+        # distinguish unvisited entries from elements whose log is 0, so
+        # a cycle that returns to alpha^0 = 1 early (any irreducible but
+        # non-primitive polynomial) would be detected one step late — or,
+        # for degenerate polynomials that collapse onto 0, not at all.
+        log = [-1] * self.size
         x = 1
         for i in range(self.order):
             exp[i] = x
-            if log[x] != 0 and x != 1:
+            if log[x] != -1:
                 raise ConfigurationError(
                     f"polynomial 0x{self.primitive_poly:x} is not primitive for m={self.m}"
                 )
@@ -78,6 +83,12 @@ class GF2m:
             x <<= 1
             if x & self.size:
                 x ^= self.primitive_poly
+            if x == 0:
+                # Reducible polynomial with a zero constant term: the
+                # orbit of alpha collapses and would loop on 0 forever.
+                raise ConfigurationError(
+                    f"polynomial 0x{self.primitive_poly:x} is not primitive for m={self.m}"
+                )
         if x != 1:
             raise ConfigurationError(
                 f"polynomial 0x{self.primitive_poly:x} is not primitive for m={self.m}"
@@ -85,7 +96,8 @@ class GF2m:
         # Duplicate the exp table so mul can skip a modulo.
         for i in range(self.order, 2 * self.order):
             exp[i] = exp[i - self.order]
-        log[1] = 0
+        # log[0] stays a sentinel; every public op guards the zero element.
+        log[0] = 0
         return exp, log
 
     # -- basic ops ---------------------------------------------------------

@@ -9,13 +9,26 @@ matter for the paper:
   paper Fig. 6(i).
 * ``SecDedCode(512)`` — SEC-DED over a whole 64-byte line, needing 11
   check bits, as proposed in paper Sec. III-D / Fig. 6(ii).
+
+Like :class:`repro.ecc.bch.BchCode`, the codec has a matrix fast path
+(chunked XOR-fold tables from :mod:`repro.ecc.matrix`, batch APIs, a
+counters object) and keeps the original per-bit walks as the reference
+path (:meth:`SecDedCode.encode_reference` /
+:meth:`SecDedCode.decode_reference`) for the differential harness.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
+from repro.ecc.counters import CodecCounters
+from repro.ecc.matrix import build_chunk_tables, cached_tables, fold_word
 from repro.errors import ConfigurationError, EncodingError, UncorrectableError
+
+#: Lane width for packing a Hamming syndrome next to a scatter mask.
+_SYN_BITS = 16
+_SYN_MASK = (1 << _SYN_BITS) - 1
 
 
 @dataclass(frozen=True)
@@ -30,6 +43,24 @@ class SecDedResult:
         return 0 if self.corrected_position is None else 1
 
 
+@dataclass(frozen=True)
+class _SecDedTables:
+    """Fast-path tables for one data length.
+
+    Attributes:
+        scatter: chunk tables over the data bits; folding a data word
+            yields ``(scattered word << 16) | hamming_syndrome``.
+        syndrome: chunk tables over the codeword bits; folding a received
+            word yields its Hamming syndrome (bit 0 contributes nothing).
+        extract: chunk tables over the codeword bits; folding a codeword
+            yields the packed data bits.
+    """
+
+    scatter: list[list[int]]
+    syndrome: list[list[int]]
+    extract: list[list[int]]
+
+
 class SecDedCode:
     """Extended Hamming SEC-DED code for ``data_bits`` of data.
 
@@ -37,6 +68,9 @@ class SecDedCode:
     check bits at powers of two, prefixed by the overall parity bit at
     position 0.  The public bit numbering of a codeword int is therefore:
     bit 0 = overall parity, bit p = Hamming position p.
+
+    Attributes:
+        counters: fast-path traffic tallies (reference calls not counted).
     """
 
     def __init__(self, data_bits: int):
@@ -64,11 +98,58 @@ class SecDedCode:
             # (possible for data lengths just above a power of two).
             self._max_position = self._check_positions[-1]
         self._position_of_data = {p: i for i, p in enumerate(self._data_positions)}
+        self._tables = self._tables_for(data_bits)
+        self.counters = CodecCounters()
+
+    def _tables_for(self, data_bits: int) -> _SecDedTables:
+        """Fast-path tables, cached per data length (the layout is fixed)."""
+
+        def build() -> _SecDedTables:
+            if self.codeword_bits > _SYN_MASK:
+                raise ConfigurationError(
+                    "SEC-DED fast path supports codewords up to 65535 bits"
+                )
+            scatter = [
+                (1 << (pos + _SYN_BITS)) | pos for pos in self._data_positions
+            ]
+            # Codeword bit p contributes its Hamming position p to the
+            # syndrome; the overall-parity bit at position 0 contributes 0.
+            syndrome = list(range(self.codeword_bits))
+            extract = [0] * self.codeword_bits
+            for i, pos in enumerate(self._data_positions):
+                extract[pos] = 1 << i
+            return _SecDedTables(
+                scatter=build_chunk_tables(scatter),
+                syndrome=build_chunk_tables(syndrome),
+                extract=build_chunk_tables(extract),
+            )
+
+        return cached_tables(("secded", data_bits), build)
 
     # -- encode -------------------------------------------------------------
 
     def encode(self, data: int) -> int:
         """Encode data into a codeword int (bit 0 = overall parity)."""
+        if data < 0 or data >> self.data_bits:
+            raise EncodingError(f"data does not fit in {self.data_bits} bits")
+        packed = fold_word(self._tables.scatter, data)
+        word = packed >> _SYN_BITS
+        syndrome = packed & _SYN_MASK
+        # Set check bits so that the syndrome of the full word is zero.
+        for check_pos in self._check_positions:
+            if syndrome & check_pos:
+                word |= 1 << check_pos
+        if _parity_of(word):
+            word |= 1  # overall parity at position 0
+        self.counters.encodes += 1
+        return word
+
+    def encode_batch(self, datas: Iterable[int]) -> list[int]:
+        """Encode many data words through the fast path."""
+        return [self.encode(data) for data in datas]
+
+    def encode_reference(self, data: int) -> int:
+        """Reference encoder: per-bit Hamming-position scatter (oracle)."""
         if data < 0 or data >> self.data_bits:
             raise EncodingError(f"data does not fit in {self.data_bits} bits")
         word = 0
@@ -77,23 +158,30 @@ class SecDedCode:
             if (data >> i) & 1:
                 word |= 1 << pos
                 syndrome ^= pos
-        # Set check bits so that the syndrome of the full word is zero.
         for check_pos in self._check_positions:
             if syndrome & check_pos:
                 word |= 1 << check_pos
         if _parity_of(word):
-            word |= 1  # overall parity at position 0
+            word |= 1
         return word
 
     def extract_data(self, codeword: int) -> int:
         """Pull the data bits out of a codeword without decoding."""
-        data = 0
-        for i, pos in enumerate(self._data_positions):
-            if (codeword >> pos) & 1:
-                data |= 1 << i
-        return data
+        return fold_word(self._tables.extract, codeword)
 
     # -- decode -------------------------------------------------------------
+
+    def check(self, received: int) -> bool:
+        """True iff ``received`` is a valid codeword (syndrome-only test)."""
+        if received < 0 or received >> self.codeword_bits:
+            return False
+        if fold_word(self._tables.syndrome, received):
+            return False
+        return _parity_of(received) == 0
+
+    def check_batch(self, words: Iterable[int]) -> list[bool]:
+        """Vectorized :meth:`check` over many received words."""
+        return [self.check(word) for word in words]
 
     def decode(self, received: int) -> SecDedResult:
         """Correct a single error or detect a double error.
@@ -101,6 +189,34 @@ class SecDedCode:
         Raises:
             UncorrectableError: on a detected double error.
         """
+        if received < 0 or received >> self.codeword_bits:
+            self.counters.record_detected()
+            raise UncorrectableError("received word has out-of-range bits")
+        syndrome = fold_word(self._tables.syndrome, received)
+        overall = _parity_of(received)
+        try:
+            result = self._resolve(received, syndrome, overall)
+        except UncorrectableError:
+            self.counters.record_detected()
+            raise
+        self.counters.record_decode(result.errors_corrected)
+        return result
+
+    def decode_batch(
+        self, words: Iterable[int]
+    ) -> list[SecDedResult | UncorrectableError]:
+        """Decode many words; failures come back as exception instances."""
+        out: list[SecDedResult | UncorrectableError] = []
+        append = out.append
+        for word in words:
+            try:
+                append(self.decode(word))
+            except UncorrectableError as exc:
+                append(exc)
+        return out
+
+    def decode_reference(self, received: int) -> SecDedResult:
+        """Reference decoder with the original per-bit syndrome walk."""
         if received < 0 or received >> self.codeword_bits:
             raise UncorrectableError("received word has out-of-range bits")
         syndrome = 0
@@ -112,6 +228,10 @@ class SecDedCode:
             word >>= 1
             pos += 1
         overall = _parity_of(received)
+        return self._resolve(received, syndrome, overall)
+
+    def _resolve(self, received: int, syndrome: int, overall: int) -> SecDedResult:
+        """Shared decision logic of both decode paths."""
         if syndrome == 0 and overall == 0:
             return SecDedResult(self.extract_data(received), None)
         if overall == 1:

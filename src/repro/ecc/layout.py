@@ -143,6 +143,41 @@ class LineCodec:
         field = (code_field << self.layout.mode_bits) | replicas
         return (data << self.layout.field_bits) | field
 
+    def encode_batch(self, datas, mode: EccMode) -> list[int]:
+        """Encode many 512-bit data blocks in one mode (bulk fast path).
+
+        Routes the whole batch through the underlying code's
+        ``encode_batch`` so Monte-Carlo campaigns pay the Python loop
+        overhead once per stage instead of once per word.
+        """
+        replicas = self._mode_pattern(mode)
+        mode_bits = self.layout.mode_bits
+        messages = []
+        for data in datas:
+            if data < 0 or data >> self.data_bits:
+                raise ConfigurationError(
+                    f"data does not fit in {self.data_bits} bits"
+                )
+            messages.append((data << mode_bits) | replicas)
+        if mode is EccMode.STRONG:
+            parity_mask = (1 << self.strong_code.parity_bits) - 1
+            code_fields = [
+                codeword & parity_mask
+                for codeword in self.strong_code.encode_batch(messages)
+            ]
+        else:
+            code_fields = [
+                self._weak_checks_from_codeword(codeword)
+                for codeword in self.weak_code.encode_batch(messages)
+            ]
+        field_shift = self.layout.field_bits
+        return [
+            (message >> mode_bits) << field_shift
+            | (code_field << mode_bits)
+            | replicas
+            for message, code_field in zip(messages, code_fields)
+        ]
+
     def _weak_checks_from_codeword(self, codeword: int) -> int:
         """Compact the SEC-DED check bits (parity + power-of-two positions)."""
         checks = codeword & 1  # overall parity at position 0
@@ -192,6 +227,38 @@ class LineCodec:
             except (DecodingError, ModeBitError):
                 continue
         raise ModeBitError("mode replicas tied and both decoders failed")
+
+    def decode_batch(
+        self, stored_words
+    ) -> "list[LineDecodeResult | DecodingError | ModeBitError]":
+        """Decode many stored words without raising.
+
+        Returns one entry per word: the :class:`LineDecodeResult` on
+        success, or the exception instance (``DecodingError`` /
+        ``ModeBitError``) the word produced.  Mode resolution and the
+        trial-decode fallback run per word, but every syndrome check
+        inside goes through the codes' matrix fast paths.
+        """
+        out: list[LineDecodeResult | DecodingError | ModeBitError] = []
+        append = out.append
+        for stored in stored_words:
+            try:
+                append(self.decode(stored))
+            except (DecodingError, ModeBitError) as exc:
+                append(exc)
+        return out
+
+    def codec_counters(self) -> dict:
+        """Fast-path counters of the underlying codes, by role.
+
+        ``"line"`` is the merged view (what :mod:`repro.analysis.report`
+        renders); ``"weak"``/``"strong"`` break it down per code.
+        """
+        return {
+            "weak": self.weak_code.counters,
+            "strong": self.strong_code.counters,
+            "line": self.weak_code.counters.merge(self.strong_code.counters),
+        }
 
     def _decode_as(self, stored: int, mode: EccMode, trial: bool) -> LineDecodeResult:
         data_part = stored >> self.layout.field_bits

@@ -132,7 +132,55 @@ class FunctionalMemory:
         self.counters.reads += 1
         try:
             result = self.codec.decode(entry.stored)
-        except (DecodingError, ModeBitError):
+        except (DecodingError, ModeBitError) as exc:
+            result = exc
+        return self._finish_read(entry, result, downgrade)
+
+    def write_batch(self, addresses, datas, mode: EccMode) -> None:
+        """Bulk :meth:`write`: one codec ``encode_batch`` for all lines."""
+        addresses = list(addresses)
+        datas = list(datas)
+        if len(addresses) != len(datas):
+            raise ConfigurationError("addresses and datas must have equal length")
+        stored_words = self.codec.encode_batch(datas, mode)
+        for address, data, stored in zip(addresses, datas, stored_words):
+            line = self._line_index(address)
+            previous = self._lines.get(line)
+            fault_state = previous.fault_state if previous is not None else (
+                self.faults.line_state() if self.faults is not None else None
+            )
+            self._lines[line] = _StoredLine(
+                stored=stored,
+                mode=mode,
+                last_touched_s=self._now_s,
+                expected_data=data,
+                fault_state=fault_state,
+            )
+        self.counters.writes += len(addresses)
+
+    def read_batch(self, addresses, downgrade: bool = False) -> list[int | None]:
+        """Bulk :meth:`read`: settle faults, then one ``decode_batch``.
+
+        The patrol scrubber uses this to sweep every materialized line in
+        a single codec pass; per-line outcome accounting is identical to
+        :meth:`read`.
+        """
+        entries = []
+        for address in addresses:
+            line = self._line_index(address)
+            entry = self._materialize(line)
+            self._settle_faults_entry(entry, line)
+            entries.append(entry)
+        self.counters.reads += len(entries)
+        results = self.codec.decode_batch(entry.stored for entry in entries)
+        return [
+            self._finish_read(entry, result, downgrade)
+            for entry, result in zip(entries, results)
+        ]
+
+    def _finish_read(self, entry: _StoredLine, result, downgrade: bool) -> int | None:
+        """Shared classification/write-back tail of read and read_batch."""
+        if isinstance(result, Exception):
             self.counters.detected_uncorrectable += 1
             return None
         if result.used_trial_decode:

@@ -60,8 +60,9 @@ class PatrolScrubber:
         before = self.memory.counters.corrected_bits
         before_failures = self.memory.counters.data_loss_events
         lines = list(self.memory._lines)
-        for line in lines:
-            self.memory.read(line * self.memory.line_bytes)
+        self.memory.read_batch(
+            [line * self.memory.line_bytes for line in lines]
+        )
         corrected = self.memory.counters.corrected_bits - before
         failures = self.memory.counters.data_loss_events - before_failures
         energy = len(lines) * self.calculator.line_read_energy_j()

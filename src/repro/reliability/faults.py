@@ -96,9 +96,8 @@ class FaultInjectionCampaign:
         eligible = self._eligible_positions(mode)
         if n_errors > len(eligible):
             raise ValueError("more errors requested than eligible positions")
-        for _ in range(trials):
-            data = self.rng.getrandbits(self.codec.data_bits)
-            stored = self.codec.encode(data, mode)
+        datas = [self.rng.getrandbits(self.codec.data_bits) for _ in range(trials)]
+        for data, stored in zip(datas, self.codec.encode_batch(datas, mode)):
             for pos in self.rng.sample(eligible, n_errors):
                 stored ^= 1 << pos
             self._decode_and_classify(stats, stored, data, mode, n_errors)
@@ -110,9 +109,8 @@ class FaultInjectionCampaign:
             raise ValueError("ber must be in [0, 1]")
         stats = CampaignStats()
         eligible = self._eligible_positions(mode)
-        for _ in range(trials):
-            data = self.rng.getrandbits(self.codec.data_bits)
-            stored = self.codec.encode(data, mode)
+        datas = [self.rng.getrandbits(self.codec.data_bits) for _ in range(trials)]
+        for data, stored in zip(datas, self.codec.encode_batch(datas, mode)):
             flips = [p for p in eligible if self.rng.random() < ber]
             for pos in flips:
                 stored ^= 1 << pos

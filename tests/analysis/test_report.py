@@ -58,3 +58,25 @@ class TestCliReport:
 
         with pytest.raises(ConfigurationError):
             main(["report", "--exhibits", "fig99"])
+
+
+class TestCodecCountersTable:
+    def test_renders_counters_and_cache_rate(self):
+        from repro.analysis.report import render_codec_counters
+        from repro.ecc.layout import LineCodec
+        from repro.types import EccMode
+
+        codec = LineCodec()
+        for data in (0, 1, (1 << 512) - 1):
+            codec.decode(codec.encode(data, EccMode.STRONG))
+        text = render_codec_counters(codec.codec_counters())
+        assert "Codec fast-path counters" in text
+        assert "table cache:" in text
+        for name in ("weak", "strong", "line"):
+            assert name in text
+
+    def test_empty_mapping_renders_header_only(self):
+        from repro.analysis.report import render_codec_counters
+
+        text = render_codec_counters({})
+        assert "encodes" in text

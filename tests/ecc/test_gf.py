@@ -42,6 +42,26 @@ class TestConstruction:
         with pytest.raises(ConfigurationError):
             GF2m(4, primitive_poly=0b11111)
 
+    def test_rejects_reducible_poly(self):
+        # x^4 + x^2 + 1 = (x^2 + x + 1)^2 is reducible; the orbit of
+        # alpha revisits earlier elements (including ones whose log is
+        # 0) well before covering all 15 nonzero field elements.
+        with pytest.raises(ConfigurationError):
+            GF2m(4, primitive_poly=0b10101)
+
+    def test_rejects_zero_constant_term_poly(self):
+        # x^4 + x^3 + x^2 + x = x * (x^3 + x^2 + x + 1) has x as a
+        # factor, so reducing by it maps the orbit onto 0 — the
+        # degenerate case where a 0-initialized log table would never
+        # flag a duplicate.
+        with pytest.raises(ConfigurationError):
+            GF2m(4, primitive_poly=0b11110)
+
+    @pytest.mark.parametrize("poly", [0b11111, 0b10101, 0b11110])
+    def test_rejection_names_polynomial(self, poly):
+        with pytest.raises(ConfigurationError, match="not primitive"):
+            GF2m(4, primitive_poly=poly)
+
     def test_get_field_is_cached(self):
         assert get_field(8) is get_field(8)
 

@@ -169,3 +169,47 @@ class TestNoEccMemory:
         for line in range(16):
             memory.read(line * 64)
         assert memory.counters.silent_corruptions > 0
+
+
+class TestBatchDataPath:
+    def test_write_batch_read_batch_roundtrip(self, rng):
+        memory = quiet_memory()
+        addresses = [line * 64 for line in range(24)]
+        datas = [rng.getrandbits(512) for _ in addresses]
+        memory.write_batch(addresses, datas, EccMode.STRONG)
+        assert memory.read_batch(addresses) == datas
+        assert memory.counters.reads == len(addresses)
+
+    def test_batch_matches_scalar_path(self, rng):
+        scalar = hot_memory(seed=11, anchor_ber=0.002)
+        batch = hot_memory(seed=11, anchor_ber=0.002)
+        addresses = [line * 64 for line in range(12)]
+        datas = [rng.getrandbits(512) for _ in addresses]
+        for memory in (scalar, batch):
+            memory.set_refresh_period(1.024)
+        for address, data in zip(addresses, datas):
+            scalar.write(address, data, EccMode.STRONG)
+        batch.write_batch(addresses, datas, EccMode.STRONG)
+        scalar.advance_time(120.0)
+        batch.advance_time(120.0)
+        assert batch.read_batch(addresses) == [
+            scalar.read(address) for address in addresses
+        ]
+        assert batch.counters.corrected_bits == scalar.counters.corrected_bits
+
+    def test_write_batch_length_mismatch(self):
+        memory = quiet_memory()
+        with pytest.raises(ConfigurationError):
+            memory.write_batch([0, 64], [1], EccMode.STRONG)
+
+    def test_read_batch_detects_uncorrectable(self, rng):
+        memory = hot_memory(seed=3, anchor_ber=0.03)
+        memory.set_refresh_period(1.024)
+        addresses = [line * 64 for line in range(40)]
+        memory.write_batch(
+            addresses, [rng.getrandbits(512) for _ in addresses], EccMode.WEAK
+        )
+        memory.advance_time(900.0)
+        results = memory.read_batch(addresses)
+        assert None in results
+        assert memory.counters.detected_uncorrectable > 0

@@ -36,6 +36,7 @@ class TestStrongMode:
         assert stats.count(InjectionOutcome.SILENT_DATA_CORRUPTION) == 0
         assert stats.count(InjectionOutcome.DETECTED) >= 13
 
+    @pytest.mark.slow
     def test_paper_ber_campaign(self, campaign):
         """At BER 10^-4.5 a 576-bit line sees ~0.018 errors on average:
         nearly all trials are clean or corrected, none silently corrupt."""

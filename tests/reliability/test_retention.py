@@ -167,3 +167,78 @@ class TestTemperature:
         assert required_strength_for_refresh_period(1.024, hot) > 6
         # 0.25 s at +20 C is exactly nominal 1.0 s: ECC-6 suffices.
         assert required_strength_for_refresh_period(0.25, hot) == 6
+
+
+class TestMonteCarloLineFailure:
+    """The batched-codec Monte-Carlo cross-checks the binomial tail."""
+
+    @pytest.mark.slow
+    def test_matches_analytic_binomial_tail(self):
+        from repro.reliability.failure import line_failure_probability
+        from repro.reliability.retention import monte_carlo_line_failure
+
+        model = RetentionModel(anchor_ber=0.02)
+        period = 1.024
+        estimate = monte_carlo_line_failure(
+            model, period, ecc_t=2, trials=6000, seed=7, data_bits=64
+        )
+        from repro.ecc.bch import BchCode
+
+        ber = model.bit_failure_probability(period)
+        # Same stored size the campaign used: 64 data + 14 parity bits
+        # (t=2 over GF(2^7)).
+        line_bits = BchCode(t=2, data_bits=64).codeword_bits
+        analytic = line_failure_probability(ber, 2, line_bits=line_bits)
+        sigma = math.sqrt(analytic * (1 - analytic) / estimate.trials)
+        assert abs(estimate.failure_probability - analytic) < 4 * sigma
+
+    def test_deterministic_with_seed(self):
+        from repro.reliability.retention import monte_carlo_line_failure
+
+        a = monte_carlo_line_failure(MODEL, 1.0, ecc_t=2, trials=50, seed=3)
+        b = monte_carlo_line_failure(MODEL, 1.0, ecc_t=2, trials=50, seed=3)
+        assert a == b
+
+    def test_fast_refresh_never_fails(self):
+        from repro.reliability.retention import monte_carlo_line_failure
+
+        estimate = monte_carlo_line_failure(
+            MODEL, JEDEC_REFRESH_PERIOD_S, ecc_t=6, trials=200, seed=1
+        )
+        assert estimate.failures == 0
+        assert estimate.failure_probability == 0.0
+
+    def test_rejects_bad_arguments(self):
+        from repro.reliability.retention import monte_carlo_line_failure
+
+        with pytest.raises(ConfigurationError):
+            monte_carlo_line_failure(MODEL, 1.0, ecc_t=2, trials=0)
+        with pytest.raises(ConfigurationError):
+            monte_carlo_line_failure(MODEL, 0.0, ecc_t=2, trials=1)
+
+
+class TestSparseFlipSampler:
+    def test_edge_probabilities(self):
+        from repro.reliability.retention import _sample_sparse_flips
+
+        rng = random.Random(0)
+        assert _sample_sparse_flips(rng, 100, 0.0) == []
+        assert _sample_sparse_flips(rng, 5, 1.0) == [0, 1, 2, 3, 4]
+
+    def test_matches_dense_bernoulli_rate(self):
+        from repro.reliability.retention import _sample_sparse_flips
+
+        rng = random.Random(42)
+        p, n_bits, rounds = 0.01, 1000, 200
+        total = sum(len(_sample_sparse_flips(rng, n_bits, p)) for _ in range(rounds))
+        expected = p * n_bits * rounds
+        assert abs(total - expected) < 5 * math.sqrt(expected)
+
+    def test_positions_strictly_increasing_in_range(self):
+        from repro.reliability.retention import _sample_sparse_flips
+
+        rng = random.Random(9)
+        for _ in range(50):
+            flips = _sample_sparse_flips(rng, 64, 0.1)
+            assert flips == sorted(set(flips))
+            assert all(0 <= f < 64 for f in flips)
