@@ -5,7 +5,9 @@ and table in the paper's evaluation (see DESIGN.md's experiment index);
 :mod:`repro.analysis.tables` renders them as text tables;
 :mod:`repro.analysis.sweep` holds the ablation sweeps for the design
 choices the paper calls out (MDT size, SMD threshold, mode-bit
-redundancy, ECC strength vs. refresh period).
+redundancy, ECC strength vs. refresh period);
+:mod:`repro.analysis.runner` fans simulation jobs out over a process
+pool behind an on-disk, content-hash-keyed result cache.
 """
 
 from repro.analysis.experiments import (
@@ -21,17 +23,38 @@ from repro.analysis.experiments import (
     fig13_transition,
     fig14_smd_disabled,
     run_policy_suite,
+    run_policy_suites,
+    run_smd_suite,
     table1_failure,
     table3_characterization,
 )
 from repro.analysis.charts import bar_chart, normalized_ipc_chart, series_sparkline
 from repro.analysis.export import exhibit_csv, export_all, export_exhibit
-from repro.analysis.report import generate_report, write_report
+from repro.analysis.report import generate_report, render_runner_summary, write_report
+from repro.analysis.runner import (
+    ExperimentRunner,
+    JobOutcome,
+    JobSpec,
+    ResultCache,
+    configure_runner,
+    get_runner,
+    reset_runner,
+)
 from repro.analysis.tables import format_table
 from repro.analysis.validation import run_all_validations
 
 __all__ = [
+    "ExperimentRunner",
+    "JobOutcome",
+    "JobSpec",
     "PerformanceResult",
+    "ResultCache",
+    "configure_runner",
+    "get_runner",
+    "render_runner_summary",
+    "reset_runner",
+    "run_policy_suites",
+    "run_smd_suite",
     "fig2_retention_curve",
     "fig3_ecc_overhead_by_class",
     "fig7_performance",

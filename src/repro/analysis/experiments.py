@@ -1,16 +1,19 @@
 """Experiment runners for every data-bearing table and figure.
 
 Each function regenerates the rows/series of one paper exhibit (see
-DESIGN.md for the index).  Simulation results are memoized per
-(benchmark, policy, run-scale) within the process so that figures sharing
-the same runs — Fig. 3/7/9/10 all reuse the per-benchmark policy suite —
-pay for them once.
+DESIGN.md for the index).  All simulation jobs route through
+:mod:`repro.analysis.runner`: results are memoized per job description
+within the process so figures sharing the same runs — Fig. 3/7/9/10 all
+reuse the per-benchmark policy suite — pay for them once, jobs fan out
+over a process pool when the runner is configured with ``jobs > 1``, and
+an on-disk cache (when enabled) shares results across invocations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.runner import JobOutcome, JobSpec, get_runner
 from repro.core.smd import DEFAULT_THRESHOLD_MPKC
 from repro.dram.config import PROC_HZ
 from repro.dram.device import DramDevice
@@ -18,7 +21,6 @@ from repro.power.calculator import DramPowerCalculator
 from repro.power.energy import energy_delay_product, total_energy_split
 from repro.reliability.failure import FailureRow, table1_rows
 from repro.reliability.retention import RetentionModel
-from repro.sim.engine import simulate
 from repro.sim.stats import geometric_mean
 from repro.sim.system import ScaledRun, SystemConfig
 from repro.sim.usage import SessionEvaluator, UsageModel
@@ -33,15 +35,71 @@ from repro.workloads.spec import (
 #: Policies evaluated in the performance figures, in paper order.
 PERF_POLICIES = ("baseline", "secded", "ecc6", "mecc")
 
-_result_cache: dict = {}
+#: In-process memo: JobSpec -> JobOutcome (L1 above the runner's disk cache).
+_result_cache: dict[JobSpec, JobOutcome] = {}
 _trace_cache: dict = {}
 
 
 def _trace_for(spec: BenchmarkSpec, run: ScaledRun):
+    from repro.analysis import runner as _runner
+
     key = (spec.name, run.instructions)
     if key not in _trace_cache:
-        _trace_cache[key] = spec.trace(run.instructions)
+        _trace_cache[key] = _runner.trace_for(spec, run.instructions)
     return _trace_cache[key]
+
+
+def _effective_config(
+    config: SystemConfig | None, decode_cycles: int | None
+) -> SystemConfig:
+    config = config or SystemConfig()
+    if decode_cycles is not None:
+        config = SystemConfig(
+            org=config.org,
+            timings=config.timings,
+            power=config.power,
+            weak_decode_cycles=config.weak_decode_cycles,
+            strong_decode_cycles=decode_cycles,
+            strong_t=config.strong_t,
+        )
+    return config
+
+
+def _run_jobs(jobs: list[JobSpec]) -> None:
+    """Execute (or fetch) every job not already memoized in-process."""
+    pending = [job for job in jobs if job not in _result_cache]
+    if pending:
+        _result_cache.update(get_runner().run(pending))
+
+
+def run_policy_suites(
+    benchmarks: tuple[BenchmarkSpec, ...],
+    run: ScaledRun,
+    policies: tuple[str, ...] = PERF_POLICIES,
+    config: SystemConfig | None = None,
+    decode_cycles: int | None = None,
+) -> dict[str, dict[str, SimResult]]:
+    """Simulate many benchmarks x policies as one batched fan-out.
+
+    The batch form is what parallelizes: all missing jobs across every
+    benchmark are submitted to the runner together, so a 4-worker pool
+    keeps 4 simulations in flight instead of walking benchmarks serially.
+    Returns ``{benchmark name: {policy name: SimResult}}``.
+    """
+    config = _effective_config(config, decode_cycles)
+    jobs = [
+        JobSpec.build(spec, run, name, config)
+        for spec in benchmarks
+        for name in policies
+    ]
+    _run_jobs(jobs)
+    out: dict[str, dict[str, SimResult]] = {}
+    job_iter = iter(jobs)
+    for spec in benchmarks:
+        out[spec.name] = {
+            name: _result_cache[next(job_iter)].result for name in policies
+        }
+    return out
 
 
 def run_policy_suite(
@@ -60,28 +118,28 @@ def run_policy_suite(
         config: system configuration override.
         decode_cycles: strong-ECC decode-latency override (Fig. 12).
     """
+    return run_policy_suites((spec,), run, policies, config, decode_cycles)[spec.name]
+
+
+def run_smd_suite(
+    run: ScaledRun,
+    benchmarks: tuple[BenchmarkSpec, ...] = ALL_BENCHMARKS,
+    threshold_mpkc: float = DEFAULT_THRESHOLD_MPKC,
+    config: SystemConfig | None = None,
+) -> dict[str, JobOutcome]:
+    """MECC+SMD outcomes (result + disabled fraction) per benchmark.
+
+    Shared by Fig. 14 and the SMD threshold sweep so that the sweep's
+    per-threshold performance pass reuses the very same simulations that
+    produced the disabled-time fractions.
+    """
     config = config or SystemConfig()
-    if decode_cycles is not None:
-        config = SystemConfig(
-            org=config.org,
-            timings=config.timings,
-            power=config.power,
-            weak_decode_cycles=config.weak_decode_cycles,
-            strong_decode_cycles=decode_cycles,
-            strong_t=config.strong_t,
-        )
-    out: dict[str, SimResult] = {}
-    for name in policies:
-        key = (spec.name, run.instructions, name, config.strong_decode_cycles)
-        if key not in _result_cache:
-            trace = _trace_for(spec, run)
-            if name == "mecc+smd":
-                policy = config.policy_by_name(name, quantum_cycles=run.quantum_cycles)
-            else:
-                policy = config.policy_by_name(name)
-            _result_cache[key] = (simulate(trace, policy), policy)
-        out[name] = _result_cache[key][0]
-    return out
+    jobs = [
+        JobSpec.build(spec, run, "mecc+smd", config, threshold_mpkc=threshold_mpkc)
+        for spec in benchmarks
+    ]
+    _run_jobs(jobs)
+    return {spec.name: _result_cache[job] for spec, job in zip(benchmarks, jobs)}
 
 
 # ---------------------------------------------------------------------------
@@ -135,9 +193,11 @@ def fig7_performance(
     """Fig. 7: per-benchmark normalized IPC of SECDED, ECC-6, MECC."""
     run = run or ScaledRun()
     result = PerformanceResult(run=run)
+    suites = run_policy_suites(benchmarks, run, policies, config, decode_cycles)
     for spec in benchmarks:
-        suite = run_policy_suite(spec, run, policies, config, decode_cycles)
-        result.per_benchmark[spec.name] = {p: r.ipc for p, r in suite.items()}
+        result.per_benchmark[spec.name] = {
+            p: r.ipc for p, r in suites[spec.name].items()
+        }
     return result
 
 
@@ -246,9 +306,9 @@ def fig9_active_metrics(
     sums: dict[str, dict[str, float]] = {
         p: {"power": 0.0, "energy": 0.0, "edp": 0.0} for p in ("baseline", "secded", "ecc6", "mecc")
     }
+    suites = run_policy_suites(benchmarks, run)
     for spec in benchmarks:
-        suite = run_policy_suite(spec, run)
-        for policy, result in suite.items():
+        for policy, result in suites[spec.name].items():
             seconds = result.cycles / PROC_HZ
             energy = result.energy.total
             sums[policy]["power"] += energy / seconds
@@ -303,9 +363,10 @@ def fig10_total_energy(
 
 
 def _average_active_power(run: ScaledRun, benchmarks) -> float:
+    suites = run_policy_suites(tuple(benchmarks), run, policies=("baseline",))
     total = 0.0
     for spec in benchmarks:
-        result = run_policy_suite(spec, run, policies=("baseline",))["baseline"]
+        result = suites[spec.name]["baseline"]
         total += result.energy.total / (result.cycles / PROC_HZ)
     return total / len(benchmarks)
 
@@ -383,16 +444,10 @@ def fig14_smd_disabled(
     64 ms quantum over a 4B-instruction slice).
     """
     run = run or ScaledRun()
-    config = SystemConfig()
-    out: dict[str, float] = {}
-    for spec in benchmarks:
-        trace = _trace_for(spec, run)
-        policy = config.policy_by_name(
-            "mecc+smd", quantum_cycles=run.quantum_cycles, threshold_mpkc=threshold_mpkc
-        )
-        result = simulate(trace, policy)
-        out[spec.name] = policy.smd.report(result.cycles).disabled_fraction
-    return out
+    outcomes = run_smd_suite(run, benchmarks, threshold_mpkc=threshold_mpkc)
+    return {
+        name: outcome.smd_disabled_fraction for name, outcome in outcomes.items()
+    }
 
 
 def table3_characterization(
@@ -406,6 +461,7 @@ def table3_characterization(
     models (measured via the address-only path for a sample).
     """
     run = run or ScaledRun()
+    suites = run_policy_suites(tuple(benchmarks), run, policies=("baseline",))
     rows: dict[str, dict[str, float]] = {}
     for cls in MpkiClass:
         members = benchmarks_in_class(cls)
@@ -414,7 +470,7 @@ def table3_characterization(
             continue
         ipc = mpki = fp = 0.0
         for spec in members:
-            result = run_policy_suite(spec, run, policies=("baseline",))["baseline"]
+            result = suites[spec.name]["baseline"]
             ipc += result.ipc
             mpki += result.mpki
             fp += spec.footprint_mb
@@ -425,5 +481,8 @@ def table3_characterization(
 
 def clear_caches() -> None:
     """Drop memoized traces/results (tests use this for isolation)."""
+    from repro.analysis.runner import clear_trace_memo
+
     _result_cache.clear()
     _trace_cache.clear()
+    clear_trace_memo()

@@ -75,6 +75,55 @@ def render_codec_counters(counters_by_name) -> str:
     )
 
 
+def render_runner_summary(runner=None) -> str:
+    """Render the experiment runner's manifest as a summary table.
+
+    One row per policy (job count, cache hits, simulated wall time) plus
+    a totals row; the title carries the parallelism setting and the
+    cache hit rate.  Returns an empty string when no jobs ran, so
+    callers can print the result unconditionally.
+
+    Args:
+        runner: an :class:`repro.analysis.runner.ExperimentRunner`;
+            defaults to the process-wide runner.
+    """
+    from repro.analysis.runner import get_runner
+    from repro.analysis.tables import format_table
+
+    runner = runner or get_runner()
+    manifest = runner.manifest()
+    if not manifest["totals"]["job_count"]:
+        return ""
+    by_policy: dict[str, dict[str, float]] = {}
+    for job in manifest["jobs"]:
+        row = by_policy.setdefault(
+            job["policy"], {"jobs": 0, "hits": 0, "wall_s": 0.0}
+        )
+        row["jobs"] += 1
+        if job["source"] == "cache":
+            row["hits"] += 1
+        else:
+            row["wall_s"] += job["wall_s"]
+    rows = [
+        [policy, row["jobs"], row["hits"], f"{row['wall_s']:.2f}"]
+        for policy, row in sorted(by_policy.items())
+    ]
+    totals = manifest["totals"]
+    cache = manifest["cache"]
+    rows.append(
+        ["TOTAL", totals["job_count"], cache["hits"],
+         f"{totals['simulated_wall_s']:.2f}"]
+    )
+    return format_table(
+        ["policy", "jobs", "cache hits", "sim wall s"],
+        rows,
+        title=(
+            f"Experiment runner — jobs={manifest['parallelism']['jobs']}, "
+            f"cache hit rate {cache['hit_rate']:.0%}"
+        ),
+    )
+
+
 def generate_report(
     run: ScaledRun | None = None,
     include: Iterable[str] | None = None,

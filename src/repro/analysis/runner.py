@@ -1,0 +1,455 @@
+"""Parallel, cached experiment runner (the fan-out + reuse harness).
+
+Every figure bench and ablation sweep ultimately runs the same kind of
+job — simulate one (benchmark, policy, configuration) triple — and many
+of them share jobs: Figs. 3/7/9/10 reuse the per-benchmark policy suite,
+`smd_threshold_sweep` reuses the baseline suite across thresholds, and
+re-running a bench recomputes everything from scratch.  This module
+factors that work into an :class:`ExperimentRunner` that
+
+* fans independent :class:`JobSpec` s out over a ``concurrent.futures``
+  process pool (``jobs > 1``) or runs them inline (``jobs == 1``),
+* memoizes results on disk in a :class:`ResultCache` keyed by a content
+  hash of the complete job description — benchmark trace spec, policy
+  name and parameters, DRAM organization/timings/power, scheme
+  latencies, and a fingerprint of the ``repro`` source tree — so a
+  cached result can never be served for changed code or config, and
+* records an observability manifest per invocation: one record per job
+  (wall time, cache hit/miss), aggregate hit/miss counters, and the
+  parallelism settings, renderable via
+  :func:`repro.analysis.report.render_runner_summary`.
+
+The runner is deterministic by construction: jobs are pure functions of
+their spec (fixed seeds end to end), so ``jobs=N`` produces bit-identical
+results to ``jobs=1``, and a cache hit returns exactly the bytes a cold
+run would compute.
+
+Configuration is either explicit (:func:`configure_runner`) or via the
+environment: ``REPRO_JOBS`` sets the worker count and
+``REPRO_CACHE_DIR`` enables the on-disk cache (unset → in-process
+memoization only, the pre-runner behavior).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.smd import DEFAULT_THRESHOLD_MPKC
+from repro.errors import ConfigurationError
+from repro.sim.system import ScaledRun, SystemConfig
+from repro.types import SimResult
+from repro.workloads.spec import BenchmarkSpec
+
+#: Bump when the cached payload layout changes; old entries become misses.
+CACHE_SCHEMA = 1
+
+
+# ---------------------------------------------------------------------------
+# Job descriptions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One independent simulation job: benchmark x policy x configuration.
+
+    Frozen and fully value-typed, so a spec works as a dict key, pickles
+    to worker processes, and hashes into a stable cache key.  The
+    benchmark is carried by value (not by name) so ad-hoc specs outside
+    the registry cache correctly too.
+    """
+
+    benchmark: BenchmarkSpec
+    instructions: int
+    policy: str
+    config: SystemConfig = field(default_factory=SystemConfig)
+    #: SMD parameters; only meaningful for the ``mecc+smd`` policy.
+    threshold_mpkc: float | None = None
+    quantum_cycles: int | None = None
+
+    @classmethod
+    def build(
+        cls,
+        benchmark: BenchmarkSpec,
+        run: ScaledRun,
+        policy: str,
+        config: SystemConfig | None = None,
+        threshold_mpkc: float | None = None,
+    ) -> "JobSpec":
+        """Build a spec, filling SMD scaling parameters from ``run``."""
+        config = config or SystemConfig()
+        if policy == "mecc+smd":
+            return cls(
+                benchmark=benchmark,
+                instructions=run.instructions,
+                policy=policy,
+                config=config,
+                threshold_mpkc=(
+                    DEFAULT_THRESHOLD_MPKC if threshold_mpkc is None else threshold_mpkc
+                ),
+                quantum_cycles=run.quantum_cycles,
+            )
+        return cls(
+            benchmark=benchmark,
+            instructions=run.instructions,
+            policy=policy,
+            config=config,
+        )
+
+    def describe(self) -> dict:
+        """Canonical plain-dict form — the content the cache key hashes."""
+        return {
+            "benchmark": dataclasses.asdict(self.benchmark),
+            "instructions": self.instructions,
+            "policy": self.policy,
+            "config": self.config.describe(),
+            "threshold_mpkc": self.threshold_mpkc,
+            "quantum_cycles": self.quantum_cycles,
+        }
+
+    def key(self, code_version: str | None = None) -> str:
+        """Content-hash cache key: job description + code fingerprint."""
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "code": code_version if code_version is not None else code_fingerprint(),
+            "job": self.describe(),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """The result of one job plus its provenance/observability data."""
+
+    result: SimResult
+    #: SMD disabled-time fraction; None unless the policy was ``mecc+smd``.
+    smd_disabled_fraction: float | None
+    #: Simulation wall time in seconds (the *original* run's time when
+    #: served from cache).
+    wall_s: float
+    cached: bool
+    key: str
+
+
+def code_fingerprint() -> str:
+    """Digest of the installed ``repro`` sources (cache-invalidation tag).
+
+    Hashes every ``.py`` file in the package (path + contents), so any
+    code change — simulator, policies, traces, power model — invalidates
+    all previously cached results.  Computed once per process.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _CODE_FINGERPRINT = digest.hexdigest()[:16]
+    return _CODE_FINGERPRINT
+
+
+_CODE_FINGERPRINT: str | None = None
+
+
+# ---------------------------------------------------------------------------
+# Job execution (importable at module top level so it pickles to workers)
+# ---------------------------------------------------------------------------
+
+#: Per-process trace memo; worker processes forked from the parent start
+#: with the parent's already-calibrated traces.
+_TRACE_MEMO: dict = {}
+
+
+def trace_for(benchmark: BenchmarkSpec, instructions: int):
+    """Generate (and memoize per process) one benchmark's perf trace."""
+    memo_key = (benchmark.name, instructions)
+    if memo_key not in _TRACE_MEMO:
+        _TRACE_MEMO[memo_key] = benchmark.trace(instructions)
+    return _TRACE_MEMO[memo_key]
+
+
+def clear_trace_memo() -> None:
+    """Drop memoized traces (tests use this for isolation)."""
+    _TRACE_MEMO.clear()
+
+
+def execute_job(spec: JobSpec) -> tuple[SimResult, float | None, float]:
+    """Run one job; returns (result, smd_disabled_fraction, wall_s)."""
+    from repro.sim.engine import simulate
+
+    start = time.perf_counter()
+    trace = trace_for(spec.benchmark, spec.instructions)
+    if spec.policy == "mecc+smd":
+        policy = spec.config.policy_by_name(
+            "mecc+smd",
+            quantum_cycles=spec.quantum_cycles,
+            threshold_mpkc=spec.threshold_mpkc,
+        )
+    else:
+        policy = spec.config.policy_by_name(spec.policy)
+    result = simulate(trace, policy)
+    smd = getattr(policy, "smd", None)
+    disabled = smd.report(result.cycles).disabled_fraction if smd is not None else None
+    return result, disabled, time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache
+# ---------------------------------------------------------------------------
+
+
+class ResultCache:
+    """Content-addressed store of job results, one JSON file per key.
+
+    Entries live at ``<root>/<key[:2]>/<key>.json`` and are written
+    atomically (temp file + rename), so concurrent runners sharing a
+    cache directory never observe torn entries.  A payload whose schema
+    or key does not match is treated as a miss.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> dict | None:
+        """Return the cached payload for ``key``, counting hit/miss."""
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if payload.get("schema") != CACHE_SCHEMA or payload.get("key") != key:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, sort_keys=True)
+        os.replace(tmp, path)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class JobRecord:
+    """One manifest line: what ran, how long, and from where."""
+
+    key: str
+    benchmark: str
+    policy: str
+    instructions: int
+    wall_s: float
+    source: str  # "run" | "cache"
+
+
+class ExperimentRunner:
+    """Fan independent jobs out over processes, backed by the cache.
+
+    Args:
+        jobs: worker processes; 1 runs jobs inline (no pool).
+        cache: on-disk result cache, or None for no persistence.
+    """
+
+    def __init__(self, jobs: int = 1, cache: ResultCache | None = None):
+        if jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.records: list[JobRecord] = []
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, specs: Sequence[JobSpec]) -> dict[JobSpec, JobOutcome]:
+        """Execute ``specs`` (deduplicated), reusing cached results.
+
+        Returns one :class:`JobOutcome` per distinct spec.  Results are
+        independent of ``jobs`` — each job is a deterministic pure
+        function of its spec — so parallel runs match serial runs
+        bit for bit.
+        """
+        unique: list[JobSpec] = []
+        seen = set()
+        for spec in specs:
+            if spec not in seen:
+                seen.add(spec)
+                unique.append(spec)
+        code = code_fingerprint()
+        outcomes: dict[JobSpec, JobOutcome] = {}
+        misses: list[tuple[JobSpec, str]] = []
+        for spec in unique:
+            key = spec.key(code)
+            payload = self.cache.load(key) if self.cache is not None else None
+            if payload is not None:
+                outcome = JobOutcome(
+                    result=SimResult.from_dict(payload["result"]),
+                    smd_disabled_fraction=payload.get("smd_disabled_fraction"),
+                    wall_s=payload.get("wall_s", 0.0),
+                    cached=True,
+                    key=key,
+                )
+                outcomes[spec] = outcome
+                self._record(spec, key, outcome.wall_s, "cache")
+            else:
+                misses.append((spec, key))
+        if misses:
+            for (spec, key), (result, disabled, wall_s) in zip(
+                misses, self._execute([spec for spec, _ in misses])
+            ):
+                outcome = JobOutcome(
+                    result=result,
+                    smd_disabled_fraction=disabled,
+                    wall_s=wall_s,
+                    cached=False,
+                    key=key,
+                )
+                outcomes[spec] = outcome
+                self._record(spec, key, wall_s, "run")
+                if self.cache is not None:
+                    self.cache.store(
+                        key,
+                        {
+                            "schema": CACHE_SCHEMA,
+                            "key": key,
+                            "job": spec.describe(),
+                            "result": result.to_dict(),
+                            "smd_disabled_fraction": disabled,
+                            "wall_s": wall_s,
+                        },
+                    )
+        return outcomes
+
+    def _execute(self, specs: list[JobSpec]):
+        if self.jobs > 1 and len(specs) > 1:
+            workers = min(self.jobs, len(specs))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(execute_job, specs))
+        return [execute_job(spec) for spec in specs]
+
+    def _record(self, spec: JobSpec, key: str, wall_s: float, source: str) -> None:
+        self.records.append(
+            JobRecord(
+                key=key,
+                benchmark=spec.benchmark.name,
+                policy=spec.policy,
+                instructions=spec.instructions,
+                wall_s=wall_s,
+                source=source,
+            )
+        )
+
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.source == "cache")
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for r in self.records if r.source == "run")
+
+    def manifest(self) -> dict:
+        """Structured run manifest: per-job records + aggregate counters."""
+        ran = [r for r in self.records if r.source == "run"]
+        total = len(self.records)
+        return {
+            "schema": CACHE_SCHEMA,
+            "code_version": code_fingerprint(),
+            "parallelism": {"jobs": self.jobs},
+            "cache": {
+                "enabled": self.cache is not None,
+                "dir": str(self.cache.root) if self.cache is not None else None,
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": self.cache_hits / total if total else 0.0,
+            },
+            "totals": {
+                "job_count": total,
+                "simulated_wall_s": sum(r.wall_s for r in ran),
+                "max_job_wall_s": max((r.wall_s for r in ran), default=0.0),
+            },
+            "jobs": [dataclasses.asdict(r) for r in self.records],
+        }
+
+    def write_manifest(self, path: str | os.PathLike) -> str:
+        """Write the manifest as JSON; returns the path written."""
+        manifest = self.manifest()
+        manifest["created"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(manifest, stream, indent=2, sort_keys=True)
+        return str(path)
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default runner
+# ---------------------------------------------------------------------------
+
+_default_runner: ExperimentRunner | None = None
+
+
+def configure_runner(
+    jobs: int = 1, cache_dir: str | os.PathLike | None = None
+) -> ExperimentRunner:
+    """Install (and return) the process-wide default runner.
+
+    Args:
+        jobs: worker-process count (1 = inline).
+        cache_dir: on-disk cache directory; None disables persistence.
+    """
+    global _default_runner
+    cache = ResultCache(cache_dir) if cache_dir else None
+    _default_runner = ExperimentRunner(jobs=jobs, cache=cache)
+    return _default_runner
+
+
+def get_runner() -> ExperimentRunner:
+    """The default runner; built from the environment on first use.
+
+    ``REPRO_JOBS`` (int) and ``REPRO_CACHE_DIR`` (path) configure it;
+    with neither set the default is serial and memory-only, matching the
+    pre-runner behavior exactly.
+    """
+    global _default_runner
+    if _default_runner is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        _default_runner = configure_runner(jobs=max(1, jobs), cache_dir=cache_dir)
+    return _default_runner
+
+
+def reset_runner() -> None:
+    """Forget the default runner (tests / CLI re-configuration)."""
+    global _default_runner
+    _default_runner = None

@@ -62,27 +62,27 @@ def smd_threshold_sweep(
 
     A higher threshold keeps more benchmarks at the 1 s refresh (power
     win) but exposes more strong-decode latency (performance loss).
+
+    The threshold-independent baseline suite is computed once, up front,
+    as a single batched fan-out; each threshold then adds only one
+    MECC+SMD run per benchmark, and that run supplies *both* the
+    disabled-time fraction and the normalized-IPC sample.
     """
-    from repro.analysis.experiments import fig14_smd_disabled
-    from repro.sim.engine import simulate
+    from repro.analysis.experiments import run_policy_suites, run_smd_suite
     from repro.sim.stats import geometric_mean
-    from repro.sim.system import SystemConfig
-    from repro.analysis.experiments import _trace_for, run_policy_suite
 
     run = run or ScaledRun()
-    config = SystemConfig()
+    baselines = run_policy_suites(benchmarks, run, policies=("baseline",))
     out: dict[float, dict[str, float]] = {}
     for threshold in thresholds:
-        disabled = fig14_smd_disabled(run, benchmarks, threshold_mpkc=threshold)
-        ratios = []
-        for spec in benchmarks:
-            base = run_policy_suite(spec, run, policies=("baseline",))["baseline"]
-            trace = _trace_for(spec, run)
-            policy = config.policy_by_name(
-                "mecc+smd", quantum_cycles=run.quantum_cycles, threshold_mpkc=threshold
-            )
-            result = simulate(trace, policy)
-            ratios.append(result.ipc / base.ipc)
+        outcomes = run_smd_suite(run, benchmarks, threshold_mpkc=threshold)
+        disabled = {
+            name: outcome.smd_disabled_fraction for name, outcome in outcomes.items()
+        }
+        ratios = [
+            outcomes[spec.name].result.ipc / baselines[spec.name]["baseline"].ipc
+            for spec in benchmarks
+        ]
         out[threshold] = {
             "mean_disabled_fraction": sum(disabled.values()) / len(disabled),
             "never_enabled_count": sum(1 for v in disabled.values() if v >= 1.0),

@@ -4,13 +4,20 @@ Usage::
 
     python -m repro list
     python -m repro table1
-    python -m repro fig7 --instructions 400000
-    python -m repro all --instructions 200000
+    python -m repro fig7 --instructions 400000 --jobs 4
+    python -m repro all --instructions 200000 --cache-dir ~/.cache/repro
+
+Simulation-backed exhibits route through the parallel cached experiment
+runner (:mod:`repro.analysis.runner`): ``--jobs N`` fans independent
+simulations out over N worker processes, ``--cache-dir`` persists
+results across invocations (``--no-cache`` disables it), and
+``--manifest PATH`` writes the per-job timing/cache manifest as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable
 
@@ -303,6 +310,31 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=0, help="fault-inject RNG seed"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for simulation-backed exhibits "
+        "(default: $REPRO_JOBS or 1; results are identical at any value)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk result-cache directory (default: $REPRO_CACHE_DIR, "
+        "else no persistence); keyed by a content hash of trace spec, "
+        "policy config, org/timings, and code version",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this invocation",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        help="write the run manifest (per-job wall times, cache hit/miss "
+        "counters) to this JSON file",
+    )
     return parser
 
 
@@ -380,6 +412,31 @@ def _fault_inject(args) -> int:
     return 0
 
 
+def _configure_runner(args):
+    """Install the process-wide experiment runner from CLI flags/env."""
+    from repro.analysis.runner import configure_runner
+
+    jobs = args.jobs
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
+    return configure_runner(jobs=max(1, jobs), cache_dir=cache_dir)
+
+
+def _finish_runner(args, runner) -> None:
+    """Emit the runner's observability outputs (summary table, manifest)."""
+    from repro.analysis.report import render_runner_summary
+
+    if args.manifest:
+        runner.write_manifest(args.manifest)
+        print(f"wrote run manifest to {args.manifest}")
+    summary = render_runner_summary(runner)
+    if summary:
+        print(summary)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.exhibit == "list":
@@ -393,6 +450,7 @@ def main(argv: list[str] | None = None) -> int:
         return _trace_sim(args)
     if args.exhibit == "fault-inject":
         return _fault_inject(args)
+    runner = _configure_runner(args)
     if args.exhibit == "csv":
         from repro.analysis.export import export_all
 
@@ -401,6 +459,7 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         paths = export_all(args.output, ScaledRun(instructions=args.instructions))
         print(f"wrote {len(paths)} CSV files to {args.output}")
+        _finish_runner(args, runner)
         return 0
     if args.exhibit == "report":
         from repro.analysis.report import generate_report, write_report
@@ -412,12 +471,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote report to {args.output}")
         else:
             print(generate_report(run, include))
+        _finish_runner(args, runner)
         return 0
     run = ScaledRun(instructions=args.instructions)
     names = sorted(EXHIBITS) if args.exhibit == "all" else [args.exhibit]
     for name in names:
         print(EXHIBITS[name][1](run))
         print()
+    _finish_runner(args, runner)
     return 0
 
 

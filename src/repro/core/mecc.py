@@ -71,6 +71,23 @@ class MeccController:
         self.strong_decodes = 0
         self.weak_decodes = 0
 
+    def reset(self) -> None:
+        """Return to the just-constructed state: every line strong, idle.
+
+        Used when one controller is re-run against several traces; the
+        per-line mode store, MDT contents, and counters must not leak
+        between runs.
+        """
+        self.line_store = LineEccStore(self.device.org)
+        if self.mdt is not None:
+            self.mdt.reset()
+        self.state = SystemState.IDLE
+        self.device.enter_self_refresh(slow=True)
+        self.downgrades = 0
+        self.upgraded_lines = 0
+        self.strong_decodes = 0
+        self.weak_decodes = 0
+
     # -- active-mode data path ----------------------------------------------------
 
     def wake(self) -> None:

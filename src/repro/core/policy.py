@@ -40,6 +40,16 @@ class EccPolicy:
         self.weak_decodes = 0
         self.downgrades = 0
 
+    def reset(self) -> None:
+        """Forget per-run counters/state so the policy can be re-run.
+
+        Called by the simulation engine at the top of every run; stateful
+        subclasses must also restore their fresh-from-idle state here.
+        """
+        self.strong_decodes = 0
+        self.weak_decodes = 0
+        self.downgrades = 0
+
     def on_read(self, byte_address: int, now: int) -> ReadAction:
         """Called for every demand read at processor cycle ``now``."""
         self.weak_decodes += 1
@@ -107,6 +117,15 @@ class MeccPolicy(EccPolicy):
         super().__init__(name=name, decode_cycles=0)
         self.controller = controller
         self.smd = smd
+        self.controller.wake()
+        if self.smd is not None:
+            self.smd.reset(0)
+        self._total_cycles = 0
+
+    def reset(self) -> None:
+        """Back to the fresh-from-idle state: all lines strong, SMD re-armed."""
+        super().reset()
+        self.controller.reset()
         self.controller.wake()
         if self.smd is not None:
             self.smd.reset(0)

@@ -98,6 +98,24 @@ class MemoryController:
         """Allow SMD-style operation where auto-refresh stays off (1 s SR)."""
         self._refresh_enabled = enabled
 
+    def reset(self) -> None:
+        """Drop all per-run state (bank timing, queues, stats).
+
+        Configuration (organization, timings, queue thresholds, refresh
+        enablement) is preserved; everything a previous ``run`` touched is
+        re-initialized so the controller can be reused without one run's
+        stats or bank timestamps leaking into the next.
+        """
+        self.banks = [Bank(self.timings) for _ in range(self.mapper.total_banks)]
+        self.write_queue.clear()
+        self.stats = ControllerStats()
+        self._data_bus_free_at = [0] * self.org.channels
+        self._busy_until = 0
+        self._next_refresh_at = self.timings.t_refi
+        n_ranks = self.org.channels * self.org.ranks
+        self._last_act_start = [-(10 ** 12)] * n_ranks
+        self._act_window = [deque(maxlen=4) for _ in range(n_ranks)]
+
     # -- public request interface ----------------------------------------------
 
     def read(self, address: int, now: int) -> int:
@@ -109,7 +127,9 @@ class MemoryController:
         self._opportunistic_drain(now)
         if len(self.write_queue) >= self.write_queue_capacity:
             self._drain_writes(now)
-        done = self._service(address, now)
+        # Completion times are whole processor cycles even if a caller
+        # configured fractional (float) timings; latency stats stay ints.
+        done = int(self._service(address, now))
         self.stats.reads += 1
         self.stats.read_latency_sum += done - now
         return done
@@ -193,7 +213,7 @@ class MemoryController:
         # Busy-time envelope for the power model.
         overlap_start = max(begin, self._busy_until)
         if data_done > overlap_start:
-            self.stats.busy_cycles += data_done - overlap_start
+            self.stats.busy_cycles += int(data_done - overlap_start)
         self._busy_until = max(self._busy_until, data_done)
         return data_done
 

@@ -44,9 +44,17 @@ class SimulationEngine:
         self.energy_model = energy_model or ActiveEnergyModel()
 
     def run(self, trace: Trace) -> SimResult:
-        """Simulate the whole trace; returns the run summary."""
+        """Simulate the whole trace; returns the run summary.
+
+        The engine is reusable: each call starts from a pristine
+        controller and policy (per-run stats and per-line ECC state are
+        reset), so back-to-back runs of one engine match runs on fresh
+        engines instead of accumulating counters across runs.
+        """
         policy = self.policy
         controller = self.controller
+        controller.reset()
+        policy.reset()
         cpi = trace.nonmem_cpi
         retire = 0.0  # retirement clock, processor cycles
         reads = 0
@@ -58,7 +66,9 @@ class SimulationEngine:
             if record.op is MemoryOp.READ:
                 action = policy.on_read(record.address, now)
                 data_done = controller.read(record.address, now)
-                completion = data_done + action.decode_cycles
+                # Cycle accounting is integral: only the retirement clock
+                # carries the sub-cycle remainder of gap retirement.
+                completion = int(data_done + action.decode_cycles)
                 if action.writeback:
                     # ECC-Downgrade re-encode: off the critical path.
                     controller.write(record.address, completion)

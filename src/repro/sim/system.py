@@ -8,6 +8,7 @@ analysis).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.core.mecc import MeccController
@@ -73,6 +74,17 @@ class SystemConfig:
             )
         return MeccPolicy(controller=controller, smd=smd)
 
+    def describe(self) -> dict:
+        """Nested plain-dict form of the full configuration.
+
+        Feeds the experiment runner's content-hashed cache key (see
+        :mod:`repro.analysis.runner`): every field that can change a
+        simulation result — organization, timings, power parameters,
+        scheme latencies — is included, so two configs hash equal iff
+        they would produce identical runs.
+        """
+        return dataclasses.asdict(self)
+
     def policy_by_name(self, name: str, **kwargs) -> EccPolicy:
         factories = {
             "baseline": self.baseline_policy,
@@ -121,6 +133,10 @@ class ScaledRun:
     def to_paper_seconds(self, cycles: int) -> float:
         """Wall-clock the simulated cycles represent at full scale."""
         return cycles * self.scale_factor / PROC_HZ
+
+    def describe(self) -> dict:
+        """Plain-dict form (cache-key ingredient; see SystemConfig.describe)."""
+        return dataclasses.asdict(self)
 
 
 #: Shared default configuration (the paper's system).

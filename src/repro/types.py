@@ -7,6 +7,7 @@ without import cycles.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 
@@ -127,6 +128,14 @@ class EnergyBreakdown:
             ecc_codec=self.ecc_codec * factor,
         )
 
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe; exact float round-trip)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyBreakdown":
+        return cls(**data)
+
 
 @dataclass
 class PowerBreakdown:
@@ -184,3 +193,17 @@ class SimResult:
         if self.reads == 0:
             return 0.0
         return self.read_latency_sum / self.reads
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for the on-disk result cache (JSON-safe).
+
+        Round-trips exactly through JSON: every field is an int or a
+        float, and ``json`` preserves both bit-for-bit.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        data = dict(data)
+        data["energy"] = EnergyBreakdown.from_dict(data.get("energy", {}))
+        return cls(**data)

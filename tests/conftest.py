@@ -11,6 +11,22 @@ from repro.types import MemoryOp, TraceRecord
 from repro.workloads.trace import Trace
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_runner():
+    """Keep the test suite's experiment runner serial and memory-only.
+
+    Ambient ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` settings must not leak
+    into test behavior (disk caches would mask code changes mid-suite).
+    Tests that exercise parallelism or caching configure a runner
+    explicitly.
+    """
+    from repro.analysis.runner import configure_runner, reset_runner
+
+    configure_runner(jobs=1, cache_dir=None)
+    yield
+    reset_runner()
+
+
 @pytest.fixture
 def rng():
     return random.Random(12345)

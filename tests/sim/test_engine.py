@@ -71,6 +71,43 @@ class TestMeccIntegration:
         assert engine.controller.stats.writes + len(engine.controller.write_queue) == 2
 
 
+class TestEngineReuse:
+    def test_back_to_back_runs_match_fresh_engines(self, hand_trace):
+        """Re-running one engine must not accumulate stats across runs."""
+        trace = hand_trace(
+            [(0, "R", 0), (100, "R", 64), (50, "W", 4096), (200, "R", 0)],
+            nonmem_cpi=0.5,
+        )
+        shared = SimulationEngine(policy=MeccPolicy())
+        first = shared.run(trace)
+        second = shared.run(trace)
+        fresh_a = SimulationEngine(policy=MeccPolicy()).run(trace)
+        fresh_b = SimulationEngine(policy=MeccPolicy()).run(trace)
+        assert first.to_dict() == fresh_a.to_dict()
+        assert second.to_dict() == fresh_b.to_dict()
+        assert first.to_dict() == second.to_dict()
+
+    def test_reuse_resets_controller_stats(self, hand_trace):
+        trace = hand_trace([(0, "W", 0), (0, "W", 64), (100, "R", 128)])
+        engine = SimulationEngine(policy=MeccPolicy())
+        engine.run(trace)
+        writes_once = engine.controller.stats.writes
+        engine.run(trace)
+        assert engine.controller.stats.writes == writes_once
+
+    def test_float_timings_keep_integral_accounting(self, hand_trace):
+        """Sub-cycle DRAM timings must not leak floats into cycle stats."""
+        import dataclasses
+
+        timings = dataclasses.replace(DramTimings(), t_rcd=24.5, t_cl=24.25)
+        trace = hand_trace([(100, "R", 0), (50, "R", 64)], nonmem_cpi=0.5)
+        engine = SimulationEngine(policy=SecdedPolicy(), timings=timings)
+        result = engine.run(trace)
+        assert isinstance(result.cycles, int)
+        assert isinstance(result.read_latency_sum, int)
+        assert isinstance(engine.controller.stats.busy_cycles, int)
+
+
 class TestResults:
     def test_mpki_measured(self, hand_trace):
         trace = hand_trace([(999, "R", 0)])

@@ -5,6 +5,15 @@ import pytest
 from repro.cli import EXHIBITS, build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def _restore_runner():
+    """main() installs a global runner; re-pin the hermetic one after."""
+    yield
+    from repro.analysis.runner import configure_runner
+
+    configure_runner(jobs=1, cache_dir=None)
+
+
 class TestParser:
     def test_all_exhibits_are_choices(self):
         parser = build_parser()
@@ -77,6 +86,50 @@ class TestFaultInject:
         assert main(["fault-inject", "--mode", "weak", "--trials", "30"]) == 0
         out = capsys.readouterr().out
         assert "weak mode" in out
+
+
+class TestRunnerFlags:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.jobs is None
+        assert args.cache_dir is None
+        assert not args.no_cache
+        assert args.manifest is None
+
+    def test_cache_and_manifest_flags(self, tmp_path, capsys):
+        import json
+
+        from repro.analysis.experiments import clear_caches
+
+        cache = tmp_path / "cache"
+        manifest = tmp_path / "manifest.json"
+        argv = ["fig14", "--instructions", "20000",
+                "--cache-dir", str(cache), "--manifest", str(manifest)]
+        clear_caches()
+        assert main(argv) == 0
+        first = json.loads(manifest.read_text())
+        assert first["cache"]["hits"] == 0
+        assert first["totals"]["job_count"] > 0
+        assert list(cache.rglob("*.json"))
+
+        # Second invocation: every job served from the on-disk cache.
+        clear_caches()
+        assert main(argv) == 0
+        second = json.loads(manifest.read_text())
+        assert second["cache"]["hits"] == first["totals"]["job_count"]
+        assert second["cache"]["misses"] == 0
+        out = capsys.readouterr().out
+        assert "Experiment runner" in out
+        assert "cache hit rate 100%" in out
+
+    def test_no_cache_overrides_cache_dir(self, tmp_path, capsys):
+        from repro.analysis.experiments import clear_caches
+
+        cache = tmp_path / "cache"
+        clear_caches()
+        assert main(["fig14", "--instructions", "20000", "--jobs", "1",
+                     "--cache-dir", str(cache), "--no-cache"]) == 0
+        assert not cache.exists()
 
 
 class TestCsvExport:
