@@ -1,0 +1,83 @@
+"""Microbenchmark: the observability layer is zero-cost when disabled.
+
+Every emit site in the engine, controller, refresh machinery, and MECC
+core is guarded by an ``is not None`` check on a ``tracer`` /
+``invariants`` attribute, so a run with the hooks detached (the default)
+should cost the same as before the layer existed.  This bench times the
+same workload in both configurations:
+
+* disabled — hooks left at None (the production default);
+* traced — an :class:`~repro.obs.trace.EventTracer` plus the tolerant
+  default invariant suite attached.
+
+``test_disabled_path_costs_no_more_than_traced`` is the CI smoke: the
+disabled run uses the traced run as a same-machine contemporaneous
+reference and must not exceed it (with generous noise slack) — if a
+guard is ever dropped and the disabled path starts doing tracing work,
+the two converge from both sides and real overhead shows up in the
+``bench_run_*`` numbers::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -q
+"""
+
+import time
+
+import pytest
+
+from repro.obs import EventTracer, default_invariant_suite
+from repro.sim.engine import SimulationEngine
+from repro.sim.system import SystemConfig
+from repro.workloads.spec import BENCHMARKS_BY_NAME
+
+INSTRUCTIONS = 60_000
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return BENCHMARKS_BY_NAME["libq"].trace(INSTRUCTIONS)
+
+
+def _run_disabled(trace):
+    policy = SystemConfig().mecc_policy(with_smd=True)
+    return SimulationEngine(policy=policy).run(trace)
+
+
+def _run_traced(trace):
+    policy = SystemConfig().mecc_policy(with_smd=True)
+    engine = SimulationEngine(
+        policy=policy,
+        tracer=EventTracer(),
+        invariants=default_invariant_suite(tolerant=True),
+    )
+    return engine.run(trace)
+
+
+def test_bench_run_disabled(benchmark, workload):
+    result = benchmark(_run_disabled, workload)
+    assert result.reads > 0
+
+
+def test_bench_run_traced(benchmark, workload):
+    result = benchmark(_run_traced, workload)
+    assert result.reads > 0
+
+
+def _best_of(fn, trace, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(trace)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_path_costs_no_more_than_traced(workload):
+    # Interleaving would be fairer still, but best-of-5 already washes
+    # out scheduler noise; the 1.25x slack absorbs the rest.
+    disabled = _best_of(_run_disabled, workload)
+    traced = _best_of(_run_traced, workload)
+    assert disabled <= traced * 1.25, (
+        f"disabled-hooks run ({disabled * 1e3:.1f} ms) should not cost more "
+        f"than the fully traced run ({traced * 1e3:.1f} ms): a guard on an "
+        "emit site is probably missing"
+    )

@@ -75,6 +75,25 @@ def render_codec_counters(counters_by_name) -> str:
     )
 
 
+def render_metrics(registry, title: str = "Metrics") -> str:
+    """Render a :class:`repro.obs.metrics.MetricsRegistry` as a table.
+
+    One row per metric, sorted by namespaced name; returns an empty
+    string for an empty registry so callers can print unconditionally.
+    """
+    from repro.analysis.tables import format_table
+
+    snapshot = registry.snapshot()
+    if not snapshot:
+        return ""
+    rows = []
+    for name, value in snapshot.items():
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        rows.append([name, value])
+    return format_table(["metric", "value"], rows, title=title)
+
+
 def render_runner_summary(runner=None) -> str:
     """Render the experiment runner's manifest as a summary table.
 

@@ -335,6 +335,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run manifest (per-job wall times, cache hit/miss "
         "counters) to this JSON file",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="for trace-sim: run with the structured event tracer and "
+        "runtime invariant checkers attached, exporting the event "
+        "stream as JSONL to PATH (see repro.obs)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write a unified metrics snapshot (sim/dram/ecc/runner/obs "
+        "namespaces, see repro.obs.metrics) as JSON to PATH",
+    )
     return parser
 
 
@@ -359,7 +374,7 @@ def _trace_gen(args) -> int:
 
 
 def _trace_sim(args) -> int:
-    from repro.sim.engine import simulate
+    from repro.sim.engine import SimulationEngine
     from repro.sim.system import SystemConfig
     from repro.workloads.trace import read_trace
 
@@ -369,7 +384,18 @@ def _trace_sim(args) -> int:
     with open(args.input, encoding="ascii") as stream:
         trace = read_trace(stream)
     config = SystemConfig()
-    result = simulate(trace, config.policy_by_name(args.policy))
+    tracer = invariants = None
+    if args.trace or args.metrics_out:
+        from repro.obs import EventTracer, default_invariant_suite
+
+        tracer = EventTracer()
+        invariants = default_invariant_suite(tolerant=True)
+    engine = SimulationEngine(
+        policy=config.policy_by_name(args.policy),
+        tracer=tracer,
+        invariants=invariants,
+    )
+    result = engine.run(trace)
     print(format_table(
         ["metric", "value"],
         [
@@ -385,6 +411,24 @@ def _trace_sim(args) -> int:
         ],
         title=f"trace-sim: {args.input}",
     ))
+    if args.trace:
+        count = tracer.export_jsonl(args.trace)
+        print(f"wrote {count} trace events to {args.trace} "
+              f"({tracer.dropped} dropped by the ring buffer)")
+    if invariants is not None:
+        summary = invariants.summary()
+        print(f"invariants: {summary['evaluations']} evaluations, "
+              f"{summary['violations']} violations")
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.record_sim_result(result)
+        registry.record_controller_stats(engine.controller.stats)
+        registry.record_tracer(tracer)
+        registry.record_invariants(invariants)
+        registry.write_json(args.metrics_out)
+        print(f"wrote {len(registry)} metrics to {args.metrics_out}")
     return 0
 
 
@@ -426,12 +470,19 @@ def _configure_runner(args):
 
 
 def _finish_runner(args, runner) -> None:
-    """Emit the runner's observability outputs (summary table, manifest)."""
+    """Emit the runner's observability outputs (summary, manifest, metrics)."""
     from repro.analysis.report import render_runner_summary
 
     if args.manifest:
         runner.write_manifest(args.manifest)
         print(f"wrote run manifest to {args.manifest}")
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.record_runner(runner)
+        registry.write_json(args.metrics_out)
+        print(f"wrote {len(registry)} metrics to {args.metrics_out}")
     summary = render_runner_summary(runner)
     if summary:
         print(summary)

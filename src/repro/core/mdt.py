@@ -33,6 +33,8 @@ class MemoryDowngradeTracker:
         if self.region_bytes < self.org.line_bytes:
             raise ConfigurationError("regions must hold at least one line")
         self._marked: set[int] = set()
+        #: Optional :class:`repro.obs.trace.EventTracer`; None = no tracing.
+        self.tracer = None
 
     @property
     def storage_bytes(self) -> int:
@@ -51,7 +53,13 @@ class MemoryDowngradeTracker:
 
     def record_downgrade(self, byte_address: int) -> None:
         """Set the bit for the region containing a downgraded line."""
-        self._marked.add(self.region_of(byte_address))
+        region = self.region_of(byte_address)
+        if region not in self._marked:
+            self._marked.add(region)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "mdt", "set", region=region, marked=len(self._marked)
+                )
 
     def is_marked(self, region: int) -> bool:
         if not 0 <= region < self.entries:
@@ -77,4 +85,6 @@ class MemoryDowngradeTracker:
 
     def reset(self) -> None:
         """Clear the table (done after each ECC-Upgrade pass)."""
+        if self._marked and self.tracer is not None:
+            self.tracer.emit("mdt", "clear", cleared=len(self._marked))
         self._marked.clear()

@@ -70,6 +70,14 @@ class MeccController:
         self.upgraded_lines = 0
         self.strong_decodes = 0
         self.weak_decodes = 0
+        # Observability hooks (see repro.obs): a tracer receives mode
+        # transitions and conversions; an invariant suite is evaluated on
+        # idle entry/exit.  Both default to None = zero overhead.
+        self.tracer = None
+        self.invariants = None
+        #: SMD gate driving this controller, if any (set by MeccPolicy so
+        #: invariant checks can see the gating state).
+        self.smd_ref = None
 
     def reset(self) -> None:
         """Return to the just-constructed state: every line strong, idle.
@@ -94,12 +102,21 @@ class MeccController:
         """Idle -> active: refresh returns to 64 ms; lines stay strong."""
         self.state = SystemState.ACTIVE
         self.device.exit_self_refresh()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "mecc", "wake", weak_lines=self.line_store.weak_count
+            )
+        if self.invariants is not None:
+            self.invariants.check(self, smd=self.smd_ref, event="idle-exit")
 
-    def on_read(self, byte_address: int, downgrade_enabled: bool = True) -> tuple[int, bool]:
+    def on_read(
+        self, byte_address: int, downgrade_enabled: bool = True, now: int = 0
+    ) -> tuple[int, bool]:
         """Decode latency and write-back need for a demand read.
 
         Returns ``(decode_cycles, writeback_needed)``.  The write-back is
         the ECC-Downgrade re-encode; it is issued off the critical path.
+        ``now`` (processor cycles) only stamps trace events.
         """
         line = byte_address // self.device.org.line_bytes
         mode = self.line_store.mode_of(line)
@@ -113,9 +130,13 @@ class MeccController:
         self.downgrades += 1
         if self.mdt is not None:
             self.mdt.record_downgrade(byte_address)
+        if self.tracer is not None:
+            self.tracer.emit("mecc", "downgrade", cycle=now, line=line, via="read")
         return self.strong.decode_cycles, True
 
-    def on_write(self, byte_address: int, downgrade_enabled: bool = True) -> None:
+    def on_write(
+        self, byte_address: int, downgrade_enabled: bool = True, now: int = 0
+    ) -> None:
         """A dirty write-back from the LLC re-encodes the line.
 
         With downgrade enabled the line is written in weak mode (and
@@ -128,6 +149,10 @@ class MeccController:
                 self.downgrades += 1
                 if self.mdt is not None:
                     self.mdt.record_downgrade(byte_address)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "mecc", "downgrade", cycle=now, line=line, via="write"
+                    )
         else:
             self.line_store.upgrade(line)
 
@@ -161,6 +186,16 @@ class MeccController:
         seconds = self.device.bulk_convert_seconds(lines_scanned)
         encode_energy = lines_scanned * self.strong.encode_energy_pj * 1e-12
         self.device.enter_self_refresh(slow=True)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "mecc",
+                "upgrade",
+                lines_scanned=lines_scanned,
+                lines_converted=converted,
+                used_mdt=used_mdt,
+            )
+        if self.invariants is not None:
+            self.invariants.check(self, smd=self.smd_ref, event="idle-entry")
         return UpgradeReport(
             lines_scanned=lines_scanned,
             lines_converted=converted,

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.mecc import MeccController
-from repro.core.smd import SelectiveMemoryDowngrade
+from repro.core.smd import PAPER_QUANTUM_CYCLES, SelectiveMemoryDowngrade
 from repro.ecc.codes import ECC6, SECDED, EccScheme
 from repro.types import MemoryOp
 
@@ -39,6 +39,19 @@ class EccPolicy:
         self.strong_decodes = 0
         self.weak_decodes = 0
         self.downgrades = 0
+        #: Observability hooks (repro.obs); None = disabled, zero cost.
+        self.tracer = None
+        self.invariants = None
+
+    def attach_observer(self, tracer=None, invariants=None) -> None:
+        """Attach a tracer and/or invariant suite to this policy.
+
+        Stateless policies only record the references (the engine emits
+        run-level events); stateful subclasses propagate them to their
+        components.  Passing None for either leaves that hook detached.
+        """
+        self.tracer = tracer
+        self.invariants = invariants
 
     def reset(self) -> None:
         """Forget per-run counters/state so the policy can be re-run.
@@ -117,10 +130,30 @@ class MeccPolicy(EccPolicy):
         super().__init__(name=name, decode_cycles=0)
         self.controller = controller
         self.smd = smd
+        self.controller.smd_ref = smd
         self.controller.wake()
         if self.smd is not None:
             self.smd.reset(0)
         self._total_cycles = 0
+        # Quantum bookkeeping for invariant evaluation: boundaries follow
+        # the SMD quantum when gated, the paper quantum otherwise.
+        self._invariant_quantum = (
+            smd.quantum_cycles if smd is not None else PAPER_QUANTUM_CYCLES
+        )
+        self._last_quantum = 0
+
+    def attach_observer(self, tracer=None, invariants=None) -> None:
+        """Propagate observability hooks to the MECC core components."""
+        super().attach_observer(tracer, invariants)
+        self.controller.tracer = tracer
+        self.controller.invariants = invariants
+        self.controller.device.refresh.tracer = tracer
+        if self.controller.mdt is not None:
+            self.controller.mdt.tracer = tracer
+        if self.smd is not None:
+            self.smd.tracer = tracer
+        if invariants is not None and invariants.tracer is None:
+            invariants.tracer = tracer
 
     def reset(self) -> None:
         """Back to the fresh-from-idle state: all lines strong, SMD re-armed."""
@@ -130,6 +163,16 @@ class MeccPolicy(EccPolicy):
         if self.smd is not None:
             self.smd.reset(0)
         self._total_cycles = 0
+        self._last_quantum = 0
+
+    def _check_quantum(self, now: int) -> None:
+        """Evaluate invariants when the access stream crosses a quantum."""
+        quantum = now // self._invariant_quantum
+        if quantum != self._last_quantum:
+            self._last_quantum = quantum
+            self.invariants.check(
+                self.controller, smd=self.smd, event="quantum", cycle=now
+            )
 
     @property
     def downgrade_enabled(self) -> bool:
@@ -138,8 +181,10 @@ class MeccPolicy(EccPolicy):
     def on_read(self, byte_address: int, now: int) -> ReadAction:
         if self.smd is not None:
             self.smd.record_access(now)
+        if self.invariants is not None:
+            self._check_quantum(now)
         decode_cycles, writeback = self.controller.on_read(
-            byte_address, downgrade_enabled=self.downgrade_enabled
+            byte_address, downgrade_enabled=self.downgrade_enabled, now=now
         )
         if writeback:
             self.downgrades += 1
@@ -148,12 +193,20 @@ class MeccPolicy(EccPolicy):
     def on_write(self, byte_address: int, now: int) -> None:
         if self.smd is not None:
             self.smd.record_access(now)
-        self.controller.on_write(byte_address, downgrade_enabled=self.downgrade_enabled)
+        if self.invariants is not None:
+            self._check_quantum(now)
+        self.controller.on_write(
+            byte_address, downgrade_enabled=self.downgrade_enabled, now=now
+        )
 
     def on_run_end(self, total_cycles: int) -> None:
         self._total_cycles = total_cycles
         self.strong_decodes = self.controller.strong_decodes
         self.weak_decodes = self.controller.weak_decodes
+        if self.invariants is not None:
+            self.invariants.check(
+                self.controller, smd=self.smd, event="run-end", cycle=total_cycles
+            )
 
     @property
     def slow_refresh_fraction(self) -> float:

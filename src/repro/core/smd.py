@@ -64,6 +64,8 @@ class SelectiveMemoryDowngrade:
         self.enabled_at_cycle: int | None = None
         self._quantum_start = 0
         self._accesses = 0
+        #: Optional :class:`repro.obs.trace.EventTracer`; None = no tracing.
+        self.tracer = None
 
     def reset(self, now: int = 0) -> None:
         """Re-arm on wake-up from idle: downgrade disabled again."""
@@ -84,7 +86,17 @@ class SelectiveMemoryDowngrade:
         while now - self._quantum_start >= self.quantum_cycles:
             mpkc = 1000.0 * self._accesses / self.quantum_cycles
             quantum_end = self._quantum_start + self.quantum_cycles
-            if mpkc > self.threshold_mpkc:
+            tripped = mpkc > self.threshold_mpkc
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "smd",
+                    "quantum",
+                    cycle=quantum_end,
+                    mpkc=mpkc,
+                    threshold=self.threshold_mpkc,
+                    enabled=tripped,
+                )
+            if tripped:
                 self.enabled = True
                 self.enabled_at_cycle = quantum_end
                 return

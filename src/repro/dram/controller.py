@@ -81,6 +81,10 @@ class MemoryController:
         self.write_drain_low = write_drain_low
         self.powerdown_gap_cycles = powerdown_gap_cycles
         self.stats = ControllerStats()
+        #: Optional :class:`repro.obs.trace.EventTracer`; only the *rare*
+        #: events (forced drains, refresh collisions) emit, so the
+        #: per-access service path carries no tracing cost.
+        self.tracer = None
         self._banks_per_channel = self.org.banks * self.org.ranks
         self._data_bus_free_at = [0] * self.org.channels
         self._busy_until = 0
@@ -166,6 +170,11 @@ class MemoryController:
 
     def _drain_writes(self, now: int) -> None:
         self.stats.write_drains += 1
+        drained = len(self.write_queue) - self.write_drain_low
+        if self.tracer is not None:
+            self.tracer.emit(
+                "dram", "write_drain", cycle=now, drained=drained
+            )
         t = now
         while len(self.write_queue) > self.write_drain_low:
             address = self.write_queue.popleft()
@@ -227,11 +236,19 @@ class MemoryController:
             self._next_refresh_at += t.t_refi
         if self._next_refresh_at <= begin:
             # Collision: wait out the refresh; rows are closed by it.
+            stalled_from = begin
             begin = self._next_refresh_at + t.t_rfc
             self._next_refresh_at += t.t_refi
             for bank in self.banks:
                 bank.precharge_all()
             self.stats.refresh_windows_hit += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "dram",
+                    "refresh_collision",
+                    cycle=int(stalled_from),
+                    stall_cycles=int(begin - stalled_from),
+                )
         return begin
 
     # -- power-model export -------------------------------------------------------

@@ -73,6 +73,8 @@ class SelfRefreshController:
     divider: RefreshDivider = field(default_factory=RefreshDivider)
     divider_enabled: bool = False
     pasr_fraction: float = 0.5
+    #: Optional :class:`repro.obs.trace.EventTracer`; None = no tracing.
+    tracer: object = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.pasr_fraction <= 1.0:
@@ -82,10 +84,20 @@ class SelfRefreshController:
         """Transition to a refresh mode; the divider only applies in SR."""
         if use_divider and mode is not RefreshMode.SELF_REFRESH:
             raise ConfigurationError("the refresh divider only applies in self refresh")
+        previous = self.mode
         self.mode = mode
         self.divider_enabled = use_divider
         if use_divider:
             self.divider.reset()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "refresh",
+                "mode",
+                mode=mode.value,
+                previous=previous.value,
+                divided=use_divider,
+                period_s=self.refresh_period_s,
+            )
 
     @property
     def refresh_period_s(self) -> float:

@@ -44,12 +44,15 @@ class PatrolScrubber:
         self,
         memory: FunctionalMemory,
         calculator: DramPowerCalculator | None = None,
+        tracer=None,
     ):
         self.memory = memory
         self.calculator = calculator or DramPowerCalculator()
         self.passes = 0
         self.total_bits_corrected = 0
         self.total_energy_j = 0.0
+        #: Optional :class:`repro.obs.trace.EventTracer`; None = no tracing.
+        self.tracer = tracer
 
     def scrub_pass(self) -> ScrubReport:
         """Read every materialized line once; corrections write back.
@@ -69,6 +72,14 @@ class PatrolScrubber:
         self.passes += 1
         self.total_bits_corrected += corrected
         self.total_energy_j += energy
+        if self.tracer is not None:
+            self.tracer.emit(
+                "scrub",
+                "pass",
+                lines_scanned=len(lines),
+                bits_corrected=corrected,
+                failures=failures,
+            )
         return ScrubReport(
             lines_scanned=len(lines),
             bits_corrected=corrected,

@@ -1,0 +1,50 @@
+"""Observability layer: structured tracing, metrics, runtime invariants.
+
+The simulation stack's headline numbers (idle-power reduction, active
+slowdown, MDT-guided upgrade time) all depend on the MECC state machine
+behaving correctly across mode transitions, yet a bare run only returns
+a final stats object.  This package adds the missing visibility:
+
+* :mod:`repro.obs.trace` — a ring-buffered structured event trace
+  (:class:`EventTracer`) emitted from the simulation engine, the DRAM
+  controller and refresh machinery, the MECC core (ECC-Upgrade /
+  ECC-Downgrade, MDT set/clear, SMD quantum decisions), and the patrol
+  scrubber.  Exportable as JSONL; zero-cost when disabled (every emit
+  call site is guarded by an ``is not None`` check).
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`, a unified
+  namespaced snapshot merging simulator counters, codec counters, and
+  experiment-runner manifest timings, rendered by the report module and
+  the CLI (``--metrics-out``).
+* :mod:`repro.obs.invariants` — pluggable runtime checkers evaluated at
+  SMD quantum boundaries and on idle entry/exit, raising a typed
+  :class:`InvariantViolation` (or recording it in tolerant mode).
+"""
+
+from repro.obs.invariants import (
+    InvariantCheck,
+    InvariantContext,
+    InvariantSuite,
+    InvariantViolation,
+    MdtCoherenceCheck,
+    RefreshModeCheck,
+    SmdGatingCheck,
+    UpgradeCompletenessCheck,
+    default_invariant_suite,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import EventTracer, TraceEvent
+
+__all__ = [
+    "EventTracer",
+    "TraceEvent",
+    "MetricsRegistry",
+    "InvariantCheck",
+    "InvariantContext",
+    "InvariantSuite",
+    "InvariantViolation",
+    "MdtCoherenceCheck",
+    "RefreshModeCheck",
+    "SmdGatingCheck",
+    "UpgradeCompletenessCheck",
+    "default_invariant_suite",
+]

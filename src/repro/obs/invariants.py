@@ -1,0 +1,297 @@
+"""Runtime invariant checkers for the MECC state machine.
+
+The paper's correctness story rests on a handful of coherence properties
+between the per-line ECC-mode store, the MDT bit table, the device's
+refresh mode, and the SMD gate.  Each property is a pluggable
+:class:`InvariantCheck`; an :class:`InvariantSuite` evaluates them at SMD
+quantum boundaries and on idle entry/exit (the call sites live in
+:class:`repro.core.policy.MeccPolicy` and
+:class:`repro.core.mecc.MeccController`) and raises a typed
+:class:`InvariantViolation` — or, in tolerant mode, records the
+violation and keeps running so a campaign can report every breakage at
+the end.
+
+The default suite (:func:`default_invariant_suite`) covers:
+
+* **MDT coherence** — an MDT bit is set *iff* its region contains at
+  least one downgraded line.
+* **Refresh mode** — the device refresh period is consistent with the
+  per-line ECC modes (weak lines require the fast 64 ms refresh) and
+  with the activity state (idle means slow self-refresh).
+* **Upgrade completeness** — after an ECC-Upgrade pass every line is
+  back at the strong code and the MDT is clear.
+* **SMD gating** — downgrades happen only after the MPKC threshold
+  tripped, and the gate's bookkeeping is self-consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.refresh import BASE_REFRESH_PERIOD_S
+from repro.errors import SimulationError
+from repro.types import SystemState
+
+
+class InvariantViolation(SimulationError):
+    """A runtime invariant of the MECC state machine was broken.
+
+    Attributes:
+        check: name of the checker that fired.
+        event: evaluation point (``"quantum"``, ``"idle-entry"``,
+            ``"idle-exit"``, ``"run-end"``, or a caller-defined label).
+        cycle: simulated processor cycle of the evaluation.
+    """
+
+    def __init__(self, message: str, *, check: str, event: str = "", cycle: int = 0):
+        super().__init__(message)
+        self.check = check
+        self.event = event
+        self.cycle = cycle
+
+
+@dataclass
+class InvariantContext:
+    """Everything a checker may inspect at one evaluation point.
+
+    Attributes:
+        controller: the :class:`repro.core.mecc.MeccController` under
+            check (line store, MDT, device, counters).
+        smd: the :class:`repro.core.smd.SelectiveMemoryDowngrade` gate,
+            or None when the policy runs ungated (SMD checks then skip).
+        event: evaluation point label.
+        cycle: simulated processor cycle.
+    """
+
+    controller: object
+    smd: object | None = None
+    event: str = ""
+    cycle: int = 0
+
+
+class InvariantCheck:
+    """Base checker: subclasses return a list of violation messages."""
+
+    name = "invariant"
+
+    def check(self, ctx: InvariantContext) -> list[str]:
+        raise NotImplementedError
+
+
+class MdtCoherenceCheck(InvariantCheck):
+    """MDT bit set ⇔ the region contains ≥ 1 downgraded line."""
+
+    name = "mdt-coherence"
+
+    def check(self, ctx: InvariantContext) -> list[str]:
+        mecc = ctx.controller
+        mdt = mecc.mdt
+        if mdt is None:
+            return []
+        problems = []
+        line_bytes = mecc.device.org.line_bytes
+        marked = mdt.marked_regions
+        weak_regions = set()
+        for line in mecc.line_store.weak_lines:
+            region = mdt.region_of(line * line_bytes)
+            weak_regions.add(region)
+            if region not in marked:
+                problems.append(
+                    f"line {line} is downgraded but MDT region {region} is not marked"
+                )
+        for region in sorted(marked - weak_regions):
+            problems.append(
+                f"MDT region {region} is marked but contains no downgraded line"
+            )
+        return problems
+
+
+class RefreshModeCheck(InvariantCheck):
+    """Refresh period consistent with per-line ECC modes and state."""
+
+    name = "refresh-mode"
+
+    def check(self, ctx: InvariantContext) -> list[str]:
+        mecc = ctx.controller
+        period = mecc.refresh_period_s
+        problems = []
+        weak = mecc.line_store.weak_count
+        if weak and period > BASE_REFRESH_PERIOD_S:
+            problems.append(
+                f"{weak} weak line(s) under a {period:.3f} s refresh period "
+                f"(must refresh at {BASE_REFRESH_PERIOD_S:.3f} s while any "
+                "line is SECDED-protected)"
+            )
+        if mecc.state is SystemState.IDLE and period <= BASE_REFRESH_PERIOD_S:
+            problems.append(
+                f"idle state with a {period:.3f} s refresh period (idle must "
+                "use the divided self-refresh)"
+            )
+        return problems
+
+
+class UpgradeCompletenessCheck(InvariantCheck):
+    """After ECC-Upgrade (idle entry) every line is strong, MDT clear."""
+
+    name = "upgrade-completeness"
+
+    def check(self, ctx: InvariantContext) -> list[str]:
+        if ctx.event != "idle-entry":
+            return []
+        mecc = ctx.controller
+        problems = []
+        weak = mecc.line_store.weak_count
+        if weak:
+            problems.append(
+                f"ECC-Upgrade completed with {weak} line(s) still downgraded"
+            )
+        if mecc.mdt is not None and mecc.mdt.marked_count:
+            problems.append(
+                f"ECC-Upgrade completed with {mecc.mdt.marked_count} MDT "
+                "region(s) still marked"
+            )
+        return problems
+
+
+class SmdGatingCheck(InvariantCheck):
+    """Downgrades occur only after the SMD MPKC threshold tripped."""
+
+    name = "smd-gating"
+
+    def check(self, ctx: InvariantContext) -> list[str]:
+        smd = ctx.smd
+        if smd is None:
+            return []
+        mecc = ctx.controller
+        problems = []
+        if not smd.enabled:
+            if mecc.downgrades:
+                problems.append(
+                    f"{mecc.downgrades} downgrade(s) recorded while SMD keeps "
+                    "ECC-Downgrade disabled"
+                )
+            if mecc.line_store.weak_count:
+                problems.append(
+                    f"{mecc.line_store.weak_count} weak line(s) while SMD "
+                    "keeps ECC-Downgrade disabled"
+                )
+            if smd.enabled_at_cycle is not None:
+                problems.append(
+                    "SMD reports an enable cycle "
+                    f"({smd.enabled_at_cycle}) while still disabled"
+                )
+        elif smd.enabled_at_cycle is None:
+            problems.append("SMD is enabled without a recorded enable cycle")
+        return problems
+
+
+@dataclass
+class ViolationRecord:
+    """One tolerated violation (tolerant-mode bookkeeping)."""
+
+    check: str
+    event: str
+    cycle: int
+    message: str
+
+
+class InvariantSuite:
+    """Evaluate a set of checkers; raise or record on violation.
+
+    Args:
+        checks: the checkers to run (default: the full default suite).
+        tolerant: when True, violations are appended to
+            :attr:`violations` instead of raising, so long campaigns can
+            surface every breakage.
+    """
+
+    def __init__(
+        self,
+        checks: list[InvariantCheck] | None = None,
+        tolerant: bool = False,
+    ):
+        self.checks = list(checks) if checks is not None else _default_checks()
+        self.tolerant = tolerant
+        self.evaluations = 0
+        self.violations: list[ViolationRecord] = []
+        self.tracer = None
+
+    def run(self, ctx: InvariantContext) -> list[ViolationRecord]:
+        """Run every checker against ``ctx``.
+
+        Returns the violations found at this evaluation point (empty in
+        the common all-good case).  In strict mode the first violation
+        raises :class:`InvariantViolation`; the tracer (when attached)
+        sees every violation either way.
+        """
+        self.evaluations += 1
+        found: list[ViolationRecord] = []
+        for checker in self.checks:
+            for message in checker.check(ctx):
+                record = ViolationRecord(
+                    check=checker.name,
+                    event=ctx.event,
+                    cycle=ctx.cycle,
+                    message=message,
+                )
+                found.append(record)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "invariants",
+                        "violation",
+                        cycle=ctx.cycle,
+                        check=checker.name,
+                        event=ctx.event,
+                        message=message,
+                    )
+        self.violations.extend(found)
+        if found and not self.tolerant:
+            first = found[0]
+            raise InvariantViolation(
+                f"[{first.check} @ {first.event or 'check'}] {first.message}",
+                check=first.check,
+                event=first.event,
+                cycle=first.cycle,
+            )
+        return found
+
+    def check(
+        self,
+        controller,
+        smd=None,
+        event: str = "",
+        cycle: int = 0,
+    ) -> list[ViolationRecord]:
+        """Convenience wrapper building the context inline."""
+        return self.run(
+            InvariantContext(controller=controller, smd=smd, event=event, cycle=cycle)
+        )
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)
+
+    def summary(self) -> dict:
+        """Per-checker violation counts plus evaluation totals."""
+        by_check: dict[str, int] = {c.name: 0 for c in self.checks}
+        for record in self.violations:
+            by_check[record.check] = by_check.get(record.check, 0) + 1
+        return {
+            "evaluations": self.evaluations,
+            "violations": len(self.violations),
+            "by_check": by_check,
+        }
+
+
+def _default_checks() -> list[InvariantCheck]:
+    return [
+        MdtCoherenceCheck(),
+        RefreshModeCheck(),
+        UpgradeCompletenessCheck(),
+        SmdGatingCheck(),
+    ]
+
+
+def default_invariant_suite(tolerant: bool = False) -> InvariantSuite:
+    """The four-checker suite from the module docstring."""
+    return InvariantSuite(checks=_default_checks(), tolerant=tolerant)

@@ -1,0 +1,148 @@
+"""Ring-buffered structured event trace for the simulation stack.
+
+Every instrumented component carries a ``tracer`` attribute that defaults
+to ``None``; emit call sites are guarded (``if self.tracer is not None``)
+so a run without a tracer pays a single attribute test per *rare* event
+site and nothing on the per-access hot path.  With a tracer attached,
+events land in a bounded ring buffer (oldest dropped first, with a drop
+counter) and can be exported as JSONL for diffing and replay.
+
+Events are deterministic functions of the simulated run: two runs of the
+same trace/policy/configuration produce byte-identical JSONL, which is
+what the golden-trace regression tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event.
+
+    Attributes:
+        seq: monotonically increasing sequence number (0-based, counts
+            every emitted event including ones later dropped by the ring).
+        cycle: simulated processor cycle (or 0 for untimed components).
+        source: emitting component, e.g. ``"engine"``, ``"mecc"``,
+            ``"mdt"``, ``"smd"``, ``"dram"``, ``"refresh"``, ``"scrub"``.
+        kind: event name within the source, e.g. ``"downgrade"``.
+        data: JSON-safe payload (ints, floats, strings, bools).
+    """
+
+    seq: int
+    cycle: int
+    source: str
+    kind: str
+    data: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Canonical single-line JSON form (sorted keys, compact)."""
+        return json.dumps(
+            {
+                "seq": self.seq,
+                "cycle": self.cycle,
+                "source": self.source,
+                "kind": self.kind,
+                "data": self.data,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        payload = json.loads(line)
+        return cls(
+            seq=payload["seq"],
+            cycle=payload["cycle"],
+            source=payload["source"],
+            kind=payload["kind"],
+            data=payload.get("data", {}),
+        )
+
+
+class EventTracer:
+    """Bounded event sink shared by all instrumented components.
+
+    Args:
+        capacity: ring-buffer size; older events are dropped (and counted
+            in :attr:`dropped`) once the buffer is full.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ConfigurationError("tracer capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        self.dropped = 0
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, source: str, kind: str, cycle: int = 0, **data) -> None:
+        """Record one event (drops the oldest when the ring is full)."""
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(
+            TraceEvent(seq=self._seq, cycle=cycle, source=source, kind=kind, data=data)
+        )
+        self._seq += 1
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def emitted(self) -> int:
+        """Total events emitted, including any since dropped."""
+        return self._seq
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    def select(self, source: str | None = None, kind: str | None = None) -> list[TraceEvent]:
+        """Events filtered by source and/or kind (both None = everything)."""
+        return [
+            e
+            for e in self._events
+            if (source is None or e.source == source)
+            and (kind is None or e.kind == kind)
+        ]
+
+    def clear(self) -> None:
+        """Drop buffered events and reset the sequence counter."""
+        self._events.clear()
+        self._seq = 0
+        self.dropped = 0
+
+    # -- export --------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """All buffered events, one canonical JSON object per line."""
+        return "\n".join(e.to_json() for e in self._events)
+
+    def export_jsonl(self, path) -> int:
+        """Write the buffered events as JSONL; returns the event count."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as stream:
+            if text:
+                stream.write(text)
+                stream.write("\n")
+        return len(self._events)
+
+
+def read_jsonl(lines: Iterable[str]) -> list[TraceEvent]:
+    """Parse JSONL lines (e.g. an exported trace file) back into events."""
+    return [TraceEvent.from_json(line) for line in lines if line.strip()]

@@ -38,10 +38,20 @@ class SimulationEngine:
         energy_model: ActiveEnergyModel | None = None,
         org: DramOrganization | None = None,
         timings: DramTimings | None = None,
+        tracer=None,
+        invariants=None,
     ):
         self.policy = policy or NoEccPolicy()
         self.controller = controller or MemoryController(org=org, timings=timings)
         self.energy_model = energy_model or ActiveEnergyModel()
+        # Observability (repro.obs): the tracer and invariant suite are
+        # propagated to the policy (which forwards them to the MECC core)
+        # and the memory controller.  Both default to None — the per-access
+        # hot loop below is untouched and emit sites stay dormant.
+        self.tracer = tracer
+        self.invariants = invariants
+        self.policy.attach_observer(tracer, invariants)
+        self.controller.tracer = tracer
 
     def run(self, trace: Trace) -> SimResult:
         """Simulate the whole trace; returns the run summary.
@@ -53,6 +63,16 @@ class SimulationEngine:
         """
         policy = self.policy
         controller = self.controller
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "engine",
+                "run_start",
+                trace=trace.name,
+                policy=policy.name,
+                records=len(trace.records),
+                instructions=trace.instructions,
+            )
         controller.reset()
         policy.reset()
         cpi = trace.nonmem_cpi
@@ -80,6 +100,15 @@ class SimulationEngine:
                 controller.write(record.address, now)
         total_cycles = max(1, int(retire))
         policy.on_run_end(total_cycles)
+        if tracer is not None:
+            tracer.emit(
+                "engine",
+                "run_end",
+                cycle=total_cycles,
+                reads=reads,
+                writes=controller.stats.writes,
+                downgrades=policy.downgrades,
+            )
         return self._summarize(trace, total_cycles, reads, read_latency_sum)
 
     def _summarize(
@@ -119,7 +148,11 @@ def simulate(
     policy: EccPolicy | None = None,
     org: DramOrganization | None = None,
     timings: DramTimings | None = None,
+    tracer=None,
+    invariants=None,
 ) -> SimResult:
     """Convenience one-shot simulation with fresh engine state."""
-    engine = SimulationEngine(policy=policy, org=org, timings=timings)
+    engine = SimulationEngine(
+        policy=policy, org=org, timings=timings, tracer=tracer, invariants=invariants
+    )
     return engine.run(trace)

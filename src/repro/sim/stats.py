@@ -47,6 +47,8 @@ def summarize_histogram(histogram: Mapping[int, int]) -> dict[str, float]:
     events = sum(histogram.values())
     if any(count < 0 for count in histogram.values()):
         raise ConfigurationError("histogram counts must be non-negative")
+    if any(value < 0 for value in histogram):
+        raise ConfigurationError("histogram values must be non-negative")
     weighted = sum(value * count for value, count in histogram.items())
     return {
         "events": events,

@@ -78,6 +78,78 @@ class TestRoundTripProperty:
             assert code.decode(word).data == data
 
 
+class TestReferencePathAgreement:
+    """The fast matrix path and the reference oracle agree bit-for-bit."""
+
+    @pytest.mark.parametrize("t", BCH_STRENGTHS)
+    def test_reference_decode_matches_under_t_errors(self, t):
+        code = BchCode(t=t, data_bits=MESSAGE_BITS)
+        rng = random.Random(7600 + t)
+        for _ in range(10):
+            data = rng.getrandbits(MESSAGE_BITS)
+            word = code.encode(data)
+            positions = rng.sample(range(code.codeword_bits), rng.randint(0, t))
+            for p in positions:
+                word ^= 1 << p
+            fast = code.decode(word)
+            oracle = code.decode_reference(word)
+            assert fast.data == data
+            assert oracle.data == data
+            assert fast.corrected_positions == oracle.corrected_positions
+            assert sorted(fast.corrected_positions) == sorted(positions)
+
+    @pytest.mark.parametrize("t", BCH_STRENGTHS)
+    def test_reference_agrees_on_detection(self, t):
+        """Extended t+1 patterns are rejected by both paths, not just one."""
+        code = BchCode(t=t, data_bits=MESSAGE_BITS, extended=True)
+        rng = random.Random(7700 + t)
+        for _ in range(6):
+            word = code.encode(rng.getrandbits(MESSAGE_BITS))
+            for p in rng.sample(range(code.codeword_bits), t + 1):
+                word ^= 1 << p
+            with pytest.raises(UncorrectableError):
+                code.decode(word)
+            with pytest.raises(UncorrectableError):
+                code.decode_reference(word)
+
+
+class TestBeyondCapacityProperty:
+    """> t errors either raise, or miscorrect *consistently* — both paths
+    return the same result and the output re-encodes to a codeword within
+    t bits of the received word (a coset leader), never an arbitrary word.
+    """
+
+    @pytest.mark.parametrize("t", BCH_STRENGTHS)
+    def test_overload_never_silently_inconsistent(self, t):
+        code = BchCode(t=t, data_bits=MESSAGE_BITS)
+        rng = random.Random(7800 + t)
+        raised = returned = 0
+        for _ in range(12):
+            data = rng.getrandbits(MESSAGE_BITS)
+            word = code.encode(data)
+            for p in rng.sample(range(code.codeword_bits), t + 2):
+                word ^= 1 << p
+            try:
+                fast = code.decode(word)
+            except UncorrectableError:
+                raised += 1
+                with pytest.raises(UncorrectableError):
+                    code.decode_reference(word)
+                continue
+            returned += 1
+            oracle = code.decode_reference(word)
+            assert fast.data == oracle.data
+            assert fast.corrected_positions == oracle.corrected_positions
+            # A silent miscorrection still lands on a true codeword
+            # reachable by flipping <= t bits of the received word.
+            reencoded = code.encode_reference(fast.data)
+            distance = bin(reencoded ^ word).count("1")
+            assert 0 < distance <= t
+        # The campaign must exercise at least one of the two outcomes
+        # (both is typical); a dead loop would prove nothing.
+        assert raised + returned == 12
+
+
 class TestExtendedDetectionProperty:
     """Extended codes detect exactly t+1 errors — never miscorrect them."""
 

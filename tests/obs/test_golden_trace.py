@@ -1,0 +1,93 @@
+"""Golden-trace regression: the full event stream of a fixed workload.
+
+A deterministic hand-built workload is run through the MECC+SMD policy
+with tracing and (tolerant) invariants attached; the resulting JSONL
+trace must match the committed ``golden_trace.jsonl`` byte for byte.
+Any change to event ordering, field names, or emission sites shows up
+as a diff here.
+
+To regenerate the fixture after an *intentional* schema change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/obs/test_golden_trace.py
+"""
+
+import os
+from pathlib import Path
+
+from repro.obs import EventTracer, default_invariant_suite
+from repro.sim.engine import SimulationEngine
+from repro.sim.system import SystemConfig
+from repro.types import MemoryOp, TraceRecord
+from repro.workloads.trace import Trace
+
+GOLDEN_PATH = Path(__file__).parent / "golden_trace.jsonl"
+
+#: (gap cycles, op, byte address) — downgrades five lines across four
+#: MDT regions, trips the SMD gate at the first 200-cycle quantum
+#: boundary, and ends with an idle-entry ECC-Upgrade pass.
+WORKLOAD = [
+    (100, "R", 0x0000),
+    (50, "R", 0x40),
+    (80, "W", 0x100000),
+    (200, "R", 0x2000000),
+    (10, "R", 0x0000),
+    (500, "W", 0x40),
+    (50, "R", 0x8000000),
+    (20, "R", 0x2000000),
+]
+
+
+def run_golden_workload():
+    """One full traced run; returns (tracer, invariant suite)."""
+    ops = {"R": MemoryOp.READ, "W": MemoryOp.WRITE}
+    trace = Trace(
+        name="golden",
+        records=[TraceRecord(gap=g, op=ops[o], address=a) for g, o, a in WORKLOAD],
+        nonmem_cpi=0.5,
+    )
+    tracer = EventTracer()
+    suite = default_invariant_suite(tolerant=True)
+    config = SystemConfig()
+    policy = config.mecc_policy(with_smd=True, quantum_cycles=200, threshold_mpkc=1.0)
+    engine = SimulationEngine(policy=policy, tracer=tracer, invariants=suite)
+    engine.run(trace)
+    policy.controller.enter_idle()
+    return tracer, suite
+
+
+def test_trace_matches_golden_fixture():
+    tracer, suite = run_golden_workload()
+    produced = tracer.to_jsonl()
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_PATH.write_text(produced, encoding="utf-8")
+    golden = GOLDEN_PATH.read_text(encoding="utf-8")
+    assert produced == golden
+    # The workload itself must be invariant-clean.
+    assert suite.violation_count == 0
+    assert suite.evaluations > 0
+
+
+def test_trace_is_deterministic_across_runs():
+    first, _ = run_golden_workload()
+    second, _ = run_golden_workload()
+    assert first.to_jsonl() == second.to_jsonl()
+
+
+def test_golden_stream_shape():
+    tracer, _ = run_golden_workload()
+    kinds = [(e.source, e.kind) for e in tracer]
+    # Run framing.
+    assert kinds[0] == ("engine", "run_start")
+    assert ("engine", "run_end") in kinds
+    # The SMD gate trips at the first quantum boundary...
+    quantum = tracer.select(source="smd", kind="quantum")
+    assert quantum and quantum[0].data["enabled"] is True
+    # ...after which five distinct lines downgrade; lines 0 and 1 share an
+    # MDT region, so only four region bits are ever set.
+    assert len(tracer.select(source="mecc", kind="downgrade")) == 5
+    assert len(tracer.select(source="mdt", kind="set")) == 4
+    # Idle entry: MDT cleared, slow self-refresh, MDT-guided upgrade last.
+    upgrade = tracer.select(source="mecc", kind="upgrade")[-1]
+    assert upgrade.data["lines_converted"] == 5
+    assert upgrade.data["used_mdt"] is True
+    assert tracer.select(source="mdt", kind="clear")[-1].data["cleared"] == 4

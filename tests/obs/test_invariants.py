@@ -1,0 +1,195 @@
+"""Invariant-checker unit tests: corrupt state, assert precise firing."""
+
+import pytest
+
+from repro.core.mecc import MeccController
+from repro.core.smd import SelectiveMemoryDowngrade
+from repro.obs import (
+    InvariantContext,
+    InvariantSuite,
+    InvariantViolation,
+    MdtCoherenceCheck,
+    RefreshModeCheck,
+    SmdGatingCheck,
+    UpgradeCompletenessCheck,
+    default_invariant_suite,
+)
+from repro.types import SystemState
+
+
+@pytest.fixture
+def mecc():
+    controller = MeccController()
+    controller.wake()
+    return controller
+
+
+def line_address(controller, line):
+    return line * controller.device.org.line_bytes
+
+
+def run_check(check, controller, smd=None, event="", cycle=0):
+    """Run one checker directly, bypassing the suite."""
+    return check.check(
+        InvariantContext(controller=controller, smd=smd, event=event, cycle=cycle)
+    )
+
+
+class TestMdtCoherence:
+    def test_clean_controller_passes(self, mecc):
+        assert run_check(MdtCoherenceCheck(), mecc) == []
+
+    def test_weak_line_with_cleared_mdt_fires(self, mecc):
+        mecc.on_read(line_address(mecc, 7))
+        mecc.mdt.reset()  # corrupt: line 7 stays weak but its bit is gone
+        suite = InvariantSuite(checks=[MdtCoherenceCheck()])
+        with pytest.raises(InvariantViolation) as excinfo:
+            suite.check(mecc, event="quantum", cycle=500)
+        message = str(excinfo.value)
+        assert "line 7 is downgraded" in message
+        assert "region 0 is not marked" in message
+        assert excinfo.value.check == "mdt-coherence"
+        assert excinfo.value.event == "quantum"
+        assert excinfo.value.cycle == 500
+
+    def test_marked_region_without_weak_line_fires(self, mecc):
+        mecc.mdt.record_downgrade(line_address(mecc, 3))  # bit without line
+        suite = InvariantSuite(checks=[MdtCoherenceCheck()])
+        with pytest.raises(InvariantViolation, match="region 0 is marked but contains no downgraded line"):
+            suite.check(mecc)
+
+    def test_mdt_disabled_controller_skips(self):
+        controller = MeccController(use_mdt=False)
+        controller.wake()
+        controller.on_read(0)
+        assert run_check(MdtCoherenceCheck(), controller) == []
+
+
+class TestRefreshMode:
+    def test_weak_line_under_slow_refresh_fires(self, mecc):
+        mecc.on_read(line_address(mecc, 1))
+        mecc.device.enter_self_refresh(slow=True)  # corrupt: skipped upgrade
+        suite = InvariantSuite(checks=[RefreshModeCheck()])
+        with pytest.raises(InvariantViolation, match=r"1 weak line\(s\) under a 1.024 s refresh period"):
+            suite.check(mecc)
+
+    def test_idle_state_with_fast_refresh_fires(self, mecc):
+        mecc.state = SystemState.IDLE  # corrupt: idle without slow SR
+        suite = InvariantSuite(checks=[RefreshModeCheck()])
+        with pytest.raises(InvariantViolation, match="idle state with a 0.064 s refresh period"):
+            suite.check(mecc)
+
+    def test_active_weak_lines_at_base_period_pass(self, mecc):
+        mecc.on_read(line_address(mecc, 1))
+        assert run_check(RefreshModeCheck(), mecc) == []
+
+
+class TestUpgradeCompleteness:
+    def test_only_evaluates_on_idle_entry(self, mecc):
+        mecc.on_read(line_address(mecc, 2))
+        check = UpgradeCompletenessCheck()
+        assert run_check(check, mecc, event="quantum") == []
+        problems = run_check(check, mecc, event="idle-entry")
+        assert any("1 line(s) still downgraded" in p for p in problems)
+
+    def test_mdt_residue_after_upgrade_fires(self, mecc):
+        report = mecc.enter_idle()
+        assert report.lines_converted == 0
+        mecc.mdt.record_downgrade(0)  # corrupt: stale bit after the pass
+        suite = InvariantSuite(checks=[UpgradeCompletenessCheck()])
+        with pytest.raises(InvariantViolation, match=r"1 MDT region\(s\) still marked"):
+            suite.check(mecc, event="idle-entry")
+
+    def test_clean_idle_entry_passes(self, mecc):
+        mecc.on_read(line_address(mecc, 2))
+        mecc.enter_idle()
+        assert run_check(UpgradeCompletenessCheck(), mecc, event="idle-entry") == []
+
+
+class TestSmdGating:
+    def test_downgrade_while_gated_fires(self, mecc):
+        smd = SelectiveMemoryDowngrade(quantum_cycles=1000)
+        mecc.on_read(line_address(mecc, 4))  # corrupt: gate never tripped
+        suite = InvariantSuite(checks=[SmdGatingCheck()])
+        with pytest.raises(InvariantViolation) as excinfo:
+            suite.check(mecc, smd=smd, event="quantum")
+        assert "downgrade(s) recorded while SMD keeps ECC-Downgrade disabled" in str(
+            excinfo.value
+        )
+
+    def test_enabled_without_cycle_fires(self, mecc):
+        smd = SelectiveMemoryDowngrade()
+        smd.enabled = True  # corrupt: no enable cycle recorded
+        suite = InvariantSuite(checks=[SmdGatingCheck()])
+        with pytest.raises(InvariantViolation, match="enabled without a recorded enable cycle"):
+            suite.check(mecc, smd=smd)
+
+    def test_disabled_with_stale_enable_cycle_fires(self, mecc):
+        smd = SelectiveMemoryDowngrade()
+        smd.enabled_at_cycle = 777  # corrupt: disabled but cycle set
+        suite = InvariantSuite(checks=[SmdGatingCheck()])
+        with pytest.raises(InvariantViolation, match="enable cycle \\(777\\) while still disabled"):
+            suite.check(mecc, smd=smd)
+
+    def test_no_smd_skips(self, mecc):
+        mecc.on_read(line_address(mecc, 4))
+        assert run_check(SmdGatingCheck(), mecc) == []
+
+
+class TestSuiteBehavior:
+    def test_tolerant_mode_records_instead_of_raising(self, mecc):
+        mecc.on_read(line_address(mecc, 7))
+        mecc.mdt.reset()
+        mecc.device.enter_self_refresh(slow=True)
+        suite = default_invariant_suite(tolerant=True)
+        found = suite.check(mecc, event="quantum", cycle=9)
+        # Both the MDT-coherence and refresh-mode checkers fire.
+        assert {r.check for r in found} == {"mdt-coherence", "refresh-mode"}
+        assert suite.violation_count == len(found)
+        summary = suite.summary()
+        assert summary["evaluations"] == 1
+        assert summary["by_check"]["mdt-coherence"] == 1
+        assert summary["by_check"]["smd-gating"] == 0
+
+    def test_strict_mode_raises_typed_violation(self, mecc):
+        mecc.mdt.record_downgrade(0)
+        suite = default_invariant_suite()
+        with pytest.raises(InvariantViolation):
+            suite.check(mecc)
+        # The violation is also recorded before raising.
+        assert suite.violation_count == 1
+
+    def test_violations_are_traced_when_tracer_attached(self, mecc):
+        from repro.obs import EventTracer
+
+        tracer = EventTracer()
+        mecc.mdt.record_downgrade(0)
+        suite = default_invariant_suite(tolerant=True)
+        suite.tracer = tracer
+        suite.check(mecc, event="quantum", cycle=3)
+        events = tracer.select(source="invariants", kind="violation")
+        assert len(events) == 1
+        assert events[0].data["check"] == "mdt-coherence"
+        assert events[0].cycle == 3
+
+    def test_clean_mecc_run_passes_default_suite(self):
+        from repro.sim.engine import simulate
+        from repro.sim.system import ScaledRun, SystemConfig
+        from repro.workloads.spec import ALL_BENCHMARKS
+
+        config = SystemConfig()
+        run = ScaledRun(instructions=20_000)
+        for spec in ALL_BENCHMARKS[:3]:
+            trace = spec.trace(run.instructions)
+            for policy_name in ("mecc", "mecc+smd"):
+                suite = default_invariant_suite()  # strict: raises on breakage
+                kwargs = (
+                    {"quantum_cycles": run.quantum_cycles}
+                    if policy_name == "mecc+smd"
+                    else {}
+                )
+                policy = config.policy_by_name(policy_name, **kwargs)
+                simulate(trace, policy, invariants=suite)
+                policy.controller.enter_idle()
+                assert suite.violation_count == 0
+                assert suite.evaluations > 0

@@ -1,0 +1,125 @@
+"""Unit tests for the unified MetricsRegistry and its adapters."""
+
+import json
+
+import pytest
+
+from repro.ecc.counters import CodecCounters
+from repro.errors import ConfigurationError
+from repro.obs import EventTracer, MetricsRegistry, default_invariant_suite
+from repro.sim.engine import SimulationEngine
+from repro.sim.system import SystemConfig
+
+
+class TestGenericAccess:
+    def test_set_and_get(self):
+        registry = MetricsRegistry()
+        registry.set("sim.ipc", 0.72)
+        registry.set("runner.code_version", "abc123")
+        registry.set("cache.enabled", True)
+        registry.set("maybe.missing", None)
+        assert registry.get("sim.ipc") == 0.72
+        assert "sim.ipc" in registry
+        assert "sim.mpki" not in registry
+        assert len(registry) == 4
+
+    def test_rejects_empty_name_and_non_scalars(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.set("", 1)
+        with pytest.raises(ConfigurationError, match="must be a scalar"):
+            registry.set("sim.histogram", {0: 3})
+        with pytest.raises(ConfigurationError, match="must be a scalar"):
+            registry.set("sim.list", [1, 2])
+
+    def test_namespace_strips_prefix(self):
+        registry = MetricsRegistry()
+        registry.update("sim", {"ipc": 0.5, "mpki": 12.0})
+        registry.set("dram.reads", 100)
+        assert registry.namespace("sim") == {"ipc": 0.5, "mpki": 12.0}
+        assert registry.namespace("dram") == {"reads": 100}
+        assert registry.namespace("nothing") == {}
+
+    def test_snapshot_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.set("z.last", 1)
+        registry.set("a.first", 2)
+        assert list(registry.snapshot()) == ["a.first", "z.last"]
+
+
+class TestAdapters:
+    def test_record_sim_and_controller(self, hand_trace):
+        config = SystemConfig()
+        trace = hand_trace([(100, "R", 0x00), (50, "W", 0x40), (30, "R", 0x80)])
+        policy = config.policy_by_name("mecc")
+        engine = SimulationEngine(policy=policy)
+        result = engine.run(trace)
+
+        registry = MetricsRegistry()
+        registry.record_sim_result(result)
+        registry.record_controller_stats(engine.controller.stats)
+        assert registry.get("sim.instructions") == result.instructions
+        assert registry.get("sim.ipc") == pytest.approx(result.ipc)
+        assert registry.get("sim.energy_j") == pytest.approx(result.energy.total)
+        assert registry.get("dram.reads") == 2
+        assert registry.get("dram.writes") >= 1
+        assert 0.0 <= registry.get("dram.row_hit_rate") <= 1.0
+
+    def test_record_codec_counters(self):
+        counters = CodecCounters()
+        counters.record_encodes(4)
+        counters.record_decode(0)
+        counters.record_decode(2)
+        counters.record_detected()
+        registry = MetricsRegistry()
+        registry.record_codec_counters({"bch-t2": counters})
+        assert registry.get("ecc.bch-t2.encodes") == 4
+        assert registry.get("ecc.bch-t2.decodes") == 3
+        assert registry.get("ecc.bch-t2.detected_uncorrectable") == 1
+        assert registry.get("ecc.bch-t2.corrected_bits_total") == 2
+        assert registry.get("ecc.bch-t2.corrected_bits_per_word") == 1.0
+        assert registry.get("ecc.bch-t2.corrected_bits_max") == 2
+
+    def test_record_tracer_and_invariants(self):
+        tracer = EventTracer(capacity=2)
+        for i in range(3):
+            tracer.emit("t", "k", i=i)
+        suite = default_invariant_suite(tolerant=True)
+        registry = MetricsRegistry()
+        registry.record_tracer(tracer)
+        registry.record_invariants(suite)
+        assert registry.get("obs.trace.emitted") == 3
+        assert registry.get("obs.trace.buffered") == 2
+        assert registry.get("obs.trace.dropped") == 1
+        assert registry.get("obs.trace.capacity") == 2
+        assert registry.get("invariants.evaluations") == 0
+        assert registry.get("invariants.violations") == 0
+        assert registry.get("invariants.tolerant") is True
+        assert registry.get("invariants.by_check.mdt-coherence") == 0
+
+
+class TestExport:
+    def test_json_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.update("sim", {"ipc": 0.5, "cycles": 1000})
+        path = tmp_path / "metrics.json"
+        registry.write_json(path)
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded == {"sim.ipc": 0.5, "sim.cycles": 1000}
+
+    def test_render_metrics_table(self):
+        from repro.analysis.report import render_metrics
+
+        registry = MetricsRegistry()
+        registry.set("sim.ipc", 0.7212345)
+        registry.set("dram.reads", 42)
+        text = render_metrics(registry, title="Run metrics")
+        assert "Run metrics" in text
+        assert "sim.ipc" in text
+        assert "0.721235" in text  # floats render (rounded) with %.6g
+        assert "42" in text
+
+    def test_render_metrics_empty_registry(self):
+        from repro.analysis.report import render_metrics
+
+        assert render_metrics(MetricsRegistry()) == ""

@@ -1,0 +1,81 @@
+"""Unit tests for the ring-buffered structured event tracer."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.trace import EventTracer, TraceEvent, read_jsonl
+
+
+class TestEventTracer:
+    def test_emit_assigns_monotonic_sequence_numbers(self):
+        tracer = EventTracer()
+        tracer.emit("engine", "run_start", trace="a")
+        tracer.emit("mecc", "downgrade", cycle=12, line=3)
+        events = tracer.events
+        assert [e.seq for e in events] == [0, 1]
+        assert events[1].cycle == 12
+        assert events[1].data == {"line": 3}
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            EventTracer(capacity=0)
+
+    def test_ring_buffer_drops_oldest_and_counts(self):
+        tracer = EventTracer(capacity=3)
+        for i in range(5):
+            tracer.emit("t", "k", i=i)
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert tracer.emitted == 5
+        # Oldest two gone; sequence numbers keep counting from the start.
+        assert [e.data["i"] for e in tracer] == [2, 3, 4]
+        assert [e.seq for e in tracer] == [2, 3, 4]
+
+    def test_select_filters_by_source_and_kind(self):
+        tracer = EventTracer()
+        tracer.emit("mecc", "downgrade", line=1)
+        tracer.emit("mecc", "upgrade")
+        tracer.emit("mdt", "set", region=0)
+        assert len(tracer.select(source="mecc")) == 2
+        assert len(tracer.select(kind="set")) == 1
+        assert len(tracer.select(source="mecc", kind="upgrade")) == 1
+        assert len(tracer.select()) == 3
+
+    def test_clear_resets_everything(self):
+        tracer = EventTracer(capacity=1)
+        tracer.emit("a", "b")
+        tracer.emit("a", "b")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.emitted == 0
+        assert tracer.dropped == 0
+
+
+class TestJsonlRoundTrip:
+    def test_event_json_is_canonical_single_line(self):
+        event = TraceEvent(seq=4, cycle=100, source="smd", kind="quantum",
+                           data={"mpkc": 2.5, "enabled": False})
+        line = event.to_json()
+        assert "\n" not in line
+        # Stable key order: serializing twice gives identical bytes.
+        assert line == TraceEvent.from_json(line).to_json()
+        payload = json.loads(line)
+        assert payload["data"]["mpkc"] == 2.5
+
+    def test_export_and_read_back(self, tmp_path):
+        tracer = EventTracer()
+        tracer.emit("engine", "run_start", trace="hand")
+        tracer.emit("engine", "run_end", cycle=99, reads=5)
+        path = tmp_path / "trace.jsonl"
+        count = tracer.export_jsonl(path)
+        assert count == 2
+        with open(path, encoding="utf-8") as stream:
+            events = read_jsonl(stream)
+        assert events == tracer.events
+
+    def test_export_empty_trace_writes_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert EventTracer().export_jsonl(path) == 0
+        assert path.read_text(encoding="utf-8") == ""

@@ -74,6 +74,56 @@ class TestTraceTools:
     def test_trace_sim_requires_input(self, capsys):
         assert main(["trace-sim"]) == 2
 
+    def test_trace_sim_exports_event_trace(self, tmp_path, capsys):
+        from repro.obs.trace import read_jsonl
+
+        trace_path = tmp_path / "t.trace"
+        events_path = tmp_path / "events.jsonl"
+        assert main(["trace-gen", "--benchmark", "povray",
+                     "--instructions", "20000", "-o", str(trace_path)]) == 0
+        assert main(["trace-sim", "-i", str(trace_path), "--policy", "mecc",
+                     "--trace", str(events_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace events to {events_path}" in out
+        assert "invariants:" in out and "0 violations" in out
+        with open(events_path, encoding="utf-8") as stream:
+            events = read_jsonl(stream)
+        kinds = {(e.source, e.kind) for e in events}
+        assert ("engine", "run_start") in kinds
+        assert ("engine", "run_end") in kinds
+
+    def test_trace_sim_writes_metrics(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "t.trace"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["trace-gen", "--benchmark", "povray",
+                     "--instructions", "20000", "-o", str(trace_path)]) == 0
+        assert main(["trace-sim", "-i", str(trace_path), "--policy", "mecc+smd",
+                     "--metrics-out", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"metrics to {metrics_path}" in out
+        snapshot = json.loads(metrics_path.read_text(encoding="utf-8"))
+        # trace-gen rounds up to whole inter-access gaps.
+        assert snapshot["sim.instructions"] >= 20000
+        assert snapshot["invariants.violations"] == 0
+        assert snapshot["obs.trace.emitted"] >= 2
+        assert "dram.reads" in snapshot
+
+    def test_exhibit_metrics_out_records_runner(self, tmp_path, capsys):
+        import json
+
+        from repro.analysis.experiments import clear_caches
+
+        clear_caches()
+        metrics_path = tmp_path / "runner_metrics.json"
+        assert main(["fig3", "--instructions", "30000",
+                     "--metrics-out", str(metrics_path)]) == 0
+        snapshot = json.loads(metrics_path.read_text(encoding="utf-8"))
+        assert snapshot["runner.jobs"] == 1
+        assert snapshot["runner.job_count"] > 0
+        assert "runner.code_version" in snapshot
+
 
 class TestFaultInject:
     def test_fixed_errors(self, capsys):
