@@ -1,4 +1,4 @@
-"""Parallel, cached experiment runner (the fan-out + reuse harness).
+"""Parallel, cached, crash-safe experiment runner (fan-out + reuse).
 
 Every figure bench and ablation sweep ultimately runs the same kind of
 job — simulate one (benchmark, policy, configuration) triple — and many
@@ -15,9 +15,35 @@ factors that work into an :class:`ExperimentRunner` that
   latencies, and a fingerprint of the ``repro`` source tree — so a
   cached result can never be served for changed code or config, and
 * records an observability manifest per invocation: one record per job
-  (wall time, cache hit/miss), aggregate hit/miss counters, and the
-  parallelism settings, renderable via
+  (wall time, cache hit/miss, final status), aggregate hit/miss
+  counters, and the parallelism settings, renderable via
   :func:`repro.analysis.report.render_runner_summary`.
+
+Resilience (the parts that make long sweeps survivable):
+
+* **Checksummed cache entries** — every entry carries a SHA-256 of its
+  own payload; an entry that fails the checksum, is not a JSON object,
+  or lacks its result block is *quarantined* (moved to
+  ``<cache>/_quarantine/``), logged, and treated as a miss so the job is
+  recomputed instead of crashing the sweep.
+* **Per-job wall-clock timeouts** (``timeout_s``) — enforced by waiting
+  on each worker future with a deadline; on expiry the worker pool is
+  killed (``SIGTERM`` to every worker) and the job is marked timed out.
+  Setting a timeout forces pool execution even for a single job, since
+  an inline job cannot be preempted.
+* **Bounded retries with exponential backoff** (``retries``,
+  ``retry_backoff_s``) — failed or timed-out jobs are re-attempted up to
+  ``retries`` extra times; jobs still failing raise a single aggregated
+  :class:`repro.errors.JobExecutionError` *after* every healthy job has
+  completed and been cached.
+* **Serial fallback** — a :class:`BrokenProcessPool` (worker killed by
+  the OS, OOM, etc.) permanently downgrades the runner to inline
+  execution for the rest of the sweep rather than losing it.
+* **Checkpoint/resume** — with ``checkpoint_path`` set, the manifest is
+  rewritten atomically after *every* job disposition; a sweep killed
+  mid-run can be resumed by pointing :meth:`ExperimentRunner.resume_from`
+  at that manifest (completed jobs are then served from the cache and
+  marked ``"resumed"`` in the new manifest).
 
 The runner is deterministic by construction: jobs are pure functions of
 their spec (fixed seeds end to end), so ``jobs=N`` produces bit-identical
@@ -25,9 +51,10 @@ results to ``jobs=1``, and a cache hit returns exactly the bytes a cold
 run would compute.
 
 Configuration is either explicit (:func:`configure_runner`) or via the
-environment: ``REPRO_JOBS`` sets the worker count and
-``REPRO_CACHE_DIR`` enables the on-disk cache (unset → in-process
-memoization only, the pre-runner behavior).
+environment: ``REPRO_JOBS`` sets the worker count, ``REPRO_CACHE_DIR``
+enables the on-disk cache (unset → in-process memoization only),
+``REPRO_JOB_TIMEOUT_S`` / ``REPRO_RETRIES`` set the resilience knobs,
+and ``REPRO_CHECKPOINT`` names the incremental checkpoint manifest.
 """
 
 from __future__ import annotations
@@ -35,21 +62,27 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.smd import DEFAULT_THRESHOLD_MPKC
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, JobExecutionError, JobTimeoutError
 from repro.sim.system import ScaledRun, SystemConfig
 from repro.types import SimResult
 from repro.workloads.spec import BenchmarkSpec
 
 #: Bump when the cached payload layout changes; old entries become misses.
-CACHE_SCHEMA = 1
+#: Schema 2 added the per-entry payload checksum.
+CACHE_SCHEMA = 2
+
+logger = logging.getLogger("repro.analysis.runner")
 
 
 # ---------------------------------------------------------------------------
@@ -124,6 +157,10 @@ class JobSpec:
         }
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable name for logs and error messages."""
+        return f"{self.benchmark.name}/{self.policy}"
 
 
 @dataclass(frozen=True)
@@ -211,45 +248,96 @@ def execute_job(spec: JobSpec) -> tuple[SimResult, float | None, float]:
 # ---------------------------------------------------------------------------
 
 
+def _payload_checksum(payload: dict) -> str:
+    """Canonical SHA-256 of a JSON-native payload (checksum field excluded)."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 class ResultCache:
     """Content-addressed store of job results, one JSON file per key.
 
     Entries live at ``<root>/<key[:2]>/<key>.json`` and are written
     atomically (temp file + rename), so concurrent runners sharing a
-    cache directory never observe torn entries.  A payload whose schema
-    or key does not match is treated as a miss.
+    cache directory never observe torn entries.  Every entry carries a
+    SHA-256 checksum of its own payload; a *stale* entry (old schema or
+    foreign key) is a plain miss, while a *corrupt* entry — undecodable
+    JSON, non-object payload, checksum mismatch, or a missing result
+    block — is moved to ``<root>/_quarantine/``, logged, and counted in
+    :attr:`quarantined`, so the job recomputes instead of crashing.
     """
 
     def __init__(self, root: str | os.PathLike):
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside (best effort) and log it."""
+        dest: Path | None = self.root / "_quarantine" / path.name
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            dest = None
+        self.quarantined += 1
+        logger.warning(
+            "quarantined corrupt cache entry %s (%s)%s; the job will be recomputed",
+            path.name,
+            reason,
+            f" -> {dest}" if dest is not None else "",
+        )
+
     def load(self, key: str) -> dict | None:
-        """Return the cached payload for ``key``, counting hit/miss."""
+        """Return the cached payload for ``key``, counting hit/miss.
+
+        Never raises on a bad entry: corruption quarantines and misses.
+        """
         path = self._path(key)
         try:
             with open(path, encoding="utf-8") as stream:
                 payload = json.load(stream)
-        except (OSError, ValueError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError) as exc:
+            self._quarantine(path, f"undecodable entry: {exc}")
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(path, "payload is not a JSON object")
             self.misses += 1
             return None
         if payload.get("schema") != CACHE_SCHEMA or payload.get("key") != key:
+            # Stale, not corrupt: written by an older schema or for
+            # another key.  Leave it alone and recompute.
+            self.misses += 1
+            return None
+        body = {k: v for k, v in payload.items() if k != "checksum"}
+        if payload.get("checksum") != _payload_checksum(body):
+            self._quarantine(path, "checksum mismatch")
+            self.misses += 1
+            return None
+        if not isinstance(body.get("result"), dict):
+            self._quarantine(path, "missing result block")
             self.misses += 1
             return None
         self.hits += 1
         return payload
 
     def store(self, key: str, payload: dict) -> None:
-        """Atomically persist ``payload`` under ``key``."""
+        """Atomically persist ``payload`` under ``key`` with its checksum."""
+        body = {k: v for k, v in payload.items() if k != "checksum"}
+        body["checksum"] = _payload_checksum(body)
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         with open(tmp, "w", encoding="utf-8") as stream:
-            json.dump(payload, stream, sort_keys=True)
+            json.dump(body, stream, sort_keys=True)
         os.replace(tmp, path)
 
     @property
@@ -265,7 +353,7 @@ class ResultCache:
 
 @dataclass
 class JobRecord:
-    """One manifest line: what ran, how long, and from where."""
+    """One manifest line: what ran, how long, from where, and how it ended."""
 
     key: str
     benchmark: str
@@ -273,22 +361,104 @@ class JobRecord:
     instructions: int
     wall_s: float
     source: str  # "run" | "cache"
+    status: str = "ok"  # "ok" | "resumed" | "failed" | "timeout"
+
+
+#: Exceptions meaning "the pool itself died", not "the job failed".
+_POOL_DEATH = (BrokenProcessPool,)
 
 
 class ExperimentRunner:
     """Fan independent jobs out over processes, backed by the cache.
 
     Args:
-        jobs: worker processes; 1 runs jobs inline (no pool).
+        jobs: worker processes; 1 runs jobs inline (no pool) unless a
+            timeout forces process isolation.
         cache: on-disk result cache, or None for no persistence.
+        timeout_s: per-job wall-clock deadline; on expiry the worker
+            pool is killed and the job counts as timed out (retryable).
+            None disables the deadline (and inline jobs are never
+            preempted regardless).
+        retries: extra attempts for failed/timed-out jobs (0 = one
+            attempt total).
+        retry_backoff_s: initial backoff before the first retry; doubles
+            per attempt, capped at 30 s.
+        checkpoint_path: when set, the manifest is rewritten atomically
+            after every job disposition (see :meth:`resume_from`).
     """
 
-    def __init__(self, jobs: int = 1, cache: ResultCache | None = None):
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        timeout_s: float | None = None,
+        retries: int = 0,
+        retry_backoff_s: float = 0.25,
+        checkpoint_path: str | os.PathLike | None = None,
+    ):
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive (or None)")
+        if retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        if retry_backoff_s < 0:
+            raise ConfigurationError("retry_backoff_s must be >= 0")
         self.jobs = jobs
         self.cache = cache
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.checkpoint_path = checkpoint_path
         self.records: list[JobRecord] = []
+        #: Cache keys a resume manifest reported complete (see
+        #: :meth:`resume_from`); hits on these are marked ``"resumed"``.
+        self.resumed_keys: set[str] = set()
+        #: Jobs that hit their wall-clock deadline (across attempts).
+        self.timeouts = 0
+        #: Times the worker pool itself died (BrokenProcessPool).
+        self.pool_failures = 0
+        self._pool_broken = False
+
+    # -- resume ----------------------------------------------------------------
+
+    def resume_from(self, manifest_path: str | os.PathLike) -> int:
+        """Load a checkpoint manifest; returns the completed-job count.
+
+        Completion is keyed by the content-hash cache key, so resumed
+        jobs are simply served from the cache (the checkpoint guarantees
+        their entries were stored before the manifest line was written).
+        A manifest from a different code version is accepted with a
+        warning — its keys cannot match the new fingerprint, so every
+        job transparently re-runs.
+        """
+        path = Path(manifest_path)
+        try:
+            with open(path, encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(
+                f"cannot read resume manifest {path}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"resume manifest {path} is not a JSON object"
+            )
+        if payload.get("code_version") != code_fingerprint():
+            logger.warning(
+                "resume manifest %s was written by a different code version; "
+                "previously completed jobs will re-run",
+                path,
+            )
+        keys = {
+            record.get("key")
+            for record in payload.get("jobs", [])
+            if isinstance(record, dict)
+            and record.get("status", "ok") in ("ok", "resumed")
+        }
+        keys.discard(None)
+        self.resumed_keys = keys
+        return len(self.resumed_keys)
 
     # -- execution -------------------------------------------------------------
 
@@ -298,7 +468,10 @@ class ExperimentRunner:
         Returns one :class:`JobOutcome` per distinct spec.  Results are
         independent of ``jobs`` — each job is a deterministic pure
         function of its spec — so parallel runs match serial runs
-        bit for bit.
+        bit for bit.  If any job still fails after its retries, a single
+        :class:`JobExecutionError` aggregating every failure is raised
+        — but only after all healthy jobs have completed, been cached,
+        and been checkpointed, so the sweep is resumable.
         """
         unique: list[JobSpec] = []
         seen = set()
@@ -321,22 +494,24 @@ class ExperimentRunner:
                     key=key,
                 )
                 outcomes[spec] = outcome
-                self._record(spec, key, outcome.wall_s, "cache")
+                status = "resumed" if key in self.resumed_keys else "ok"
+                self._record(spec, key, outcome.wall_s, "cache", status)
+                self._checkpoint()
             else:
                 misses.append((spec, key))
+        failures: list[tuple[str, Exception]] = []
         if misses:
-            for (spec, key), (result, disabled, wall_s) in zip(
-                misses, self._execute([spec for spec, _ in misses])
-            ):
-                outcome = JobOutcome(
+
+            def harvest(position: int, triple) -> None:
+                spec, key = misses[position]
+                result, disabled, wall_s = triple
+                outcomes[spec] = JobOutcome(
                     result=result,
                     smd_disabled_fraction=disabled,
                     wall_s=wall_s,
                     cached=False,
                     key=key,
                 )
-                outcomes[spec] = outcome
-                self._record(spec, key, wall_s, "run")
                 if self.cache is not None:
                     self.cache.store(
                         key,
@@ -349,16 +524,192 @@ class ExperimentRunner:
                             "wall_s": wall_s,
                         },
                     )
+                self._record(spec, key, wall_s, "run", "ok")
+                self._checkpoint()
+
+            errors = self._execute_resilient(
+                [spec for spec, _ in misses], harvest
+            )
+            for position in sorted(errors):
+                spec, key = misses[position]
+                exc = errors[position]
+                status = "timeout" if isinstance(exc, JobTimeoutError) else "failed"
+                self._record(spec, key, 0.0, "run", status)
+                self._checkpoint()
+                failures.append((spec.label(), exc))
+        if failures:
+            summary = "; ".join(f"{label}: {exc}" for label, exc in failures)
+            raise JobExecutionError(
+                f"{len(failures)} job(s) failed after "
+                f"{self.retries + 1} attempt(s): {summary}",
+                failures=failures,
+            )
         return outcomes
 
-    def _execute(self, specs: list[JobSpec]):
-        if self.jobs > 1 and len(specs) > 1:
-            workers = min(self.jobs, len(specs))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(execute_job, specs))
-        return [execute_job(spec) for spec in specs]
+    def _use_pool(self, n_jobs: int) -> bool:
+        if self._pool_broken:
+            return False
+        if self.jobs > 1 and n_jobs > 1:
+            return True
+        # A timeout can only be enforced on a killable worker process.
+        return self.timeout_s is not None and n_jobs > 0
 
-    def _record(self, spec: JobSpec, key: str, wall_s: float, source: str) -> None:
+    def _execute_resilient(
+        self, specs: list[JobSpec], harvest: Callable[[int, tuple], None]
+    ) -> dict[int, Exception]:
+        """Run every spec, retrying failures; returns index -> final error.
+
+        ``harvest`` is invoked once per *successful* job, in submission
+        order within each attempt, so caching/checkpointing happens as
+        results arrive rather than at sweep end.
+        """
+        errors: dict[int, Exception] = {}
+        pending: list[tuple[int, JobSpec]] = list(enumerate(specs))
+        for attempt in range(self.retries + 1):
+            if not pending:
+                break
+            if attempt:
+                delay = min(self.retry_backoff_s * (2 ** (attempt - 1)), 30.0)
+                logger.info(
+                    "retry %d/%d for %d job(s) after %.2f s backoff",
+                    attempt,
+                    self.retries,
+                    len(pending),
+                    delay,
+                )
+                if delay:
+                    time.sleep(delay)
+            failed: list[tuple[int, JobSpec, Exception]] = []
+            leftover = pending
+            if self._use_pool(len(pending)):
+                failed, leftover = self._attempt_pool(pending, harvest)
+            for index, spec in leftover:
+                # Inline path: jobs == 1, pool permanently broken, or
+                # jobs a killed pool never got to.
+                try:
+                    harvest(index, execute_job(spec))
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    failed.append((index, spec, exc))
+            pending = []
+            for index, spec, exc in failed:
+                errors[index] = exc
+                pending.append((index, spec))
+            pending.sort()
+        return {index: errors[index] for index, _ in pending}
+
+    def _attempt_pool(
+        self,
+        pending: list[tuple[int, JobSpec]],
+        harvest: Callable[[int, tuple], None],
+    ) -> tuple[list[tuple[int, JobSpec, Exception]], list[tuple[int, JobSpec]]]:
+        """One pooled attempt; returns (failed-with-error, never-ran).
+
+        Jobs in the second list were victims of a pool death or timeout
+        kill — they did not fail on their own and run inline (or retry)
+        without consuming extra attempts for a fault that was not theirs.
+        """
+        failed: list[tuple[int, JobSpec, Exception]] = []
+        leftover: list[tuple[int, JobSpec]] = []
+        workers = min(self.jobs, len(pending)) if self.jobs > 1 else 1
+        pool = ProcessPoolExecutor(max_workers=workers)
+        futures = []
+        try:
+            for index, spec in pending:
+                futures.append((pool.submit(execute_job, spec), index, spec))
+        except _POOL_DEATH + (RuntimeError,):
+            self._mark_pool_broken()
+            submitted = {idx for _, idx, _ in futures}
+            leftover.extend(
+                (idx, spec) for idx, spec in pending if idx not in submitted
+            )
+        dead = False
+        for future, index, spec in futures:
+            if dead:
+                # Pool already killed/broken: salvage finished results,
+                # requeue everything else.
+                if future.done() and not future.cancelled():
+                    exc = future.exception()
+                    if exc is None:
+                        try:
+                            harvest(index, future.result())
+                        except Exception as err:
+                            failed.append((index, spec, err))
+                    elif isinstance(exc, _POOL_DEATH):
+                        leftover.append((index, spec))
+                    else:
+                        failed.append((index, spec, exc))
+                else:
+                    leftover.append((index, spec))
+                continue
+            try:
+                triple = future.result(timeout=self.timeout_s)
+            except FutureTimeoutError:
+                self.timeouts += 1
+                failed.append(
+                    (
+                        index,
+                        spec,
+                        JobTimeoutError(
+                            f"job {spec.label()} exceeded the "
+                            f"{self.timeout_s:g} s wall-clock deadline; "
+                            "worker pool killed"
+                        ),
+                    )
+                )
+                logger.warning(
+                    "job %s timed out after %g s; killing the worker pool",
+                    spec.label(),
+                    self.timeout_s,
+                )
+                self._kill_pool(pool)
+                dead = True
+                continue
+            except _POOL_DEATH:
+                self._mark_pool_broken()
+                leftover.append((index, spec))
+                dead = True
+                continue
+            except Exception as exc:
+                failed.append((index, spec, exc))
+                continue
+            try:
+                harvest(index, triple)
+            except Exception as err:
+                failed.append((index, spec, err))
+        if not dead:
+            pool.shutdown(wait=True)
+        return failed, leftover
+
+    def _mark_pool_broken(self) -> None:
+        self.pool_failures += 1
+        if not self._pool_broken:
+            logger.warning(
+                "worker pool died (BrokenProcessPool); falling back to "
+                "serial in-process execution for the rest of the sweep"
+            )
+        self._pool_broken = True
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Terminate every worker and abandon the pool (timeout path)."""
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except OSError:
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _record(
+        self,
+        spec: JobSpec,
+        key: str,
+        wall_s: float,
+        source: str,
+        status: str = "ok",
+    ) -> None:
         self.records.append(
             JobRecord(
                 key=key,
@@ -367,8 +718,13 @@ class ExperimentRunner:
                 instructions=spec.instructions,
                 wall_s=wall_s,
                 source=source,
+                status=status,
             )
         )
+
+    def _checkpoint(self) -> None:
+        if self.checkpoint_path is not None:
+            self.write_manifest(self.checkpoint_path)
 
     # -- observability ---------------------------------------------------------
 
@@ -394,22 +750,44 @@ class ExperimentRunner:
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
                 "hit_rate": self.cache_hits / total if total else 0.0,
+                "quarantined": self.cache.quarantined if self.cache else 0,
+            },
+            "resilience": {
+                "timeout_s": self.timeout_s,
+                "retries": self.retries,
+                "timeouts": self.timeouts,
+                "pool_failures": self.pool_failures,
+                "serial_fallback": self._pool_broken,
             },
             "totals": {
                 "job_count": total,
                 "simulated_wall_s": sum(r.wall_s for r in ran),
                 "max_job_wall_s": max((r.wall_s for r in ran), default=0.0),
+                "failed_jobs": sum(
+                    1 for r in self.records if r.status in ("failed", "timeout")
+                ),
+                "resumed_jobs": sum(
+                    1 for r in self.records if r.status == "resumed"
+                ),
             },
             "jobs": [dataclasses.asdict(r) for r in self.records],
         }
 
     def write_manifest(self, path: str | os.PathLike) -> str:
-        """Write the manifest as JSON; returns the path written."""
+        """Atomically write the manifest as JSON; returns the path written.
+
+        Atomic (temp file + rename) because the checkpoint path rewrites
+        it after every job — a sweep killed mid-write must leave the
+        previous complete manifest behind, never a torn one.
+        """
         manifest = self.manifest()
         manifest["created"] = time.strftime("%Y-%m-%dT%H:%M:%S")
-        with open(path, "w", encoding="utf-8") as stream:
+        target = Path(path)
+        tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as stream:
             json.dump(manifest, stream, indent=2, sort_keys=True)
-        return str(path)
+        os.replace(tmp, target)
+        return str(target)
 
 
 # ---------------------------------------------------------------------------
@@ -420,32 +798,55 @@ _default_runner: ExperimentRunner | None = None
 
 
 def configure_runner(
-    jobs: int = 1, cache_dir: str | os.PathLike | None = None
+    jobs: int = 1,
+    cache_dir: str | os.PathLike | None = None,
+    timeout_s: float | None = None,
+    retries: int = 0,
+    checkpoint_path: str | os.PathLike | None = None,
 ) -> ExperimentRunner:
     """Install (and return) the process-wide default runner.
 
     Args:
         jobs: worker-process count (1 = inline).
         cache_dir: on-disk cache directory; None disables persistence.
+        timeout_s: per-job wall-clock deadline (None = unlimited).
+        retries: extra attempts for failed/timed-out jobs.
+        checkpoint_path: incremental checkpoint manifest path.
     """
     global _default_runner
     cache = ResultCache(cache_dir) if cache_dir else None
-    _default_runner = ExperimentRunner(jobs=jobs, cache=cache)
+    _default_runner = ExperimentRunner(
+        jobs=jobs,
+        cache=cache,
+        timeout_s=timeout_s,
+        retries=retries,
+        checkpoint_path=checkpoint_path,
+    )
     return _default_runner
 
 
 def get_runner() -> ExperimentRunner:
     """The default runner; built from the environment on first use.
 
-    ``REPRO_JOBS`` (int) and ``REPRO_CACHE_DIR`` (path) configure it;
-    with neither set the default is serial and memory-only, matching the
-    pre-runner behavior exactly.
+    ``REPRO_JOBS`` (int), ``REPRO_CACHE_DIR`` (path),
+    ``REPRO_JOB_TIMEOUT_S`` (float), ``REPRO_RETRIES`` (int), and
+    ``REPRO_CHECKPOINT`` (path) configure it; with none set the default
+    is serial and memory-only, matching the pre-runner behavior exactly.
     """
     global _default_runner
     if _default_runner is None:
         jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
         cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
-        _default_runner = configure_runner(jobs=max(1, jobs), cache_dir=cache_dir)
+        timeout_env = os.environ.get("REPRO_JOB_TIMEOUT_S") or None
+        retries = int(os.environ.get("REPRO_RETRIES", "0") or "0")
+        checkpoint = os.environ.get("REPRO_CHECKPOINT") or None
+        _default_runner = configure_runner(
+            jobs=max(1, jobs),
+            cache_dir=cache_dir,
+            timeout_s=float(timeout_env) if timeout_env else None,
+            retries=max(0, retries),
+            checkpoint_path=checkpoint,
+        )
     return _default_runner
 
 

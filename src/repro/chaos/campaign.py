@@ -1,0 +1,179 @@
+"""Seeded fault-injection campaigns over the modeled control plane.
+
+A campaign runs ``trials`` chaos trials, cycling round-robin through its
+fault classes.  Every trial executes **two** worlds from the same trial
+seed: a fault-free reference run and a faulted run.  Classification is
+purely differential — the faulted snapshot is compared against the
+reference snapshot, so the accelerated baseline decay (identical in both
+worlds thanks to per-line retention RNGs) never masquerades as an
+injection effect.
+
+Outcome classes, in priority order:
+
+1. **silent-corruption** — wrong data was served and *no* detection
+   signal fired.  The one class the mitigated system must keep at zero.
+2. **detected-unrecovered** — a detection signal fired but data was
+   still lost (detected-uncorrectable or ground-truth mismatch).
+3. **detected-recovered** — a detection signal fired and all data
+   survived: invariant violation, patrol mode repair, conservative
+   fallback scan, detected-uncorrectable event, or trial-decode
+   fallback.
+4. **silent-degradation** — no detection, data intact, but the
+   control-plane signature (decode counts, downgrades, idle scan sizes,
+   SMD enable cycles, refresh periods) differs from the reference: the
+   system silently lost refresh savings or performance.
+5. **masked** — the faulted run is indistinguishable from the reference.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.chaos.injectors import (
+    CAMPAIGNS,
+    FaultClass,
+    METADATA_CAMPAIGN,
+    resolve_classes,
+)
+from repro.chaos.report import ChaosReport, TrialRecord
+from repro.chaos.system import ChaosParams, ChaosSystem, TrialSnapshot
+from repro.errors import ConfigurationError
+
+
+class ChaosOutcome(enum.Enum):
+    """Per-trial classification (see the module docstring)."""
+
+    MASKED = "masked"
+    DETECTED_RECOVERED = "detected-recovered"
+    DETECTED_UNRECOVERED = "detected-unrecovered"
+    SILENT_DEGRADATION = "silent-degradation"
+    SILENT_CORRUPTION = "silent-corruption"
+
+
+#: Stable rendering/reporting order, most benign first.
+OUTCOME_ORDER: tuple[ChaosOutcome, ...] = (
+    ChaosOutcome.MASKED,
+    ChaosOutcome.DETECTED_RECOVERED,
+    ChaosOutcome.DETECTED_UNRECOVERED,
+    ChaosOutcome.SILENT_DEGRADATION,
+    ChaosOutcome.SILENT_CORRUPTION,
+)
+
+
+def classify_trial(
+    reference: TrialSnapshot, faulted: TrialSnapshot
+) -> tuple[ChaosOutcome, tuple[str, ...]]:
+    """Differentially classify one faulted run against its reference.
+
+    Returns ``(outcome, detection_signals)``; the signal tuple names
+    which detectors fired (empty for the silent classes).
+    """
+    delta_silent = faulted.silent_corruptions - reference.silent_corruptions
+    delta_due = (
+        faulted.detected_uncorrectable - reference.detected_uncorrectable
+    )
+    signals = []
+    if faulted.invariant_violations > reference.invariant_violations:
+        signals.append("invariant")
+    if faulted.mode_repairs > reference.mode_repairs:
+        signals.append("scrub-repair")
+    if faulted.fallback_scans > reference.fallback_scans:
+        signals.append("fallback-scan")
+    if delta_due > 0:
+        signals.append("detected-uncorrectable")
+    if faulted.trial_decodes > reference.trial_decodes:
+        signals.append("trial-decode")
+    detected = tuple(signals)
+    if delta_silent > 0 and not detected:
+        return ChaosOutcome.SILENT_CORRUPTION, ()
+    if delta_silent > 0 or delta_due > 0:
+        return ChaosOutcome.DETECTED_UNRECOVERED, detected
+    if detected:
+        return ChaosOutcome.DETECTED_RECOVERED, detected
+    if faulted.degradation != reference.degradation:
+        return ChaosOutcome.SILENT_DEGRADATION, ()
+    return ChaosOutcome.MASKED, ()
+
+
+class ChaosCampaign:
+    """Run a seeded, deterministic fault-injection campaign.
+
+    Args:
+        classes: fault classes to cycle through (default: the
+            ``metadata`` campaign).
+        trials: total trials (round-robin over the classes).
+        seed: campaign seed; trial ``i`` runs at ``(seed << 20) ^ i``.
+        scrub: enable the patrol-scrub mitigation.
+        conservative: enable the conservative MDT idle fallback.
+    """
+
+    def __init__(
+        self,
+        classes: list[FaultClass] | None = None,
+        trials: int = 40,
+        seed: int = 0,
+        scrub: bool = True,
+        conservative: bool = True,
+        params: ChaosParams | None = None,
+    ):
+        if trials < 1:
+            raise ConfigurationError("trials must be >= 1")
+        self.classes = (
+            list(classes)
+            if classes is not None
+            else resolve_classes(METADATA_CAMPAIGN)
+        )
+        if not self.classes:
+            raise ConfigurationError("at least one fault class is required")
+        self.trials = trials
+        self.seed = seed
+        self.scrub = scrub
+        self.conservative = conservative
+        self.params = params or ChaosParams()
+
+    def trial_seed(self, index: int) -> int:
+        return (self.seed << 20) ^ index
+
+    def run_trial(self, index: int) -> TrialRecord:
+        """Run trial ``index``: reference world, faulted world, classify."""
+        fault = self.classes[index % len(self.classes)]
+        seed = self.trial_seed(index)
+        reference = ChaosSystem(
+            seed,
+            scrub=self.scrub,
+            conservative=self.conservative,
+            params=self.params,
+        ).run(None)
+        faulted = ChaosSystem(
+            seed,
+            scrub=self.scrub,
+            conservative=self.conservative,
+            params=self.params,
+        ).run(fault)
+        outcome, detection = classify_trial(reference, faulted)
+        return TrialRecord(
+            fault_class=fault.name,
+            trial=index,
+            seed=seed,
+            outcome=outcome.value,
+            detection=detection,
+        )
+
+    def run(self) -> ChaosReport:
+        records = [self.run_trial(index) for index in range(self.trials)]
+        return ChaosReport(
+            campaign=self._campaign_name(),
+            trials=self.trials,
+            seed=self.seed,
+            scrub=self.scrub,
+            conservative=self.conservative,
+            records=records,
+        )
+
+    def _campaign_name(self) -> str:
+        names = tuple(fc.name for fc in self.classes)
+        for campaign, members in CAMPAIGNS.items():
+            if names == members:
+                return campaign
+        return "custom"

@@ -1,0 +1,263 @@
+"""The fault classes a chaos campaign can inject.
+
+Each :class:`FaultClass` corrupts one piece of the modeled control plane
+at one of the trial's injection points (see
+:data:`repro.chaos.system.INJECTION_POINTS`):
+
+* ``active-1`` — after the heavy burst of cycle 1, while downgraded
+  lines and marked MDT regions exist, before the idle-entry upgrade
+  that consumes them.
+* ``idle-1`` — deep in the first idle period, before the cycle-2 wake
+  (the only point where the device is in divided self-refresh, so
+  stuck-at faults can freeze the *slow* mode).
+* ``active-2`` — right after the cycle-2 wake re-arms the SMD gate,
+  before the light burst (so counter/threshold corruption is not wiped
+  by the wake-up reset and a spurious enable is observable).
+
+The default **metadata** campaign contains only faults the mitigated
+system (patrol scrub + conservative MDT fallback) is expected to keep
+free of silent corruption.  ``mode-replica-majority`` — an outright
+majority flip of the stored mode replicas, which can mis-decode before
+any patrol pass — is deliberately excluded; select it explicitly via
+``--classes`` to see the harness catch real silent corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.mode_bits import corrupt_replicas, flips_to_misresolve
+from repro.errors import ConfigurationError
+from repro.types import EccMode
+
+
+@dataclass(frozen=True)
+class FaultClass:
+    """One injectable control-plane fault.
+
+    Attributes:
+        name: stable identifier used in reports and ``--classes``.
+        point: injection point in the trial script.
+        summary: one-line description for the report.
+        inject: ``(system, rng) -> None`` performing the corruption.
+    """
+
+    name: str
+    point: str
+    summary: str
+    inject: Callable
+
+
+def _pick(rng, items):
+    """Deterministic choice from an already-ordered sequence."""
+    return items[rng.randrange(len(items))]
+
+
+# -- MDT table faults ---------------------------------------------------------
+
+
+def _mdt_false_set(system, rng) -> None:
+    mdt = system.mdt
+    unmarked = sorted(set(range(mdt.entries)) - mdt.marked_regions)
+    if not unmarked:
+        return
+    mdt.inject_set(_pick(rng, unmarked))
+
+
+def _mdt_false_clear(system, rng) -> None:
+    marked = sorted(system.mdt.marked_regions)
+    if not marked:
+        return
+    system.mdt.inject_clear(_pick(rng, marked))
+
+
+# -- per-line mode-state faults ----------------------------------------------
+
+
+def _mode_false_weak(system, rng) -> None:
+    """Control plane believes a line is SECDED; the codeword is ECC-6."""
+    store = system.controller.line_store
+    strong = [
+        line
+        for line in system.working_lines
+        if store.mode_of(line) is EccMode.STRONG
+    ]
+    if not strong:
+        return
+    store.downgrade(_pick(rng, strong))  # no MDT record, no data change
+
+
+def _mode_false_strong(system, rng) -> None:
+    """Control plane believes a line is ECC-6; the codeword is SECDED.
+
+    The dangerous direction: the line silently rides the 1 s refresh
+    period under single-error correction only.
+    """
+    weak = sorted(system.controller.line_store.weak_lines)
+    if weak:
+        system.controller.line_store.upgrade(_pick(rng, weak))
+        return
+    line = _pick(rng, system.working_lines)
+    system.memory.rewrite_mode(line * system.params.line_bytes, EccMode.WEAK)
+
+
+# -- stored mode-replica faults -----------------------------------------------
+
+
+def _flip_replicas(system, rng, flips: int) -> None:
+    mode_bits = system.memory.codec.layout.mode_bits
+    strong_stored = sorted(
+        line
+        for line, mode in system.memory.stored_modes().items()
+        if mode is EccMode.STRONG
+    )
+    if not strong_stored:
+        return
+    line = _pick(rng, strong_stored)
+    mask = corrupt_replicas(0, flips, rng, replicas=mode_bits)
+    positions = [bit for bit in range(mode_bits) if (mask >> bit) & 1]
+    system.memory.corrupt_stored(line * system.params.line_bytes, positions)
+
+
+def _mode_replica_tie(system, rng) -> None:
+    """Flip half the replicas: vote ties, the trial-decode path must run."""
+    _flip_replicas(system, rng, system.memory.codec.layout.mode_bits // 2)
+
+
+def _mode_replica_majority(system, rng) -> None:
+    """Flip a majority of replicas: the vote resolves to the wrong mode."""
+    _flip_replicas(
+        system, rng, flips_to_misresolve(system.memory.codec.layout.mode_bits)
+    )
+
+
+# -- SMD register faults ------------------------------------------------------
+
+
+def _smd_counter(system, rng) -> None:
+    system.smd.inject_accesses(1_000_000)
+
+
+def _smd_threshold(system, rng) -> None:
+    system.smd.inject_threshold(1e-3)
+
+
+def _smd_stuck_enable(system, rng) -> None:
+    system.smd.inject_enable(True, record_cycle=None)
+
+
+# -- refresh-mode faults ------------------------------------------------------
+
+
+def _refresh_stuck(system, rng) -> None:
+    system.device.refresh.inject_stuck()
+
+
+FAULT_CLASSES: dict[str, FaultClass] = {
+    fc.name: fc
+    for fc in (
+        FaultClass(
+            "mdt-false-set",
+            "active-1",
+            "spurious MDT region bit set (SRAM flip, benign direction)",
+            _mdt_false_set,
+        ),
+        FaultClass(
+            "mdt-false-clear",
+            "active-1",
+            "MDT region bit cleared under live downgrades (lossy direction)",
+            _mdt_false_clear,
+        ),
+        FaultClass(
+            "mode-false-weak",
+            "active-1",
+            "line tracked SECDED while stored ECC-6",
+            _mode_false_weak,
+        ),
+        FaultClass(
+            "mode-false-strong",
+            "active-1",
+            "line tracked ECC-6 while stored SECDED",
+            _mode_false_strong,
+        ),
+        FaultClass(
+            "mode-replica-tie",
+            "active-1",
+            "stored mode replicas flipped to a voting tie",
+            _mode_replica_tie,
+        ),
+        FaultClass(
+            "mode-replica-majority",
+            "active-1",
+            "stored mode replicas flipped past the voting majority",
+            _mode_replica_majority,
+        ),
+        FaultClass(
+            "smd-counter",
+            "active-2",
+            "SMD access-counter register corrupted (spurious enable)",
+            _smd_counter,
+        ),
+        FaultClass(
+            "smd-threshold",
+            "active-2",
+            "SMD threshold register corrupted to near zero",
+            _smd_threshold,
+        ),
+        FaultClass(
+            "smd-stuck-enable",
+            "active-2",
+            "SMD enable latch forced without bookkeeping",
+            _smd_stuck_enable,
+        ),
+        FaultClass(
+            "refresh-stuck-fast",
+            "active-1",
+            "refresh machinery stuck in the fast 64 ms mode",
+            _refresh_stuck,
+        ),
+        FaultClass(
+            "refresh-stuck-slow",
+            "idle-1",
+            "refresh machinery stuck in divided self-refresh",
+            _refresh_stuck,
+        ),
+    )
+}
+
+#: The default campaign: every class the mitigated system must keep
+#: free of silent corruption (see the module docstring).
+METADATA_CAMPAIGN: tuple[str, ...] = (
+    "mdt-false-set",
+    "mdt-false-clear",
+    "mode-false-weak",
+    "mode-false-strong",
+    "mode-replica-tie",
+    "smd-counter",
+    "smd-threshold",
+    "smd-stuck-enable",
+    "refresh-stuck-fast",
+    "refresh-stuck-slow",
+)
+
+#: Named campaigns selectable from the CLI.
+CAMPAIGNS: dict[str, tuple[str, ...]] = {
+    "metadata": METADATA_CAMPAIGN,
+    "all": tuple(sorted(FAULT_CLASSES)),
+}
+
+
+def resolve_classes(names) -> list[FaultClass]:
+    """Map fault-class names to :class:`FaultClass` objects, validating."""
+    classes = []
+    for name in names:
+        if name not in FAULT_CLASSES:
+            known = ", ".join(sorted(FAULT_CLASSES))
+            raise ConfigurationError(
+                f"unknown fault class {name!r} (known: {known})"
+            )
+        classes.append(FAULT_CLASSES[name])
+    if not classes:
+        raise ConfigurationError("at least one fault class is required")
+    return classes

@@ -1,0 +1,136 @@
+"""Chaos-campaign results: records, aggregation, deterministic rendering.
+
+The report is a plain value object: same records in, byte-identical
+table out.  No wall-clock timestamps, no unordered iteration — the
+acceptance bar for the chaos exhibit is that two runs with the same seed
+produce the same bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Outcome names in rendering order (mirrors campaign.OUTCOME_ORDER;
+#: kept as strings here so the report module stays import-light).
+OUTCOME_NAMES: tuple[str, ...] = (
+    "masked",
+    "detected-recovered",
+    "detected-unrecovered",
+    "silent-degradation",
+    "silent-corruption",
+)
+
+_COLUMN_LABELS = {
+    "masked": "masked",
+    "detected-recovered": "det+rec",
+    "detected-unrecovered": "det+unrec",
+    "silent-degradation": "degraded",
+    "silent-corruption": "SILENT",
+}
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One classified trial."""
+
+    fault_class: str
+    trial: int
+    seed: int
+    outcome: str
+    detection: tuple[str, ...] = ()
+
+
+@dataclass
+class ChaosReport:
+    """All records of one campaign plus its configuration."""
+
+    campaign: str
+    trials: int
+    seed: int
+    scrub: bool
+    conservative: bool
+    records: list[TrialRecord] = field(default_factory=list)
+
+    # -- aggregation ----------------------------------------------------------
+
+    def outcome_totals(self) -> dict[str, int]:
+        """Total count per outcome class (zero-filled, stable order)."""
+        totals = {name: 0 for name in OUTCOME_NAMES}
+        for record in self.records:
+            totals[record.outcome] = totals.get(record.outcome, 0) + 1
+        return totals
+
+    def by_class(self) -> dict[str, dict[str, int]]:
+        """Per-fault-class outcome counts, classes in first-seen order."""
+        table: dict[str, dict[str, int]] = {}
+        for record in self.records:
+            row = table.setdefault(
+                record.fault_class, {name: 0 for name in OUTCOME_NAMES}
+            )
+            row[record.outcome] = row.get(record.outcome, 0) + 1
+        return table
+
+    @property
+    def silent_corruption_count(self) -> int:
+        return self.outcome_totals()["silent-corruption"]
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of trials where at least one detector fired."""
+        if not self.records:
+            return 0.0
+        fired = sum(1 for record in self.records if record.detection)
+        return fired / len(self.records)
+
+    def as_dict(self) -> dict:
+        """JSON/metrics-safe summary (scalars + one-level mappings)."""
+        return {
+            "campaign": self.campaign,
+            "trials": self.trials,
+            "seed": self.seed,
+            "scrub": self.scrub,
+            "conservative": self.conservative,
+            "silent_corruptions": self.silent_corruption_count,
+            "detection_rate": self.detection_rate,
+            "outcomes": self.outcome_totals(),
+        }
+
+    # -- rendering ------------------------------------------------------------
+
+    def render_table(self) -> str:
+        """The campaign outcome table; byte-identical for equal inputs."""
+        mitigations = (
+            f"scrub={'on' if self.scrub else 'off'}, "
+            f"fallback={'conservative' if self.conservative else 'none'}"
+        )
+        lines = [
+            f"chaos campaign {self.campaign!r} — {self.trials} trials, "
+            f"seed {self.seed}, {mitigations}",
+            "",
+        ]
+        header = f"{'fault class':<24}{'trials':>8}" + "".join(
+            f"{_COLUMN_LABELS[name]:>11}" for name in OUTCOME_NAMES
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        table = self.by_class()
+        for fault_class in sorted(table):
+            row = table[fault_class]
+            count = sum(row.values())
+            lines.append(
+                f"{fault_class:<24}{count:>8}"
+                + "".join(f"{row[name]:>11}" for name in OUTCOME_NAMES)
+            )
+        totals = self.outcome_totals()
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'total':<24}{len(self.records):>8}"
+            + "".join(f"{totals[name]:>11}" for name in OUTCOME_NAMES)
+        )
+        silent = totals["silent-corruption"]
+        lines.append("")
+        lines.append(
+            f"silent corruptions: {silent}  "
+            f"(detection rate {self.detection_rate:.2%})"
+        )
+        return "\n".join(lines)

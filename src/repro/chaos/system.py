@@ -1,0 +1,320 @@
+"""One chaos trial's world: a coupled control plane and data plane.
+
+A :class:`ChaosSystem` wires the full MECC control plane (controller +
+MDT + SMD gate + refresh machinery, driven through
+:class:`repro.core.policy.MeccPolicy`) to a
+:class:`repro.functional.memory.FunctionalMemory` data plane holding real
+morphable codewords under the retention fault process.  Every control
+decision is mirrored onto the data plane:
+
+* a demand read that triggers ECC-Downgrade re-encodes the stored line
+  in SECDED;
+* every line the idle-entry ECC-Upgrade drains is re-encoded in ECC-6
+  through the controller's ``upgrade_sink``;
+* the refresh period the device selects is the period the data plane
+  decays under.
+
+The trial script is two activity cycles — wake, access burst, active
+dwell, idle entry (ECC-Upgrade, optional patrol scrub), long idle — with
+three well-defined injection points in between, followed by an end-state
+scan of the working set.  Everything is driven by ``random.Random``
+instances derived from the trial seed, so the same seed always produces
+the same world, fault site, and outcome.
+
+The retention model is accelerated (``anchor_ber`` well above the
+paper's 10^-4.5) so that a mis-protected line decaying through even one
+1 s window has a visible error population; the soft-error rate is zero
+so the only nondeterminism-free noise source is retention decay, which
+the per-line RNG makes identical between a faulted run and its
+fault-free reference run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.mdt import MemoryDowngradeTracker
+from repro.core.mecc import MeccController
+from repro.core.policy import MeccPolicy
+from repro.core.smd import SelectiveMemoryDowngrade
+from repro.dram.config import DramOrganization
+from repro.dram.device import DramDevice
+from repro.errors import ConfigurationError
+from repro.functional.faults import FaultProcess, SoftErrorModel
+from repro.functional.memory import FunctionalMemory
+from repro.functional.scrub import PatrolScrubber
+from repro.obs.invariants import default_invariant_suite
+from repro.reliability.retention import RetentionModel
+from repro.types import EccMode
+
+#: Injection points a fault class may target (see the trial script).
+INJECTION_POINTS = ("active-1", "idle-1", "active-2")
+
+
+@dataclass(frozen=True)
+class ChaosParams:
+    """The scaled-down world one chaos trial runs in.
+
+    Defaults give a 1 MB memory with 64 MDT regions of 256 lines, a
+    16-line working set spread over 4 regions, a heavy first burst that
+    trips the SMD gate mid-burst, and a light second burst that does not
+    — so spurious-enable faults in phase 2 are observable.
+    """
+
+    capacity_bytes: int = 1 << 20
+    rows: int = 256
+    line_bytes: int = 64
+    mdt_entries: int = 64
+    regions_used: int = 4
+    lines_per_used_region: int = 4
+    burst1_accesses: int = 32
+    burst1_step_cycles: int = 200
+    #: Working-set lines the heavy burst cycles over.  Strictly less
+    #: than the working set, so some lines stay strong through cycle 1 —
+    #: the injection sites for mode-state and replica faults.
+    burst1_lines: int = 12
+    burst2_accesses: int = 8
+    burst2_step_cycles: int = 800
+    burst2_lines: int = 8
+    quantum_cycles: int = 3200
+    threshold_mpkc: float = 2.0
+    active_dwell_s: float = 1.5
+    idle_s: float = 3.0
+    anchor_ber: float = 2.5e-3
+    phase2_base_cycle: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.regions_used < 1 or self.lines_per_used_region < 1:
+            raise ConfigurationError("working set must be non-empty")
+        if self.regions_used > self.mdt_entries:
+            raise ConfigurationError("regions_used must fit in the MDT")
+        if self.idle_s <= 0 or self.active_dwell_s <= 0:
+            raise ConfigurationError("dwell times must be positive")
+        if not 0 < self.burst1_lines < self.working_set_lines:
+            raise ConfigurationError(
+                "burst1_lines must leave part of the working set untouched"
+            )
+        if not 0 < self.burst2_lines <= self.working_set_lines:
+            raise ConfigurationError("burst2_lines out of range")
+
+    @property
+    def working_set_lines(self) -> int:
+        return self.regions_used * self.lines_per_used_region
+
+
+@dataclass(frozen=True)
+class TrialSnapshot:
+    """Everything the classifier compares between a faulted run and its
+    reference run.  All fields are deterministic functions of the seed
+    and the injected fault."""
+
+    silent_corruptions: int
+    detected_uncorrectable: int
+    trial_decodes: int
+    corrected_bits: int
+    invariant_violations: int
+    mode_repairs: int
+    fallback_scans: int
+    #: Control-plane signature: any difference vs. the reference run that
+    #: is not a data-integrity event is a silent degradation.
+    degradation: tuple
+
+
+class ChaosSystem:
+    """Build and drive one trial world (see the module docstring).
+
+    Args:
+        seed: trial seed; two systems with the same seed and mitigation
+            flags are bit-identical until an injector diverges them.
+        scrub: run the patrol scrubber (with STRONG mode-repair) at
+            every idle entry.
+        conservative: use the controller's conservative MDT idle
+            fallback ("none" trusts the table unconditionally).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        scrub: bool = True,
+        conservative: bool = True,
+        params: ChaosParams | None = None,
+        tracer=None,
+    ):
+        self.params = params or ChaosParams()
+        p = self.params
+        self.seed = seed
+        org = DramOrganization(
+            capacity_bytes=p.capacity_bytes, rows=p.rows, line_bytes=p.line_bytes
+        )
+        self.device = DramDevice(org=org)
+        self.mdt = MemoryDowngradeTracker(org, entries=p.mdt_entries)
+        self.controller = MeccController(
+            device=self.device,
+            mdt=self.mdt,
+            idle_fallback="conservative" if conservative else "none",
+        )
+        self.smd = SelectiveMemoryDowngrade(
+            threshold_mpkc=p.threshold_mpkc, quantum_cycles=p.quantum_cycles
+        )
+        self.policy = MeccPolicy(self.controller, smd=self.smd)
+        faults = FaultProcess(
+            retention=RetentionModel(anchor_ber=p.anchor_ber),
+            soft_errors=SoftErrorModel(rate_per_bit_s=0.0),
+            seed=seed,
+        )
+        self.memory = FunctionalMemory(faults=faults, line_bytes=p.line_bytes)
+        self.invariants = default_invariant_suite(tolerant=True)
+        self.invariants.data_plane = self.memory
+        self.policy.attach_observer(tracer=tracer, invariants=self.invariants)
+        self.controller.upgrade_sink = self._mirror_upgrade
+        self.scrubber = None
+        if scrub:
+            self.scrubber = PatrolScrubber(
+                self.memory, tracer=tracer, expected_mode=EccMode.STRONG
+            )
+            self.scrubber.on_mode_repair = self._sync_mode_repair
+        layout_rng = random.Random((seed << 16) ^ 0x0C_A05)
+        self.working_lines = self._pick_working_set(layout_rng)
+        self._data = {
+            line: layout_rng.getrandbits(8 * p.line_bytes)
+            for line in self.working_lines
+        }
+        self._idle_reports: list[tuple] = []
+        self._refresh_trace: list[float] = []
+        self._smd_enables: list[int | None] = []
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _pick_working_set(self, rng: random.Random) -> list[int]:
+        p = self.params
+        lines_per_region = self.mdt.lines_per_region
+        lines: list[int] = []
+        for region in range(p.regions_used):
+            offsets = sorted(
+                rng.sample(range(lines_per_region), p.lines_per_used_region)
+            )
+            lines.extend(region * lines_per_region + off for off in offsets)
+        return lines
+
+    def _mirror_upgrade(self, line: int) -> None:
+        """Controller drained a line at idle entry -> upgrade its codeword."""
+        self.memory.upgrade_line(line * self.params.line_bytes)
+
+    def _sync_mode_repair(self, line: int, found_mode: EccMode) -> None:
+        """Patrol scrub repaired a stored mode -> resync the control plane."""
+        self.controller.line_store.upgrade(line)
+
+    # -- the trial script -----------------------------------------------------
+
+    def run(self, injector=None) -> TrialSnapshot:
+        """Execute the two-cycle trial; ``injector`` may be None (reference).
+
+        ``injector`` is anything with a ``point`` attribute naming one of
+        :data:`INJECTION_POINTS` and an ``inject(system, rng)`` method.
+        """
+        if injector is not None and injector.point not in INJECTION_POINTS:
+            raise ConfigurationError(
+                f"unknown injection point {injector.point!r}"
+            )
+        p = self.params
+        inject_rng = random.Random((self.seed << 8) ^ 0xFA17)
+
+        def fire(point: str) -> None:
+            if injector is not None and injector.point == point:
+                injector.inject(self, inject_rng)
+
+        # Initial population: known data in every working-set line, ECC-6.
+        self._set_period()
+        for line in self.working_lines:
+            self.memory.write(
+                line * p.line_bytes, self._data[line], EccMode.STRONG
+            )
+
+        # Cycle 1: heavy burst (SMD trips mid-burst), dwell, idle.
+        now = self._burst(
+            0, p.burst1_accesses, p.burst1_step_cycles, p.burst1_lines
+        )
+        fire("active-1")
+        self.invariants.check(
+            self.controller, smd=self.smd, event="pre-idle", cycle=now
+        )
+        self.memory.advance_time(p.active_dwell_s)
+        self._smd_enables.append(self.smd.enabled_at_cycle)
+        self._enter_idle()
+        fire("idle-1")
+        self.memory.advance_time(p.idle_s)
+
+        # Cycle 2: light burst (SMD stays gated in the reference run).
+        base = p.phase2_base_cycle
+        self.controller.wake()
+        self.smd.reset(base, downgrades_baseline=self.controller.downgrades)
+        self._set_period()
+        fire("active-2")
+        now = self._burst(
+            base, p.burst2_accesses, p.burst2_step_cycles, p.burst2_lines
+        )
+        self.invariants.check(
+            self.controller, smd=self.smd, event="pre-idle", cycle=now
+        )
+        self.memory.advance_time(p.active_dwell_s)
+        self._smd_enables.append(self.smd.enabled_at_cycle)
+        self._enter_idle()
+        self.memory.advance_time(p.idle_s)
+
+        # End-state scan: every working-set line must still decode to its
+        # written data (ground-truth mismatches are counted as silent
+        # corruptions by the functional memory itself).
+        for line in self.working_lines:
+            self.memory.read(line * p.line_bytes)
+        return self._snapshot()
+
+    def _burst(self, base: int, accesses: int, step: int, coverage: int) -> int:
+        p = self.params
+        for i in range(accesses):
+            now = base + i * step
+            line = self.working_lines[i % coverage]
+            action = self.policy.on_read(line * p.line_bytes, now)
+            self.memory.read(line * p.line_bytes, downgrade=action.writeback)
+        return base + accesses * step
+
+    def _enter_idle(self) -> None:
+        report = self.controller.enter_idle()
+        self._idle_reports.append(
+            (report.lines_scanned, report.lines_converted, report.used_mdt)
+        )
+        if self.scrubber is not None:
+            self.scrubber.scrub_pass()
+        self._set_period()
+
+    def _set_period(self) -> None:
+        """Data plane decays at whatever period the device actually runs."""
+        period = self.controller.refresh_period_s
+        self.memory.set_refresh_period(period)
+        self._refresh_trace.append(round(period, 6))
+
+    def _snapshot(self) -> TrialSnapshot:
+        c = self.memory.counters
+        ctl = self.controller
+        degradation = (
+            ctl.strong_decodes,
+            ctl.weak_decodes,
+            ctl.downgrades,
+            ctl.upgraded_lines,
+            tuple(self._smd_enables),
+            tuple(self._idle_reports),
+            tuple(self._refresh_trace),
+            c.downgrades,
+            c.upgrades,
+            c.corrected_bits,
+        )
+        return TrialSnapshot(
+            silent_corruptions=c.silent_corruptions,
+            detected_uncorrectable=c.detected_uncorrectable,
+            trial_decodes=c.trial_decodes,
+            corrected_bits=c.corrected_bits,
+            invariant_violations=self.invariants.violation_count,
+            mode_repairs=self.scrubber.mode_repairs if self.scrubber else 0,
+            fallback_scans=ctl.fallback_scans,
+            degradation=degradation,
+        )

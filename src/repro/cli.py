@@ -256,11 +256,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "exhibit",
         choices=sorted(EXHIBITS)
-        + ["all", "list", "report", "csv", "trace-gen", "trace-sim", "fault-inject"],
+        + [
+            "all",
+            "list",
+            "report",
+            "csv",
+            "trace-gen",
+            "trace-sim",
+            "fault-inject",
+            "chaos",
+        ],
         help="exhibit to regenerate ('list' to enumerate, 'all' for everything, "
         "'report' for a markdown report via --output), a trace tool "
-        "(trace-gen / trace-sim), or a codec fault-injection campaign "
-        "(fault-inject)",
+        "(trace-gen / trace-sim), a codec fault-injection campaign "
+        "(fault-inject), or a control-plane chaos campaign (chaos)",
     )
     parser.add_argument(
         "--instructions",
@@ -305,10 +314,28 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: sample at the paper's 1 s BER instead)",
     )
     parser.add_argument(
-        "--trials", type=int, default=200, help="fault-inject trial count"
+        "--trials", type=int, default=200,
+        help="trial count for fault-inject and chaos",
     )
     parser.add_argument(
-        "--seed", type=int, default=0, help="fault-inject RNG seed"
+        "--seed", type=int, default=0, help="RNG seed for fault-inject and chaos"
+    )
+    parser.add_argument(
+        "--campaign",
+        default="metadata",
+        help="chaos campaign: a named campaign (metadata, all) or a "
+        "comma-separated list of fault-class names "
+        "(see repro.chaos.FAULT_CLASSES)",
+    )
+    parser.add_argument(
+        "--no-scrub",
+        action="store_true",
+        help="chaos: disable the patrol-scrub mode-repair mitigation",
+    )
+    parser.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="chaos: disable the conservative MDT idle-fallback mitigation",
     )
     parser.add_argument(
         "--jobs",
@@ -334,6 +361,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the run manifest (per-job wall times, cache hit/miss "
         "counters) to this JSON file",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock deadline for simulation jobs; on expiry "
+        "the worker pool is killed and the job retried "
+        "(default: $REPRO_JOB_TIMEOUT_S, else unlimited)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="extra attempts for failed or timed-out simulation jobs, "
+        "with exponential backoff (default: $REPRO_RETRIES, else 0)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="rewrite the run manifest atomically after every job so an "
+        "interrupted sweep can be resumed with --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume an interrupted sweep from its checkpoint manifest "
+        "(requires the same --cache-dir; completed jobs are served "
+        "from the cache and only unfinished jobs run)",
     )
     parser.add_argument(
         "--trace",
@@ -456,6 +514,37 @@ def _fault_inject(args) -> int:
     return 0
 
 
+def _chaos(args) -> int:
+    from repro.chaos import CAMPAIGNS, ChaosCampaign, resolve_classes
+    from repro.errors import ConfigurationError
+
+    names = CAMPAIGNS.get(args.campaign)
+    if names is None:
+        names = tuple(n.strip() for n in args.campaign.split(",") if n.strip())
+    try:
+        classes = resolve_classes(names)
+        campaign = ChaosCampaign(
+            classes=classes,
+            trials=args.trials,
+            seed=args.seed,
+            scrub=not args.no_scrub,
+            conservative=not args.no_fallback,
+        )
+    except ConfigurationError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+    report = campaign.run()
+    print(report.render_table())
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.record_chaos(report)
+        registry.write_json(args.metrics_out)
+        print(f"wrote {len(registry)} metrics to {args.metrics_out}")
+    return 0
+
+
 def _configure_runner(args):
     """Install the process-wide experiment runner from CLI flags/env."""
     from repro.analysis.runner import configure_runner
@@ -466,7 +555,33 @@ def _configure_runner(args):
     cache_dir = None
     if not args.no_cache:
         cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
-    return configure_runner(jobs=max(1, jobs), cache_dir=cache_dir)
+    timeout_s = args.timeout
+    if timeout_s is None:
+        env = os.environ.get("REPRO_JOB_TIMEOUT_S") or None
+        timeout_s = float(env) if env else None
+    retries = args.retries
+    if retries is None:
+        retries = int(os.environ.get("REPRO_RETRIES", "0") or "0")
+    # A resumed sweep keeps checkpointing to the same manifest unless
+    # the user redirects it explicitly.
+    checkpoint = args.checkpoint or args.resume or None
+    runner = configure_runner(
+        jobs=max(1, jobs),
+        cache_dir=cache_dir,
+        timeout_s=timeout_s,
+        retries=max(0, retries),
+        checkpoint_path=checkpoint,
+    )
+    if args.resume:
+        if cache_dir is None:
+            print(
+                "warning: --resume without --cache-dir; completed jobs have "
+                "no cache to be served from and will re-run",
+                file=sys.stderr,
+            )
+        completed = runner.resume_from(args.resume)
+        print(f"resuming from {args.resume}: {completed} job(s) already complete")
+    return runner
 
 
 def _finish_runner(args, runner) -> None:
@@ -501,6 +616,8 @@ def main(argv: list[str] | None = None) -> int:
         return _trace_sim(args)
     if args.exhibit == "fault-inject":
         return _fault_inject(args)
+    if args.exhibit == "chaos":
+        return _chaos(args)
     runner = _configure_runner(args)
     if args.exhibit == "csv":
         from repro.analysis.export import export_all

@@ -49,18 +49,33 @@ class LineEccStore:
 
     def upgrade_all(self) -> int:
         """ECC-Upgrade every downgraded line; returns how many converted."""
-        n = len(self._weak_lines)
-        self._weak_lines.clear()
-        return n
+        return len(self.drain_all())
 
     def upgrade_region(self, start_line: int, line_count: int) -> int:
         """Upgrade all weak lines within ``[start_line, start_line + count)``."""
+        return len(self.drain_region(start_line, line_count))
+
+    def drain_all(self) -> frozenset[int]:
+        """Upgrade every weak line; returns the set of lines converted.
+
+        The set-returning form exists for callers that must mirror the
+        conversion onto a data plane (e.g. the chaos harness upgrading
+        the corresponding functional-memory lines).
+        """
+        converted = frozenset(self._weak_lines)
+        self._weak_lines.clear()
+        return converted
+
+    def drain_region(self, start_line: int, line_count: int) -> frozenset[int]:
+        """Upgrade the weak lines of one region; returns the converted set."""
         if line_count < 0:
             raise ConfigurationError("line_count must be non-negative")
         end = start_line + line_count
-        converted = {l for l in self._weak_lines if start_line <= l < end}
+        converted = frozenset(
+            l for l in self._weak_lines if start_line <= l < end
+        )
         self._weak_lines -= converted
-        return len(converted)
+        return converted
 
     @property
     def weak_count(self) -> int:

@@ -88,3 +88,31 @@ class MemoryDowngradeTracker:
         if self._marked and self.tracer is not None:
             self.tracer.emit("mdt", "clear", cleared=len(self._marked))
         self._marked.clear()
+
+    # -- fault injection (chaos harness) ------------------------------------
+
+    def inject_set(self, region: int) -> None:
+        """Fault-inject: spuriously set a region bit (false-set fault).
+
+        Models a bit flip in the controller's MDT SRAM.  A false-set bit
+        costs extra idle-entry scan work but cannot lose data; the
+        coherence invariant is expected to flag it.
+        """
+        if not 0 <= region < self.entries:
+            raise ConfigurationError(f"region {region} out of range")
+        self._marked.add(region)
+        if self.tracer is not None:
+            self.tracer.emit("mdt", "fault-set", region=region)
+
+    def inject_clear(self, region: int) -> None:
+        """Fault-inject: spuriously clear a region bit (false-clear fault).
+
+        The dangerous direction: downgraded lines in the region will be
+        skipped by an MDT-guided ECC-Upgrade unless the conservative
+        fallback or the patrol scrubber catches them.
+        """
+        if not 0 <= region < self.entries:
+            raise ConfigurationError(f"region {region} out of range")
+        self._marked.discard(region)
+        if self.tracer is not None:
+            self.tracer.emit("mdt", "fault-clear", region=region)

@@ -44,6 +44,12 @@ class MeccController:
         strong: the strong scheme (default ECC-6, 30-cycle decode).
         mdt: optional Memory Downgrade Tracker; None disables MDT (idle
             entry scans the whole memory, the paper's unoptimized 400 ms).
+        idle_fallback: ``"conservative"`` (default) treats the MDT as
+            advisory — if the MDT-guided pass leaves any line downgraded
+            (a table fault, so the unmarked regions are *unknown*), the
+            whole memory is rescanned rather than trusting the table;
+            ``"none"`` trusts the MDT unconditionally, the configuration
+            the chaos campaigns use to expose what the fallback prevents.
     """
 
     def __init__(
@@ -53,6 +59,7 @@ class MeccController:
         strong: EccScheme = ECC6,
         mdt: MemoryDowngradeTracker | None = None,
         use_mdt: bool = True,
+        idle_fallback: str = "conservative",
     ):
         self.device = device or DramDevice()
         if strong.correctable <= weak.correctable:
@@ -63,6 +70,11 @@ class MeccController:
         self.mdt = mdt if mdt is not None else (
             MemoryDowngradeTracker(self.device.org) if use_mdt else None
         )
+        if idle_fallback not in ("conservative", "none"):
+            raise ConfigurationError(
+                "idle_fallback must be 'conservative' or 'none'"
+            )
+        self.idle_fallback = idle_fallback
         self.state = SystemState.IDLE
         self.device.enter_self_refresh(slow=True)
         # Counters.
@@ -70,6 +82,10 @@ class MeccController:
         self.upgraded_lines = 0
         self.strong_decodes = 0
         self.weak_decodes = 0
+        self.fallback_scans = 0
+        #: Optional per-line upgrade callback; the chaos harness uses it
+        #: to mirror idle-entry conversions onto a functional data plane.
+        self.upgrade_sink = None
         # Observability hooks (see repro.obs): a tracer receives mode
         # transitions and conversions; an invariant suite is evaluated on
         # idle entry/exit.  Both default to None = zero overhead.
@@ -95,6 +111,7 @@ class MeccController:
         self.upgraded_lines = 0
         self.strong_decodes = 0
         self.weak_decodes = 0
+        self.fallback_scans = 0
 
     # -- active-mode data path ----------------------------------------------------
 
@@ -166,22 +183,30 @@ class MeccController:
             lines_scanned = self.mdt.lines_to_upgrade()
             lines_per_region = self.mdt.lines_per_region
             converted = 0
-            for region in self.mdt.marked_regions:
-                converted += self.line_store.upgrade_region(
-                    region * lines_per_region, lines_per_region
+            for region in sorted(self.mdt.marked_regions):
+                converted += self._upgrade_lines(
+                    self.line_store.drain_region(
+                        region * lines_per_region, lines_per_region
+                    )
                 )
             self.mdt.reset()
             used_mdt = True
         else:
             lines_scanned = org.total_lines
-            converted = self.line_store.upgrade_all()
+            converted = self._upgrade_lines(self.line_store.drain_all())
             used_mdt = False
-        # Defensive invariant: the scan must leave no weak line behind.
-        if not self.line_store.all_strong():
-            # Lines downgraded outside marked regions would be a design
-            # bug; fall back to a full scan rather than corrupt data.
+        # Conservative MDT fallback: a weak line surviving the MDT-guided
+        # pass means the table lied, so *every* unmarked region is
+        # suspect — treat unknown regions as downgraded and rescan all of
+        # memory rather than corrupt data.  "none" trusts the table.
+        if not self.line_store.all_strong() and self.idle_fallback == "conservative":
             lines_scanned = org.total_lines
-            converted += self.line_store.upgrade_all()
+            converted += self._upgrade_lines(self.line_store.drain_all())
+            self.fallback_scans += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "mecc", "fallback-scan", lines_scanned=org.total_lines
+                )
         self.upgraded_lines += converted
         seconds = self.device.bulk_convert_seconds(lines_scanned)
         encode_energy = lines_scanned * self.strong.encode_energy_pj * 1e-12
@@ -203,6 +228,13 @@ class MeccController:
             encode_energy_j=encode_energy,
             used_mdt=used_mdt,
         )
+
+    def _upgrade_lines(self, lines: frozenset[int]) -> int:
+        """Feed drained lines to the upgrade sink; returns the count."""
+        if self.upgrade_sink is not None:
+            for line in sorted(lines):
+                self.upgrade_sink(line)
+        return len(lines)
 
     @property
     def refresh_period_s(self) -> float:

@@ -41,6 +41,23 @@ def majority_vote(pattern: int, replicas: int = 4) -> EccMode | None:
     return None
 
 
+def corrupt_replicas(pattern: int, flips: int, rng, replicas: int = 4) -> int:
+    """Flip ``flips`` distinct replica bits of a stored pattern.
+
+    The fault-injection primitive behind the chaos harness's mode-bit
+    campaigns: flipping ``replicas // 2`` bits of a clean pattern forces
+    the tie (trial-decode) path, ``flips_to_misresolve(replicas)`` flips
+    the majority outright.  ``rng`` must provide ``sample``.
+    """
+    if replicas < 1:
+        raise ConfigurationError("replicas must be >= 1")
+    if not 0 <= flips <= replicas:
+        raise ConfigurationError("flips must be in [0, replicas]")
+    for position in rng.sample(range(replicas), flips):
+        pattern ^= 1 << position
+    return pattern & ((1 << replicas) - 1)
+
+
 def flips_to_misresolve(replicas: int) -> int:
     """Minimum replica flips that flip the majority outright."""
     if replicas < 1:

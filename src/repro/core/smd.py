@@ -64,15 +64,21 @@ class SelectiveMemoryDowngrade:
         self.enabled_at_cycle: int | None = None
         self._quantum_start = 0
         self._accesses = 0
+        #: Controller downgrade count at the last re-arm; the gating
+        #: invariant only attributes downgrades *beyond* this baseline to
+        #: the current active period (earlier ones were legitimately
+        #: enabled before the last idle period).
+        self.downgrades_baseline = 0
         #: Optional :class:`repro.obs.trace.EventTracer`; None = no tracing.
         self.tracer = None
 
-    def reset(self, now: int = 0) -> None:
+    def reset(self, now: int = 0, downgrades_baseline: int = 0) -> None:
         """Re-arm on wake-up from idle: downgrade disabled again."""
         self.enabled = False
         self.enabled_at_cycle = None
         self._quantum_start = now
         self._accesses = 0
+        self.downgrades_baseline = downgrades_baseline
 
     def record_access(self, now: int) -> None:
         """Count one memory access (read or write) at processor cycle ``now``.
@@ -106,3 +112,38 @@ class SelectiveMemoryDowngrade:
 
     def report(self, total_cycles: int) -> SmdReport:
         return SmdReport(enabled_at_cycle=self.enabled_at_cycle, total_cycles=total_cycles)
+
+    # -- fault injection (chaos harness) ------------------------------------
+
+    def inject_accesses(self, count: int) -> None:
+        """Fault-inject: corrupt the quantum access counter register.
+
+        A huge value trips the threshold at the next quantum boundary (a
+        spurious enable); zero erases the quantum's traffic (a delayed
+        enable).  Either way the gate stays self-consistent, so the
+        gating invariant cannot see it — only end-to-end comparison can.
+        """
+        self._accesses = count
+        if self.tracer is not None:
+            self.tracer.emit("smd", "fault", register="accesses", value=count)
+
+    def inject_threshold(self, threshold_mpkc: float) -> None:
+        """Fault-inject: corrupt the threshold register (no validation)."""
+        self.threshold_mpkc = threshold_mpkc
+        if self.tracer is not None:
+            self.tracer.emit(
+                "smd", "fault", register="threshold", value=threshold_mpkc
+            )
+
+    def inject_enable(self, enabled: bool, record_cycle: int | None = None) -> None:
+        """Fault-inject: force the enable latch, optionally inconsistently.
+
+        Forcing ``enabled=True`` without a recorded enable cycle is the
+        stuck-enable fault the gating invariant is designed to catch.
+        """
+        self.enabled = enabled
+        self.enabled_at_cycle = record_cycle
+        if self.tracer is not None:
+            self.tracer.emit(
+                "smd", "fault", register="enable", value=enabled
+            )

@@ -73,6 +73,9 @@ class SelfRefreshController:
     divider: RefreshDivider = field(default_factory=RefreshDivider)
     divider_enabled: bool = False
     pasr_fraction: float = 0.5
+    #: Fault-injection latch: when True, mode-transition requests are
+    #: ignored (a stuck refresh-mode fault, see repro.chaos).
+    stuck: bool = field(default=False, repr=False, compare=False)
     #: Optional :class:`repro.obs.trace.EventTracer`; None = no tracing.
     tracer: object = field(default=None, repr=False, compare=False)
 
@@ -80,10 +83,29 @@ class SelfRefreshController:
         if not 0.0 < self.pasr_fraction <= 1.0:
             raise ConfigurationError("pasr_fraction must be in (0, 1]")
 
+    def inject_stuck(self) -> None:
+        """Fault-inject: freeze the refresh machinery in its current mode."""
+        self.stuck = True
+        if self.tracer is not None:
+            self.tracer.emit("refresh", "fault-stuck", mode=self.mode.value)
+
+    def release_stuck(self) -> None:
+        """Clear the stuck-mode fault latch."""
+        self.stuck = False
+
     def enter(self, mode: RefreshMode, use_divider: bool = False) -> None:
         """Transition to a refresh mode; the divider only applies in SR."""
         if use_divider and mode is not RefreshMode.SELF_REFRESH:
             raise ConfigurationError("the refresh divider only applies in self refresh")
+        if self.stuck:
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "refresh",
+                    "stuck-ignored",
+                    requested=mode.value,
+                    mode=self.mode.value,
+                )
+            return
         previous = self.mode
         self.mode = mode
         self.divider_enabled = use_divider

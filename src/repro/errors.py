@@ -49,5 +49,24 @@ class SimulationError(ReproError):
     """The simulation engine reached an inconsistent state."""
 
 
+class JobExecutionError(ReproError):
+    """One or more experiment-runner jobs failed after exhausting retries.
+
+    Raised *after* every other job of the sweep has completed (and been
+    cached/checkpointed), so a partial sweep is resumable.
+
+    Attributes:
+        failures: list of ``(job_label, exception)`` pairs.
+    """
+
+    def __init__(self, message: str, *, failures: list | None = None):
+        super().__init__(message)
+        self.failures = failures or []
+
+
+class JobTimeoutError(JobExecutionError):
+    """An experiment-runner job exceeded its wall-clock timeout."""
+
+
 class TraceError(ReproError):
     """A trace file or trace record is malformed."""

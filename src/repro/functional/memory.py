@@ -225,6 +225,45 @@ class FunctionalMemory:
             return self._lines[line].mode
         return EccMode.STRONG
 
+    def stored_modes(self) -> dict[int, EccMode]:
+        """Line index -> stored ECC mode for every materialized line.
+
+        The data-plane-agreement invariant compares this against the
+        controller's :class:`repro.core.line_store.LineEccStore` view.
+        """
+        return {line: entry.mode for line, entry in self._lines.items()}
+
+    # -- fault injection (chaos harness) ------------------------------------
+
+    def rewrite_mode(self, address: int, mode: EccMode) -> None:
+        """Fault-inject: silently re-encode a line under another ECC mode.
+
+        Models the end state of a corrupted conversion: the stored word
+        is a *valid* codeword of ``mode``, but nothing else in the system
+        was told.  Bypasses all counters by design.
+        """
+        line = self._line_index(address)
+        entry = self._materialize(line)
+        self._settle_faults_entry(entry, line)
+        entry.stored = self.codec.encode(entry.expected_data, mode)
+        entry.mode = mode
+        entry.last_touched_s = self._now_s
+
+    def corrupt_stored(self, address: int, positions) -> None:
+        """Fault-inject: XOR the given bit positions of the stored word.
+
+        Used by the mode-replica campaigns to flip individual replica
+        bits (positions ``[0, mode_bits)`` of the stored layout).
+        """
+        line = self._line_index(address)
+        entry = self._materialize(line)
+        for position in positions:
+            if not 0 <= position < self.codec.stored_bits:
+                raise ConfigurationError(
+                    f"bit position {position} outside the stored word"
+                )
+            entry.stored ^= 1 << position
+
     @property
     def materialized_lines(self) -> int:
         return len(self._lines)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.functional.memory import FunctionalMemory
 from repro.power.calculator import DramPowerCalculator
+from repro.types import EccMode
 
 
 @dataclass
@@ -30,6 +31,7 @@ class ScrubReport:
     bits_corrected: int
     failures: int
     energy_j: float
+    mode_repairs: int = 0
 
 
 class PatrolScrubber:
@@ -38,6 +40,9 @@ class PatrolScrubber:
     Args:
         memory: the functional memory under scrub.
         calculator: power model used to cost the scrub reads.
+        expected_mode: when set, lines found stored in any *other* mode
+            are re-encoded into this one (mode-bit mismatch repair — the
+            chaos harness's patrol response to mode-metadata faults).
     """
 
     def __init__(
@@ -45,12 +50,18 @@ class PatrolScrubber:
         memory: FunctionalMemory,
         calculator: DramPowerCalculator | None = None,
         tracer=None,
+        expected_mode: EccMode | None = None,
     ):
         self.memory = memory
         self.calculator = calculator or DramPowerCalculator()
+        self.expected_mode = expected_mode
         self.passes = 0
         self.total_bits_corrected = 0
         self.total_energy_j = 0.0
+        self.mode_repairs = 0
+        #: Optional callback ``(line_index, found_mode)`` fired on each
+        #: mode repair, so a control plane can resync its own state.
+        self.on_mode_repair = None
         #: Optional :class:`repro.obs.trace.EventTracer`; None = no tracing.
         self.tracer = tracer
 
@@ -66,6 +77,9 @@ class PatrolScrubber:
         self.memory.read_batch(
             [line * self.memory.line_bytes for line in lines]
         )
+        repairs = 0
+        if self.expected_mode is not None:
+            repairs = self._repair_modes(lines)
         corrected = self.memory.counters.corrected_bits - before
         failures = self.memory.counters.data_loss_events - before_failures
         energy = len(lines) * self.calculator.line_read_energy_j()
@@ -79,13 +93,49 @@ class PatrolScrubber:
                 lines_scanned=len(lines),
                 bits_corrected=corrected,
                 failures=failures,
+                mode_repairs=repairs,
             )
         return ScrubReport(
             lines_scanned=len(lines),
             bits_corrected=corrected,
             failures=failures,
             energy_j=energy,
+            mode_repairs=repairs,
         )
+
+    def _repair_modes(self, lines) -> int:
+        """Re-encode lines whose stored mode disagrees with the expected one.
+
+        A patrol sweep sees the resolved mode of every line for free; if
+        the line is not stored in ``expected_mode``, the scrubber writes
+        it back in the right code and tells the control plane via
+        :attr:`on_mode_repair`.
+        """
+        repairs = 0
+        for line in sorted(lines):
+            address = line * self.memory.line_bytes
+            found = self.memory.mode_of(address)
+            if found is self.expected_mode:
+                continue
+            if self.expected_mode is EccMode.STRONG:
+                repaired = self.memory.upgrade_line(address)
+            else:
+                repaired = self.memory.read(address, downgrade=True) is not None
+            if not repaired:
+                continue
+            repairs += 1
+            self.mode_repairs += 1
+            if self.on_mode_repair is not None:
+                self.on_mode_repair(line, found)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "scrub",
+                    "mode-repair",
+                    line=line,
+                    found=found.value,
+                    expected=self.expected_mode.value,
+                )
+        return repairs
 
     def run_for(self, duration_s: float, interval_s: float) -> list[ScrubReport]:
         """Advance time in scrub intervals, scrubbing after each.

@@ -21,6 +21,7 @@ a final stats object.  This package adds the missing visibility:
 """
 
 from repro.obs.invariants import (
+    DataPlaneModeAgreementCheck,
     InvariantCheck,
     InvariantContext,
     InvariantSuite,
@@ -38,6 +39,7 @@ __all__ = [
     "EventTracer",
     "TraceEvent",
     "MetricsRegistry",
+    "DataPlaneModeAgreementCheck",
     "InvariantCheck",
     "InvariantContext",
     "InvariantSuite",

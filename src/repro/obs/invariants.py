@@ -22,6 +22,9 @@ The default suite (:func:`default_invariant_suite`) covers:
   back at the strong code and the MDT is clear.
 * **SMD gating** — downgrades happen only after the MPKC threshold
   tripped, and the gate's bookkeeping is self-consistent.
+* **Data-plane mode agreement** — when a functional memory is coupled
+  to the run, the mode the controller tracks for each line matches the
+  mode the stored codeword is actually encoded in (inert otherwise).
 """
 
 from __future__ import annotations
@@ -59,12 +62,16 @@ class InvariantContext:
             check (line store, MDT, device, counters).
         smd: the :class:`repro.core.smd.SelectiveMemoryDowngrade` gate,
             or None when the policy runs ungated (SMD checks then skip).
+        memory: the :class:`repro.functional.memory.FunctionalMemory`
+            data plane coupled to the controller, or None when the run
+            is control-plane-only (data-plane checks then skip).
         event: evaluation point label.
         cycle: simulated processor cycle.
     """
 
     controller: object
     smd: object | None = None
+    memory: object | None = None
     event: str = ""
     cycle: int = 0
 
@@ -127,6 +134,11 @@ class RefreshModeCheck(InvariantCheck):
                 f"idle state with a {period:.3f} s refresh period (idle must "
                 "use the divided self-refresh)"
             )
+        if mecc.state is SystemState.ACTIVE and period > BASE_REFRESH_PERIOD_S:
+            problems.append(
+                f"active state with a {period:.3f} s refresh period (wake-up "
+                "must restore the 64 ms auto refresh)"
+            )
         return problems
 
 
@@ -165,9 +177,12 @@ class SmdGatingCheck(InvariantCheck):
         mecc = ctx.controller
         problems = []
         if not smd.enabled:
-            if mecc.downgrades:
+            downgrades = mecc.downgrades - getattr(
+                smd, "downgrades_baseline", 0
+            )
+            if downgrades > 0:
                 problems.append(
-                    f"{mecc.downgrades} downgrade(s) recorded while SMD keeps "
+                    f"{downgrades} downgrade(s) recorded while SMD keeps "
                     "ECC-Downgrade disabled"
                 )
             if mecc.line_store.weak_count:
@@ -182,6 +197,33 @@ class SmdGatingCheck(InvariantCheck):
                 )
         elif smd.enabled_at_cycle is None:
             problems.append("SMD is enabled without a recorded enable cycle")
+        return problems
+
+
+class DataPlaneModeAgreementCheck(InvariantCheck):
+    """Control-plane line modes agree with the stored codeword modes.
+
+    The strongest safety property the chaos harness relies on: if the
+    controller believes a line is strong while the stored word is
+    SECDED-encoded, a 1 s refresh window silently over-decays the line.
+    Skips when no functional memory is coupled to the run.
+    """
+
+    name = "data-plane-mode-agreement"
+
+    def check(self, ctx: InvariantContext) -> list[str]:
+        memory = ctx.memory
+        if memory is None:
+            return []
+        mecc = ctx.controller
+        problems = []
+        for line, stored_mode in sorted(memory.stored_modes().items()):
+            control_mode = mecc.line_store.mode_of(line)
+            if stored_mode is not control_mode:
+                problems.append(
+                    f"line {line} stored as {stored_mode.value} but the "
+                    f"control plane tracks it as {control_mode.value}"
+                )
         return problems
 
 
@@ -215,6 +257,10 @@ class InvariantSuite:
         self.evaluations = 0
         self.violations: list[ViolationRecord] = []
         self.tracer = None
+        #: Optional functional-memory data plane; when set, every
+        #: :meth:`check` call without an explicit ``memory`` sees it
+        #: (lets MeccController call sites stay data-plane-agnostic).
+        self.data_plane = None
 
     def run(self, ctx: InvariantContext) -> list[ViolationRecord]:
         """Run every checker against ``ctx``.
@@ -261,10 +307,17 @@ class InvariantSuite:
         smd=None,
         event: str = "",
         cycle: int = 0,
+        memory=None,
     ) -> list[ViolationRecord]:
         """Convenience wrapper building the context inline."""
         return self.run(
-            InvariantContext(controller=controller, smd=smd, event=event, cycle=cycle)
+            InvariantContext(
+                controller=controller,
+                smd=smd,
+                memory=memory if memory is not None else self.data_plane,
+                event=event,
+                cycle=cycle,
+            )
         )
 
     @property
@@ -289,9 +342,14 @@ def _default_checks() -> list[InvariantCheck]:
         RefreshModeCheck(),
         UpgradeCompletenessCheck(),
         SmdGatingCheck(),
+        DataPlaneModeAgreementCheck(),
     ]
 
 
 def default_invariant_suite(tolerant: bool = False) -> InvariantSuite:
-    """The four-checker suite from the module docstring."""
+    """The five-checker suite from the module docstring.
+
+    The data-plane check is inert unless a functional memory is attached
+    (``suite.data_plane`` or an explicit ``memory`` argument).
+    """
     return InvariantSuite(checks=_default_checks(), tolerant=tolerant)

@@ -184,6 +184,21 @@ class MetricsRegistry:
         for check, count in summary["by_check"].items():
             self.set(f"{namespace}.by_check.{check}", count)
 
+    def record_chaos(self, report, namespace: str = "chaos") -> None:
+        """Merge a chaos-campaign report (:mod:`repro.chaos`).
+
+        Accepts anything exposing ``as_dict()`` with scalar outcome
+        totals plus per-class breakdown dicts.
+        """
+        payload = report.as_dict()
+        for key, value in payload.items():
+            if isinstance(value, Mapping):
+                for inner_key, inner_value in value.items():
+                    if isinstance(inner_value, _SCALAR_TYPES):
+                        self.set(f"{namespace}.{key}.{inner_key}", inner_value)
+            elif value is None or isinstance(value, _SCALAR_TYPES):
+                self.set(f"{namespace}.{key}", value)
+
     # -- export --------------------------------------------------------------
 
     def to_json(self, indent: int | None = 2) -> str:

@@ -60,6 +60,20 @@ class CampaignStats:
         )
         return bad / self.trials
 
+    def as_dict(self) -> dict:
+        """Plain-dict outcome breakdown (metrics export / chaos reports).
+
+        Every outcome class appears, zero-filled, so downstream tables
+        have a stable column set regardless of what a campaign hit.
+        """
+        return {
+            "trials": self.trials,
+            "outcomes": {o.value: self.count(o) for o in InjectionOutcome},
+            "corrected_bits_total": self.corrected_bits_total,
+            "trial_decodes": self.trial_decodes,
+            "silent_corruption_rate": self.silent_corruption_rate,
+        }
+
 
 class FaultInjectionCampaign:
     """Run repeated encode→flip→decode trials against a :class:`LineCodec`.

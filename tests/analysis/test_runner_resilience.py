@@ -1,0 +1,310 @@
+"""Failure-path tests for the resilient experiment runner.
+
+Covers the crash-safety contract: a raising worker, a wall-clock
+timeout, a worker pool dying mid-sweep, checkpoint/resume, and
+corrupt-cache quarantine.  Worker-killing fakes live at module top level
+so they pickle to pool processes, and only ever kill *worker* processes
+(``multiprocessing.parent_process()`` guard).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.analysis import runner as runner_mod
+from repro.analysis.runner import (
+    CACHE_SCHEMA,
+    ExperimentRunner,
+    JobSpec,
+    ResultCache,
+    configure_runner,
+    execute_job,
+)
+from repro.errors import ConfigurationError, JobExecutionError, JobTimeoutError
+from repro.sim.system import ScaledRun, SystemConfig
+from repro.workloads.spec import BENCHMARKS_BY_NAME
+
+RUN = ScaledRun(instructions=20_000)
+POVRAY = BENCHMARKS_BY_NAME["povray"]
+LIBQ = BENCHMARKS_BY_NAME["libq"]
+SPHINX = BENCHMARKS_BY_NAME["sphinx"]
+
+
+def spec_for(policy: str, benchmark=POVRAY) -> JobSpec:
+    return JobSpec.build(benchmark, RUN, policy)
+
+
+@pytest.fixture(autouse=True)
+def _restore_runner():
+    yield
+    configure_runner(jobs=1, cache_dir=None)
+
+
+def _sleep_on_secded(spec):
+    """Pool fake: hang 'secded' jobs long past any test timeout."""
+    if spec.policy == "secded":
+        time.sleep(60)
+    return execute_job(spec)
+
+
+def _die_on_secded(spec):
+    """Pool fake: hard-kill the *worker* on 'secded' jobs; the serial
+    fallback (parent process) computes them normally."""
+    if spec.policy == "secded" and multiprocessing.parent_process() is not None:
+        os._exit(3)
+    return execute_job(spec)
+
+
+def _flaky(spec):
+    """Serial fake: fail each job once, succeed on the retry."""
+    marker = _flaky.dir / f"{spec.policy}.attempted"
+    if not marker.exists():
+        marker.write_text("1")
+        raise RuntimeError("transient failure")
+    return execute_job(spec)
+
+
+class TestValidation:
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner(timeout_s=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner(retries=-1)
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner(retry_backoff_s=-0.1)
+
+    def test_timeout_error_is_an_execution_error(self):
+        assert issubclass(JobTimeoutError, JobExecutionError)
+
+    def test_configure_runner_threads_the_knobs(self, tmp_path):
+        runner = configure_runner(
+            jobs=1,
+            timeout_s=5.0,
+            retries=2,
+            checkpoint_path=tmp_path / "ckpt.json",
+        )
+        assert runner.timeout_s == 5.0
+        assert runner.retries == 2
+        assert runner.checkpoint_path == tmp_path / "ckpt.json"
+
+
+class TestWorkerFailure:
+    def test_raising_job_aggregates_after_healthy_jobs_finish(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = ExperimentRunner(jobs=1, cache=cache)
+        good = spec_for("mecc")
+        bad = spec_for("bogus-policy")
+        with pytest.raises(JobExecutionError) as excinfo:
+            runner.run([good, bad])
+        assert len(excinfo.value.failures) == 1
+        assert "bogus-policy" in str(excinfo.value)
+        # The healthy job completed, was cached, and is resumable.
+        warm = ExperimentRunner(jobs=1, cache=ResultCache(tmp_path))
+        assert warm.run([good])[good].cached
+        statuses = {r.policy: r.status for r in runner.records}
+        assert statuses == {"mecc": "ok", "bogus-policy": "failed"}
+        assert runner.manifest()["totals"]["failed_jobs"] == 1
+
+    def test_retries_recover_transient_failures(self, tmp_path, monkeypatch):
+        _flaky.dir = tmp_path
+        monkeypatch.setattr(runner_mod, "execute_job", _flaky)
+        runner = ExperimentRunner(jobs=1, retries=1, retry_backoff_s=0.0)
+        spec = spec_for("mecc")
+        outcomes = runner.run([spec])
+        assert outcomes[spec].result.instructions >= RUN.instructions
+        assert runner.records[0].status == "ok"
+
+    def test_retries_exhausted_reports_the_last_error(self, tmp_path):
+        runner = ExperimentRunner(jobs=1, retries=2, retry_backoff_s=0.0)
+        with pytest.raises(JobExecutionError) as excinfo:
+            runner.run([spec_for("bogus-policy")])
+        assert "3 attempt(s)" in str(excinfo.value)
+
+
+class TestTimeout:
+    def test_hung_job_times_out_and_pool_is_killed(self, monkeypatch):
+        monkeypatch.setattr(runner_mod, "execute_job", _sleep_on_secded)
+        runner = ExperimentRunner(jobs=2, timeout_s=1.0)
+        fast = spec_for("mecc")
+        hung = spec_for("secded")
+        start = time.perf_counter()
+        with pytest.raises(JobExecutionError) as excinfo:
+            runner.run([fast, hung])
+        assert time.perf_counter() - start < 30
+        assert runner.timeouts == 1
+        assert isinstance(excinfo.value.failures[0][1], JobTimeoutError)
+        statuses = {r.policy: r.status for r in runner.records}
+        assert statuses["secded"] == "timeout"
+        assert statuses["mecc"] == "ok"
+
+
+class TestBrokenPool:
+    def test_dead_worker_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setattr(runner_mod, "execute_job", _die_on_secded)
+        runner = ExperimentRunner(jobs=2)
+        specs = [spec_for("mecc"), spec_for("secded"), spec_for("mecc", LIBQ)]
+        outcomes = runner.run(specs)
+        assert runner.pool_failures >= 1
+        assert runner._pool_broken
+        # Bit-identical to a clean serial run despite the pool death.
+        reference = ExperimentRunner(jobs=1).run(specs)
+        for spec in specs:
+            assert (
+                outcomes[spec].result.to_dict()
+                == reference[spec].result.to_dict()
+            )
+        assert all(r.status == "ok" for r in runner.records)
+        assert runner.manifest()["resilience"]["serial_fallback"] is True
+
+
+class TestCheckpointResume:
+    def specs(self):
+        return [
+            spec_for("mecc"),
+            spec_for("baseline"),
+            spec_for("mecc", LIBQ),
+            spec_for("baseline", SPHINX),
+        ]
+
+    def test_interrupted_sweep_resumes_with_identical_results(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        ckpt = tmp_path / "manifest.json"
+        specs = self.specs()
+
+        # "Interrupted" sweep: only the first two jobs ever ran.
+        first = ExperimentRunner(
+            jobs=1, cache=ResultCache(cache_dir), checkpoint_path=ckpt
+        )
+        first.run(specs[:2])
+        manifest = json.loads(ckpt.read_text())
+        assert len(manifest["jobs"]) == 2
+
+        # Resume: exactly the unfinished jobs execute.
+        resumed = ExperimentRunner(
+            jobs=1, cache=ResultCache(cache_dir), checkpoint_path=ckpt
+        )
+        assert resumed.resume_from(ckpt) == 2
+        outcomes = resumed.run(specs)
+        statuses = [(r.status, r.source) for r in resumed.records]
+        assert statuses.count(("resumed", "cache")) == 2
+        assert statuses.count(("ok", "run")) == 2
+        assert resumed.manifest()["totals"]["resumed_jobs"] == 2
+
+        # And the merged result set matches an uninterrupted sweep.
+        clean = ExperimentRunner(jobs=1).run(specs)
+        for spec in specs:
+            assert (
+                outcomes[spec].result.to_dict() == clean[spec].result.to_dict()
+            )
+
+    def test_checkpoint_is_written_after_every_job(self, tmp_path):
+        ckpt = tmp_path / "manifest.json"
+        runner = ExperimentRunner(jobs=1, checkpoint_path=ckpt)
+        runner.run([spec_for("mecc")])
+        one = json.loads(ckpt.read_text())
+        assert len(one["jobs"]) == 1
+        runner.run([spec_for("baseline")])
+        two = json.loads(ckpt.read_text())
+        assert len(two["jobs"]) == 2
+        assert two["schema"] == CACHE_SCHEMA
+
+    def test_resume_from_garbage_manifest_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{torn")
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner().resume_from(bad)
+        bad.write_text("[1, 2]")
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner().resume_from(bad)
+
+    def test_resume_skips_failed_jobs(self, tmp_path):
+        ckpt = tmp_path / "manifest.json"
+        cache_dir = tmp_path / "cache"
+        first = ExperimentRunner(
+            jobs=1, cache=ResultCache(cache_dir), checkpoint_path=ckpt
+        )
+        with pytest.raises(JobExecutionError):
+            first.run([spec_for("mecc"), spec_for("bogus-policy")])
+        resumed = ExperimentRunner(jobs=1, cache=ResultCache(cache_dir))
+        # Only the successful job counts as complete.
+        assert resumed.resume_from(ckpt) == 1
+
+
+class TestQuarantine:
+    def _single_entry(self, cache_root):
+        entries = [
+            p
+            for p in cache_root.rglob("*.json")
+            if "_quarantine" not in p.parts
+        ]
+        assert len(entries) == 1
+        return entries[0]
+
+    def test_tampered_entry_is_quarantined_and_recomputed(self, tmp_path):
+        spec = spec_for("mecc")
+        cache = ResultCache(tmp_path)
+        original = ExperimentRunner(jobs=1, cache=cache).run([spec])[spec]
+
+        # Hand-corrupt the payload but keep schema/key valid JSON.
+        entry = self._single_entry(tmp_path)
+        payload = json.loads(entry.read_text())
+        payload["result"]["instructions"] = -1
+        entry.write_text(json.dumps(payload))
+
+        fresh_cache = ResultCache(tmp_path)
+        runner = ExperimentRunner(jobs=1, cache=fresh_cache)
+        recomputed = runner.run([spec])[spec]
+        assert not recomputed.cached
+        assert fresh_cache.quarantined == 1
+        assert recomputed.result.to_dict() == original.result.to_dict()
+        quarantined = list((tmp_path / "_quarantine").iterdir())
+        assert [p.name for p in quarantined] == [entry.name]
+        # The recomputed entry replaced the corrupt one and hits again.
+        warm = ExperimentRunner(jobs=1, cache=ResultCache(tmp_path))
+        assert warm.run([spec])[spec].cached
+
+    def test_undecodable_entry_is_quarantined(self, tmp_path):
+        spec = spec_for("mecc")
+        cache = ResultCache(tmp_path)
+        ExperimentRunner(jobs=1, cache=cache).run([spec])
+        entry = self._single_entry(tmp_path)
+        entry.write_text("{not json")
+        fresh = ResultCache(tmp_path)
+        assert fresh.load(spec.key()) is None
+        assert fresh.quarantined == 1
+        assert not entry.exists()
+
+    def test_non_object_entry_is_quarantined(self, tmp_path):
+        spec = spec_for("mecc")
+        ExperimentRunner(jobs=1, cache=ResultCache(tmp_path)).run([spec])
+        entry = self._single_entry(tmp_path)
+        entry.write_text(json.dumps([1, 2, 3]))
+        fresh = ResultCache(tmp_path)
+        assert fresh.load(spec.key()) is None
+        assert fresh.quarantined == 1
+
+    def test_stale_schema_is_a_plain_miss_not_quarantine(self, tmp_path):
+        spec = spec_for("mecc")
+        ExperimentRunner(jobs=1, cache=ResultCache(tmp_path)).run([spec])
+        entry = self._single_entry(tmp_path)
+        payload = json.loads(entry.read_text())
+        payload["schema"] = CACHE_SCHEMA - 1
+        entry.write_text(json.dumps(payload))
+        fresh = ResultCache(tmp_path)
+        assert fresh.load(spec.key()) is None
+        assert fresh.quarantined == 0
+        assert entry.exists()
+
+    def test_stored_entries_carry_a_valid_checksum(self, tmp_path):
+        spec = spec_for("mecc")
+        ExperimentRunner(jobs=1, cache=ResultCache(tmp_path)).run([spec])
+        entry = self._single_entry(tmp_path)
+        payload = json.loads(entry.read_text())
+        body = {k: v for k, v in payload.items() if k != "checksum"}
+        assert payload["checksum"] == runner_mod._payload_checksum(body)

@@ -1,0 +1,226 @@
+"""Chaos-harness tests: determinism, classification, zero-SDC contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    CAMPAIGNS,
+    ChaosCampaign,
+    ChaosOutcome,
+    ChaosParams,
+    ChaosSystem,
+    FAULT_CLASSES,
+    METADATA_CAMPAIGN,
+    OUTCOME_NAMES,
+    ChaosReport,
+    TrialRecord,
+    TrialSnapshot,
+    classify_trial,
+    resolve_classes,
+)
+from repro.errors import ConfigurationError
+
+
+def snapshot(**overrides) -> TrialSnapshot:
+    base = dict(
+        silent_corruptions=0,
+        detected_uncorrectable=0,
+        trial_decodes=0,
+        corrected_bits=0,
+        invariant_violations=0,
+        mode_repairs=0,
+        fallback_scans=0,
+        degradation=(1, 2, 3),
+    )
+    base.update(overrides)
+    return TrialSnapshot(**base)
+
+
+class TestClassifyTrial:
+    def test_identical_snapshots_are_masked(self):
+        ref = snapshot()
+        assert classify_trial(ref, snapshot()) == (ChaosOutcome.MASKED, ())
+
+    def test_silent_corruption_when_data_lost_without_signal(self):
+        outcome, signals = classify_trial(
+            snapshot(), snapshot(silent_corruptions=1)
+        )
+        assert outcome is ChaosOutcome.SILENT_CORRUPTION
+        assert signals == ()
+
+    def test_detected_unrecovered_when_data_lost_with_signal(self):
+        outcome, signals = classify_trial(
+            snapshot(), snapshot(silent_corruptions=1, invariant_violations=2)
+        )
+        assert outcome is ChaosOutcome.DETECTED_UNRECOVERED
+        assert "invariant" in signals
+
+    def test_detected_uncorrectable_is_unrecovered_even_alone(self):
+        outcome, signals = classify_trial(
+            snapshot(), snapshot(detected_uncorrectable=3)
+        )
+        assert outcome is ChaosOutcome.DETECTED_UNRECOVERED
+        assert signals == ("detected-uncorrectable",)
+
+    def test_detected_recovered_signals(self):
+        cases = {
+            "invariant": snapshot(invariant_violations=1),
+            "scrub-repair": snapshot(mode_repairs=1),
+            "fallback-scan": snapshot(fallback_scans=1),
+            "trial-decode": snapshot(trial_decodes=1),
+        }
+        for signal, faulted in cases.items():
+            outcome, signals = classify_trial(snapshot(), faulted)
+            assert outcome is ChaosOutcome.DETECTED_RECOVERED
+            assert signals == (signal,)
+
+    def test_silent_degradation_on_signature_difference(self):
+        outcome, signals = classify_trial(
+            snapshot(), snapshot(degradation=(9, 9, 9))
+        )
+        assert outcome is ChaosOutcome.SILENT_DEGRADATION
+        assert signals == ()
+
+    def test_baseline_decay_in_both_worlds_does_not_classify(self):
+        # Identical nonzero noise in reference and faulted must be masked.
+        ref = snapshot(corrected_bits=7, invariant_violations=2)
+        faulted = snapshot(corrected_bits=7, invariant_violations=2)
+        assert classify_trial(ref, faulted)[0] is ChaosOutcome.MASKED
+
+
+class TestFaultClassRegistry:
+    def test_metadata_campaign_excludes_majority_replica_flip(self):
+        assert "mode-replica-majority" not in METADATA_CAMPAIGN
+        assert "mode-replica-majority" in FAULT_CLASSES
+
+    def test_all_campaign_covers_every_class(self):
+        assert CAMPAIGNS["all"] == tuple(sorted(FAULT_CLASSES))
+
+    def test_resolve_classes_validates(self):
+        with pytest.raises(ConfigurationError):
+            resolve_classes(["no-such-fault"])
+        with pytest.raises(ConfigurationError):
+            resolve_classes([])
+        classes = resolve_classes(["mdt-false-set", "smd-counter"])
+        assert [fc.name for fc in classes] == ["mdt-false-set", "smd-counter"]
+
+    def test_every_class_targets_a_known_point(self):
+        from repro.chaos import INJECTION_POINTS
+
+        for fault in FAULT_CLASSES.values():
+            assert fault.point in INJECTION_POINTS
+
+
+class TestChaosSystem:
+    def test_reference_runs_are_bit_identical(self):
+        first = ChaosSystem(seed=3).run(None)
+        second = ChaosSystem(seed=3).run(None)
+        assert first == second
+
+    def test_different_seeds_pick_different_worlds(self):
+        a = ChaosSystem(seed=1)
+        b = ChaosSystem(seed=2)
+        assert a.working_lines != b.working_lines or a._data != b._data
+
+    def test_unknown_injection_point_rejected(self):
+        class BadInjector:
+            point = "nowhere"
+
+            def inject(self, system, rng):
+                pass
+
+        with pytest.raises(ConfigurationError):
+            ChaosSystem(seed=0).run(BadInjector())
+
+    def test_params_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChaosParams(burst1_lines=16)  # must leave strong lines behind
+        with pytest.raises(ConfigurationError):
+            ChaosParams(regions_used=0)
+        with pytest.raises(ConfigurationError):
+            ChaosParams(idle_s=0.0)
+
+
+class TestChaosCampaign:
+    def test_campaign_is_deterministic(self):
+        first = ChaosCampaign(trials=11, seed=5).run()
+        second = ChaosCampaign(trials=11, seed=5).run()
+        assert first.render_table() == second.render_table()
+        assert first.as_dict() == second.as_dict()
+        assert first.records == second.records
+
+    def test_metadata_campaign_has_zero_silent_corruption(self):
+        report = ChaosCampaign(trials=20, seed=0).run()
+        assert report.silent_corruption_count == 0
+        assert report.campaign == "metadata"
+        # Every injected fault must leave *some* trace: nothing masked.
+        assert report.outcome_totals()["masked"] == 0
+
+    def test_mitigations_recover_the_lossy_direction(self):
+        classes = resolve_classes(["mdt-false-clear", "mode-false-strong"])
+        report = ChaosCampaign(
+            classes=classes, trials=6, seed=2, scrub=True, conservative=True
+        ).run()
+        totals = report.outcome_totals()
+        assert totals["silent-corruption"] == 0
+        assert totals["detected-recovered"] == 6
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChaosCampaign(trials=0)
+
+    def test_custom_class_subset_is_named_custom(self):
+        campaign = ChaosCampaign(
+            classes=resolve_classes(["mdt-false-set"]), trials=1
+        )
+        assert campaign._campaign_name() == "custom"
+
+
+class TestChaosReport:
+    def sample(self) -> ChaosReport:
+        return ChaosReport(
+            campaign="metadata",
+            trials=3,
+            seed=0,
+            scrub=True,
+            conservative=True,
+            records=[
+                TrialRecord("mdt-false-set", 0, 0, "masked"),
+                TrialRecord("mdt-false-clear", 1, 1, "detected-recovered",
+                            ("invariant",)),
+                TrialRecord("smd-counter", 2, 2, "silent-degradation"),
+            ],
+        )
+
+    def test_outcome_totals_are_zero_filled(self):
+        totals = self.sample().outcome_totals()
+        assert tuple(totals) == OUTCOME_NAMES
+        assert totals["masked"] == 1
+        assert totals["silent-corruption"] == 0
+
+    def test_detection_rate(self):
+        assert self.sample().detection_rate == pytest.approx(1 / 3)
+        assert ChaosReport("x", 0, 0, True, True).detection_rate == 0.0
+
+    def test_as_dict_shape(self):
+        payload = self.sample().as_dict()
+        assert payload["silent_corruptions"] == 0
+        assert payload["trials"] == 3
+        assert set(payload["outcomes"]) == set(OUTCOME_NAMES)
+
+    def test_render_table_lists_classes_sorted(self):
+        table = self.sample().render_table()
+        assert "mdt-false-clear" in table
+        assert table.index("mdt-false-clear") < table.index("mdt-false-set")
+        assert table.index("mdt-false-set") < table.index("smd-counter")
+        assert "silent corruptions: 0" in table
+
+    def test_metrics_export(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.record_chaos(self.sample())
+        snapshot_dict = registry.snapshot()
+        assert snapshot_dict["chaos.silent_corruptions"] == 0
+        assert snapshot_dict["chaos.outcomes.masked"] == 1

@@ -103,3 +103,49 @@ class TestScrubPass:
             scrubber.run_for(1.0, 0.0)
         with pytest.raises(ConfigurationError):
             scrubber.average_power_w(0.0)
+
+
+class TestModeRepair:
+    def quiet_memory(self):
+        """No retention, no soft errors: only injected damage exists."""
+        faults = FaultProcess(
+            retention=RetentionModel(anchor_ber=1e-30),
+            soft_errors=SoftErrorModel(rate_per_bit_s=0.0),
+            seed=0,
+        )
+        return FunctionalMemory(faults=faults)
+
+    def test_repairs_weak_stored_line_to_strong(self, rng):
+        memory = self.quiet_memory()
+        data = {line: rng.getrandbits(512) for line in range(6)}
+        for line, value in data.items():
+            memory.write(line * 64, value, EccMode.STRONG)
+        memory.rewrite_mode(3 * 64, EccMode.WEAK)  # the metadata fault
+        repaired = []
+        scrubber = PatrolScrubber(memory, expected_mode=EccMode.STRONG)
+        scrubber.on_mode_repair = lambda line, found: repaired.append(
+            (line, found)
+        )
+        report = scrubber.scrub_pass()
+        assert report.mode_repairs == 1
+        assert scrubber.mode_repairs == 1
+        assert repaired == [(3, EccMode.WEAK)]
+        assert memory.mode_of(3 * 64) is EccMode.STRONG
+        assert memory.read(3 * 64) == data[3]
+        # A second pass finds nothing left to repair.
+        assert scrubber.scrub_pass().mode_repairs == 0
+
+    def test_repairs_toward_weak_when_expected(self, rng):
+        memory = self.quiet_memory()
+        memory.write(0, rng.getrandbits(512), EccMode.STRONG)
+        memory.write(64, rng.getrandbits(512), EccMode.WEAK)
+        scrubber = PatrolScrubber(memory, expected_mode=EccMode.WEAK)
+        assert scrubber.scrub_pass().mode_repairs == 1
+        assert memory.mode_of(0) is EccMode.WEAK
+
+    def test_no_expected_mode_means_no_repairs(self, rng):
+        memory = self.quiet_memory()
+        memory.write(0, rng.getrandbits(512), EccMode.WEAK)
+        scrubber = PatrolScrubber(memory)
+        assert scrubber.scrub_pass().mode_repairs == 0
+        assert memory.mode_of(0) is EccMode.WEAK

@@ -193,3 +193,63 @@ class TestSuiteBehavior:
                 policy.controller.enter_idle()
                 assert suite.violation_count == 0
                 assert suite.evaluations > 0
+
+
+class TestDataPlaneModeAgreement:
+    def coupled_world(self):
+        from repro.functional.faults import FaultProcess, SoftErrorModel
+        from repro.functional.memory import FunctionalMemory
+        from repro.obs import DataPlaneModeAgreementCheck
+        from repro.reliability.retention import RetentionModel
+
+        controller = MeccController()
+        controller.wake()
+        faults = FaultProcess(
+            retention=RetentionModel(anchor_ber=1e-30),
+            soft_errors=SoftErrorModel(rate_per_bit_s=0.0),
+            seed=0,
+        )
+        memory = FunctionalMemory(faults=faults)
+        return controller, memory, DataPlaneModeAgreementCheck()
+
+    def run_with_memory(self, check, controller, memory):
+        return check.check(
+            InvariantContext(controller=controller, memory=memory)
+        )
+
+    def test_skips_without_a_data_plane(self, mecc):
+        from repro.obs import DataPlaneModeAgreementCheck
+
+        assert run_check(DataPlaneModeAgreementCheck(), mecc) == []
+
+    def test_agreeing_planes_pass(self):
+        from repro.types import EccMode
+
+        controller, memory, check = self.coupled_world()
+        memory.write(0, 0xABC, EccMode.STRONG)
+        assert self.run_with_memory(check, controller, memory) == []
+
+    def test_mismatch_fires_with_the_line_named(self):
+        from repro.types import EccMode
+
+        controller, memory, check = self.coupled_world()
+        memory.write(0, 0xABC, EccMode.STRONG)
+        memory.rewrite_mode(0, EccMode.WEAK)  # data plane diverges
+        problems = self.run_with_memory(check, controller, memory)
+        assert len(problems) == 1
+        assert "line 0" in problems[0]
+
+    def test_suite_data_plane_attribute_couples_the_check(self):
+        from repro.types import EccMode
+
+        controller, memory, _ = self.coupled_world()
+        suite = default_invariant_suite(tolerant=True)
+        suite.data_plane = memory
+        memory.write(0, 0xABC, EccMode.STRONG)
+        suite.check(controller)
+        assert suite.violation_count == 0
+        memory.rewrite_mode(0, EccMode.WEAK)
+        suite.check(controller)
+        assert any(
+            r.check == "data-plane-mode-agreement" for r in suite.violations
+        )

@@ -193,3 +193,55 @@ class TestCsvExport:
         assert main(["csv", "-o", str(tmp_path), "--instructions", "20000"]) == 0
         assert (tmp_path / "table1.csv").exists()
         assert (tmp_path / "fig7.csv").exists()
+
+
+class TestChaosCli:
+    def test_chaos_runs_and_reports_zero_silent(self, capsys):
+        assert main(["chaos", "--trials", "5", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos campaign 'metadata'" in out
+        assert "silent corruptions: 0" in out
+
+    def test_chaos_is_deterministic(self, capsys):
+        assert main(["chaos", "--trials", "4", "--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(["chaos", "--trials", "4", "--seed", "7"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_chaos_custom_class_list(self, capsys):
+        code = main(
+            ["chaos", "--campaign", "mdt-false-set,smd-counter", "--trials", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos campaign 'custom'" in out
+
+    def test_chaos_unknown_class_fails_cleanly(self, capsys):
+        assert main(["chaos", "--campaign", "not-a-fault"]) == 2
+        assert "unknown fault class" in capsys.readouterr().err
+
+    def test_chaos_metrics_out(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "chaos.json"
+        code = main(
+            ["chaos", "--trials", "3", "--metrics-out", str(path)]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["chaos.silent_corruptions"] == 0
+
+    def test_resilience_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "fig7",
+                "--timeout", "3.5",
+                "--retries", "2",
+                "--checkpoint", "ckpt.json",
+                "--resume", "ckpt.json",
+            ]
+        )
+        assert args.timeout == 3.5
+        assert args.retries == 2
+        assert args.checkpoint == "ckpt.json"
+        assert args.resume == "ckpt.json"
