@@ -25,7 +25,12 @@ import os
 import pytest
 
 from repro.analysis.runner import configure_runner
+from repro.fidelity.properties import install_hypothesis_profiles
 from repro.sim.system import ScaledRun
+
+# Benchmarks share the suite-wide seed-pinned hypothesis profiles so a
+# bench that uses property-based assertions reproduces deterministically.
+install_hypothesis_profiles()
 
 BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "400000"))
 BENCH_JOBS = max(1, int(os.environ.get("REPRO_JOBS", "1") or "1"))

@@ -34,14 +34,21 @@ class ValidationResult:
             return abs(self.empirical)
         return abs(self.empirical - self.analytic) / self.analytic
 
-    def agrees(self, tolerance: float) -> bool:
-        """Within tolerance, or within 4-sigma counting noise."""
+    def agrees(self, tolerance: float, sigmas: float = 4.0) -> bool:
+        """Within tolerance, or within ``sigmas``-sigma counting noise.
+
+        ``sigmas=0`` disables the noise fallback, so a deliberately
+        impossible tolerance is guaranteed to disagree — the CLI's
+        ``--sigma 0`` uses this to audit its own failure path.
+        """
         import math
 
         if self.relative_error <= tolerance:
             return True
+        if sigmas <= 0:
+            return False
         expected = self.analytic * self.trials
-        noise = 4.0 * math.sqrt(max(expected, 1.0)) / self.trials
+        noise = sigmas * math.sqrt(max(expected, 1.0)) / self.trials
         return abs(self.empirical - self.analytic) <= noise
 
 
@@ -125,10 +132,12 @@ def validate_refresh_linearity(
     )
 
 
-def run_all_validations() -> list[ValidationResult]:
-    """The full cross-check battery (used by the validation bench)."""
+def run_all_validations(
+    trials: int = 40_000, samples: int = 50_000
+) -> list[ValidationResult]:
+    """The full cross-check battery (validation bench + ``repro validate``)."""
     return [
-        validate_line_failure(),
-        validate_retention_inverse(),
+        validate_line_failure(trials=trials),
+        validate_retention_inverse(samples=samples),
         validate_refresh_linearity(),
     ]

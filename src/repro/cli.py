@@ -265,11 +265,15 @@ def build_parser() -> argparse.ArgumentParser:
             "trace-sim",
             "fault-inject",
             "chaos",
+            "fidelity",
+            "validate",
         ],
         help="exhibit to regenerate ('list' to enumerate, 'all' for everything, "
         "'report' for a markdown report via --output), a trace tool "
         "(trace-gen / trace-sim), a codec fault-injection campaign "
-        "(fault-inject), or a control-plane chaos campaign (chaos)",
+        "(fault-inject), a control-plane chaos campaign (chaos), the "
+        "paper-claim conformance gate (fidelity), or the analytic-vs-"
+        "Monte-Carlo cross-checks (validate)",
     )
     parser.add_argument(
         "--instructions",
@@ -314,8 +318,9 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: sample at the paper's 1 s BER instead)",
     )
     parser.add_argument(
-        "--trials", type=int, default=200,
-        help="trial count for fault-inject and chaos",
+        "--trials", type=int, default=None,
+        help="trial count for fault-inject and chaos (default 200) or "
+        "Monte-Carlo samples for validate (default 40000)",
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="RNG seed for fault-inject and chaos"
@@ -408,6 +413,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a unified metrics snapshot (sim/dram/ecc/runner/obs "
         "namespaces, see repro.obs.metrics) as JSON to PATH",
     )
+    parser.add_argument(
+        "--claims",
+        default=None,
+        metavar="ID,ID,...",
+        help="fidelity: evaluate only these claim IDs "
+        "(see 'repro fidelity --list-claims')",
+    )
+    parser.add_argument(
+        "--claim-set",
+        default="full",
+        choices=("reduced", "full"),
+        help="fidelity: named claim set — 'reduced' is the analytic-only "
+        "CI merge gate, 'full' adds the simulation-backed claims",
+    )
+    parser.add_argument(
+        "--list-claims",
+        action="store_true",
+        help="fidelity: list the registered paper claims and exit",
+    )
+    parser.add_argument(
+        "--report-json",
+        default=None,
+        metavar="PATH",
+        help="fidelity: write the conformance report (per-claim measured "
+        "value, relative error, verdict) as JSON to PATH",
+    )
+    parser.add_argument(
+        "--golden",
+        default=None,
+        metavar="PATH",
+        help="fidelity: compare the golden-figure fixture at PATH against "
+        "a fresh computation (default fixture: "
+        "tests/fidelity/golden_figures.json with --update-golden)",
+    )
+    parser.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="fidelity: regenerate the golden-figure fixture (at --golden "
+        "PATH, or the checked-in default) instead of comparing",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="validate: relative-error tolerance for agreement (default 0.05)",
+    )
+    parser.add_argument(
+        "--sigma",
+        type=float,
+        default=4.0,
+        help="validate: counting-noise fallback width in sigmas; 0 disables "
+        "the fallback so only --tolerance decides (default 4.0)",
+    )
     return parser
 
 
@@ -496,18 +554,19 @@ def _fault_inject(args) -> int:
     from repro.types import EccMode
 
     mode = EccMode.STRONG if args.mode == "strong" else EccMode.WEAK
+    trials = args.trials if args.trials is not None else 200
     campaign = FaultInjectionCampaign(seed=args.seed)
     if args.errors is not None:
-        stats = campaign.run_fixed_errors(mode, args.errors, args.trials)
+        stats = campaign.run_fixed_errors(mode, args.errors, trials)
         what = f"{args.errors} fixed errors"
     else:
-        stats = campaign.run_ber(mode, BER_AT_1S, args.trials)
+        stats = campaign.run_ber(mode, BER_AT_1S, trials)
         what = f"BER {BER_AT_1S:.2e} (the paper's 1 s operating point)"
     print(format_table(
         ["outcome", "count"],
         sorted(((k.value, v) for k, v in stats.outcomes.items())),
         title=(
-            f"fault-inject: {args.trials} trials, {args.mode} mode, {what}; "
+            f"fault-inject: {trials} trials, {args.mode} mode, {what}; "
             f"silent-corruption rate {stats.silent_corruption_rate:.4f}"
         ),
     ))
@@ -525,7 +584,7 @@ def _chaos(args) -> int:
         classes = resolve_classes(names)
         campaign = ChaosCampaign(
             classes=classes,
-            trials=args.trials,
+            trials=args.trials if args.trials is not None else 200,
             seed=args.seed,
             scrub=not args.no_scrub,
             conservative=not args.no_fallback,
@@ -543,6 +602,104 @@ def _chaos(args) -> int:
         registry.write_json(args.metrics_out)
         print(f"wrote {len(registry)} metrics to {args.metrics_out}")
     return 0
+
+
+def _validate(args) -> int:
+    """Run the analytic-vs-Monte-Carlo cross-checks; nonzero on disagreement."""
+    from repro.analysis.validation import run_all_validations
+
+    trials = args.trials if args.trials is not None else 40_000
+    samples = args.trials if args.trials is not None else 50_000
+    results = run_all_validations(trials=trials, samples=samples)
+    failed = []
+    rows = []
+    for result in results:
+        ok = result.agrees(args.tolerance, sigmas=args.sigma)
+        rows.append([
+            result.what, result.analytic, result.empirical,
+            result.relative_error, "PASS" if ok else "FAIL",
+        ])
+        if not ok:
+            failed.append(result.what)
+    print(format_table(
+        ["check", "analytic", "empirical", "rel err", "verdict"],
+        rows,
+        title=(
+            f"model validation (tolerance {args.tolerance:g}, "
+            f"sigma {args.sigma:g})"
+        ),
+    ))
+    for what in failed:
+        print(f"DISAGREEMENT: {what}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _fidelity(args, runner) -> int:
+    """Evaluate registered paper claims; nonzero when any band is exceeded."""
+    import json as _json
+
+    from repro.errors import ConfigurationError
+    from repro.fidelity import (
+        CLAIMS,
+        FidelityContext,
+        check_golden_file,
+        claims_in_set,
+        default_golden_path,
+        evaluate_claims,
+        resolve_claims,
+        write_golden,
+    )
+
+    if args.list_claims:
+        print(format_table(
+            ["id", "kind", "source", "expected", "band"],
+            [[c.id, c.kind, c.source, c.expected, f"[{c.low:g}, {c.high:g}]"]
+             for c in CLAIMS.values()],
+            title=f"registered paper claims ({len(CLAIMS)})",
+        ))
+        return 0
+    try:
+        if args.claims:
+            ids = [part.strip() for part in args.claims.split(",") if part.strip()]
+            claims = resolve_claims(ids)
+        else:
+            claims = claims_in_set(args.claim_set)
+    except ConfigurationError as exc:
+        print(f"fidelity: {exc}", file=sys.stderr)
+        return 2
+    context = FidelityContext(run=ScaledRun(instructions=args.instructions))
+    report = evaluate_claims([c.id for c in claims], context)
+    print(report.render_table())
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as stream:
+            _json.dump(report.as_dict(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote conformance report to {args.report_json}")
+    golden_ok = True
+    if args.update_golden:
+        path = args.golden or str(default_golden_path())
+        write_golden(path)
+        print(f"wrote golden figures to {path}")
+    elif args.golden:
+        mismatches = check_golden_file(args.golden)
+        if mismatches:
+            golden_ok = False
+            for mismatch in mismatches:
+                print(f"GOLDEN MISMATCH {mismatch}", file=sys.stderr)
+        else:
+            print(f"golden figures match {args.golden}")
+    if args.manifest:
+        runner.write_manifest(args.manifest)
+        print(f"wrote run manifest to {args.manifest}")
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.record_fidelity(report)
+        registry.record_runner(runner)
+        registry.write_json(args.metrics_out)
+        print(f"wrote {len(registry)} metrics to {args.metrics_out}")
+    return 0 if report.passed and golden_ok else 1
 
 
 def _configure_runner(args):
@@ -618,7 +775,11 @@ def main(argv: list[str] | None = None) -> int:
         return _fault_inject(args)
     if args.exhibit == "chaos":
         return _chaos(args)
+    if args.exhibit == "validate":
+        return _validate(args)
     runner = _configure_runner(args)
+    if args.exhibit == "fidelity":
+        return _fidelity(args, runner)
     if args.exhibit == "csv":
         from repro.analysis.export import export_all
 

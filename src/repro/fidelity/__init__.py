@@ -1,0 +1,62 @@
+"""Paper-fidelity conformance gate.
+
+Ties the reproduction to the paper's numbers: a machine-readable claims
+registry (:mod:`repro.fidelity.claims`), a conformance engine that
+measures every claim and reports per-claim relative error
+(:mod:`repro.fidelity.engine`), golden-figure regression fixtures
+(:mod:`repro.fidelity.golden`), and the hypothesis profiles plus
+metamorphic drivers behind the property suites
+(:mod:`repro.fidelity.properties`).  Exposed on the CLI as
+``repro fidelity``.
+"""
+
+from repro.fidelity.claims import (
+    CLAIM_SETS,
+    CLAIMS,
+    Claim,
+    FidelityContext,
+    claims_in_set,
+    claims_payload,
+    packaged_claims_path,
+    resolve_claims,
+    write_claims_json,
+)
+from repro.fidelity.engine import (
+    ClaimResult,
+    ConformanceReport,
+    evaluate_claim,
+    evaluate_claims,
+)
+from repro.fidelity.golden import (
+    check_golden_file,
+    compare_golden,
+    compute_golden_figures,
+    default_golden_path,
+    load_golden,
+    write_golden,
+)
+from repro.fidelity.properties import (
+    install_hypothesis_profiles,
+)
+
+__all__ = [
+    "CLAIMS",
+    "CLAIM_SETS",
+    "Claim",
+    "ClaimResult",
+    "ConformanceReport",
+    "FidelityContext",
+    "check_golden_file",
+    "claims_in_set",
+    "claims_payload",
+    "compare_golden",
+    "compute_golden_figures",
+    "default_golden_path",
+    "evaluate_claim",
+    "evaluate_claims",
+    "install_hypothesis_profiles",
+    "load_golden",
+    "packaged_claims_path",
+    "resolve_claims",
+    "write_claims_json",
+]

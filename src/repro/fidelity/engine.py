@@ -1,0 +1,167 @@
+"""Conformance engine: evaluate registered paper claims and report.
+
+The engine walks the claims registry (:mod:`repro.fidelity.claims`),
+measures every claim through its evaluator, and folds the results into a
+:class:`ConformanceReport` with per-claim relative error.  Simulation
+claims batch through the shared :class:`~repro.fidelity.claims.FidelityContext`
+warm-up, so evaluating the full set costs one parallel fan-out through
+the experiment runner, not one serial simulation per claim.
+
+An evaluator that raises does not abort the pass: the exception is
+captured on that claim's :class:`ClaimResult` (an errored claim counts
+as a violation) and the remaining claims still run, so one broken layer
+produces a complete report instead of a stack trace.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import format_table
+from repro.fidelity.claims import (
+    CLAIMS,
+    EVALUATORS,
+    Claim,
+    FidelityContext,
+    resolve_claims,
+)
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """Outcome of evaluating one claim."""
+
+    claim: Claim
+    measured: float | None
+    error: str | None = None
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.error is None
+            and self.measured is not None
+            and self.claim.band_contains(self.measured)
+        )
+
+    @property
+    def relative_error(self) -> float | None:
+        if self.measured is None:
+            return None
+        return self.claim.relative_error(self.measured)
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.claim.id,
+            "source": self.claim.source,
+            "kind": self.claim.kind,
+            "expected": self.claim.expected,
+            "band": [self.claim.low, self.claim.high],
+            "unit": self.claim.unit,
+            "measured": self.measured,
+            "relative_error": self.relative_error,
+            "passed": self.passed,
+            "error": self.error,
+        }
+
+
+@dataclass
+class ConformanceReport:
+    """Pass/fail verdict over one conformance evaluation pass."""
+
+    results: list[ClaimResult]
+    wall_s: float = 0.0
+    instructions: int = 0
+    labels: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.results) and all(r.passed for r in self.results)
+
+    @property
+    def violations(self) -> list[ClaimResult]:
+        return [r for r in self.results if not r.passed]
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": 1,
+            "passed": self.passed,
+            "evaluated": len(self.results),
+            "failed": len(self.violations),
+            "violated_ids": [r.claim.id for r in self.violations],
+            "wall_s": self.wall_s,
+            "instructions": self.instructions,
+            "claims": [r.as_dict() for r in self.results],
+        }
+
+    def render_table(self) -> str:
+        rows = []
+        for r in self.results:
+            rows.append([
+                r.claim.id,
+                r.claim.source,
+                r.claim.expected,
+                f"[{r.claim.low:g}, {r.claim.high:g}]",
+                "error" if r.measured is None else r.measured,
+                "-" if r.relative_error is None else f"{r.relative_error:.2%}",
+                "PASS" if r.passed else "FAIL",
+            ])
+        table = format_table(
+            ["claim", "source", "expected", "band", "measured", "rel err", "verdict"],
+            rows,
+            title=f"Paper-fidelity conformance ({len(self.results)} claims)",
+        )
+        lines = [table]
+        for r in self.violations:
+            detail = r.error or (
+                f"measured {r.measured:g} outside [{r.claim.low:g}, {r.claim.high:g}]"
+            )
+            lines.append(f"VIOLATION {r.claim.id}: {detail}")
+        verdict = "PASS" if self.passed else "FAIL"
+        lines.append(
+            f"verdict: {verdict} "
+            f"({len(self.results) - len(self.violations)}/{len(self.results)} claims "
+            f"in band, {self.wall_s:.2f}s)"
+        )
+        return "\n".join(lines)
+
+
+def evaluate_claims(
+    ids: list[str] | None = None,
+    context: FidelityContext | None = None,
+) -> ConformanceReport:
+    """Evaluate claims (all by default) and return a report.
+
+    ``ids`` selects a subset by claim ID; unknown IDs raise
+    :class:`~repro.errors.ConfigurationError`.  Evaluation is
+    deterministic — every underlying model and simulation is
+    seed-pinned — so two passes over the same code produce identical
+    reports.
+    """
+    context = context or FidelityContext()
+    claims = resolve_claims(ids)
+    start = time.perf_counter()
+    context.warmup(claims)
+    results = []
+    for claim in claims:
+        try:
+            measured = float(EVALUATORS[claim.id](context))
+            results.append(ClaimResult(claim, measured))
+        except Exception as exc:  # one broken layer must not hide the rest
+            results.append(
+                ClaimResult(claim, None, error=f"{type(exc).__name__}: {exc}")
+            )
+    return ConformanceReport(
+        results=results,
+        wall_s=time.perf_counter() - start,
+        instructions=context.run.instructions,
+    )
+
+
+def evaluate_claim(claim_id: str, context: FidelityContext | None = None) -> ClaimResult:
+    """Evaluate a single claim by ID."""
+    if claim_id not in CLAIMS:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(f"unknown claim id {claim_id!r}")
+    return evaluate_claims([claim_id], context).results[0]

@@ -1,0 +1,213 @@
+"""Golden-figure regression fixtures.
+
+``compute_golden_figures`` snapshots the numeric content of the paper's
+key exhibits — Table I, the Fig. 2 retention curve, the Fig. 8 idle
+power split, the MDT latency model, the related-work comparison rates,
+and a two-benchmark simulation slice — as one JSON-able payload.  The
+checked-in fixture (``tests/fidelity/golden_figures.json``) is compared
+against a fresh computation on every test run; any drift names the exact
+figure path that moved.  Regenerate deliberately with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/fidelity/test_golden_figures.py
+
+Floats are rounded to 12 significant digits before storage and compared
+with a relative tolerance, so a last-ulp libm difference across
+platforms does not trip the gate while any real model change does.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+#: Significant digits kept in the stored fixture.
+GOLDEN_SIG_DIGITS = 12
+
+#: Relative tolerance used when comparing stored vs recomputed values.
+GOLDEN_RTOL = 1e-9
+
+#: Instruction count for the simulation slice — small enough that the
+#: golden check costs well under a second, long enough to exercise the
+#: full policy stack.
+GOLDEN_SIM_INSTRUCTIONS = 30_000
+
+#: Benchmarks in the simulation slice: the lightest and the most
+#: memory-bound corner of the suite.
+GOLDEN_SIM_BENCHMARKS = ("povray", "libq")
+
+
+def compute_golden_figures(sim_instructions: int = GOLDEN_SIM_INSTRUCTIONS) -> dict:
+    """Recompute the golden payload from the current code."""
+    from repro.analysis.experiments import fig8_idle_power, run_policy_suites
+    from repro.baselines import FlikkerModel, RaidrModel, SecretModel, VrtModel
+    from repro.core.mdt import MemoryDowngradeTracker
+    from repro.dram.device import DramDevice
+    from repro.reliability.failure import DEFAULT_BER, line_failure_probability
+    from repro.reliability.retention import RetentionModel
+    from repro.sim.system import ScaledRun
+    from repro.workloads.spec import ALL_BENCHMARKS
+
+    retention = RetentionModel()
+    device = DramDevice()
+    raidr = RaidrModel(rows=8192, seed=5)
+    vrt = VrtModel(seed=9)
+
+    specs = {b.name: b for b in ALL_BENCHMARKS}
+    missing = [n for n in GOLDEN_SIM_BENCHMARKS if n not in specs]
+    if missing:
+        raise ConfigurationError(f"unknown golden benchmarks: {missing}")
+    run = ScaledRun(instructions=sim_instructions)
+    suites = run_policy_suites(
+        tuple(specs[n] for n in GOLDEN_SIM_BENCHMARKS),
+        run,
+        policies=("baseline", "mecc"),
+    )
+
+    payload = {
+        "schema": 1,
+        "table1_line_failure": {
+            str(t): line_failure_probability(DEFAULT_BER, t, 576)
+            for t in range(1, 7)
+        },
+        "fig2_retention_ber": {
+            f"{period:g}": retention.ber_at_refresh_period(period)
+            for period in (0.064, 0.128, 0.256, 0.512, 1.0)
+        },
+        "fig8_idle_power": fig8_idle_power(),
+        "mdt": {
+            "storage_bytes": MemoryDowngradeTracker().storage_bytes,
+            "full_upgrade_ms": 1000.0 * device.full_upgrade_seconds(),
+            "upgrade_128_regions_ms": 1000.0
+            * device.upgrade_seconds_for_regions(128, 1 << 20),
+        },
+        "related_work": {
+            "flikker_quarter_critical_rate": FlikkerModel(
+                critical_fraction=0.25
+            ).effective_refresh_rate,
+            "raidr_rate": raidr.refresh_rate_relative(),
+            "raidr_safe_combined_rate": raidr.safe_combined_rate(1.024),
+            "secret_rate": SecretModel(
+                target_period_s=1.024
+            ).refresh_rate_relative,
+            "vrt_mecc_uncorrectable_lines": vrt.mecc_exposure(
+                1e-7
+            ).uncorrectable_lines,
+        },
+        "sim_slice": {
+            "instructions": sim_instructions,
+            "results": {
+                name: {
+                    policy: {
+                        "ipc": suites[name][policy].ipc,
+                        "avg_read_latency": suites[name][policy].avg_read_latency,
+                    }
+                    for policy in ("baseline", "mecc")
+                }
+                for name in GOLDEN_SIM_BENCHMARKS
+            },
+        },
+    }
+    return _round_floats(payload)
+
+
+def compare_golden(actual, expected, rtol: float = GOLDEN_RTOL, path: str = "") -> list[str]:
+    """Structural diff of two golden payloads; empty list means match.
+
+    Each mismatch is rendered as ``path: detail`` so a regression names
+    the exact figure value that drifted.
+    """
+    mismatches: list[str] = []
+    if isinstance(expected, dict) or isinstance(actual, dict):
+        if not (isinstance(expected, dict) and isinstance(actual, dict)):
+            mismatches.append(f"{path or '<root>'}: type mismatch")
+            return mismatches
+        for key in sorted(expected.keys() - actual.keys()):
+            mismatches.append(f"{_join(path, key)}: missing from actual")
+        for key in sorted(actual.keys() - expected.keys()):
+            mismatches.append(f"{_join(path, key)}: unexpected new key")
+        for key in sorted(expected.keys() & actual.keys()):
+            mismatches.extend(
+                compare_golden(actual[key], expected[key], rtol, _join(path, key))
+            )
+        return mismatches
+    if isinstance(expected, list) or isinstance(actual, list):
+        if not (isinstance(expected, list) and isinstance(actual, list)):
+            mismatches.append(f"{path or '<root>'}: type mismatch")
+        elif len(expected) != len(actual):
+            mismatches.append(
+                f"{path}: length {len(actual)} != expected {len(expected)}"
+            )
+        else:
+            for i, (a, e) in enumerate(zip(actual, expected)):
+                mismatches.extend(compare_golden(a, e, rtol, f"{path}[{i}]"))
+        return mismatches
+    if isinstance(expected, bool) or isinstance(actual, bool):
+        if expected != actual:
+            mismatches.append(f"{path}: {actual!r} != expected {expected!r}")
+        return mismatches
+    if isinstance(expected, (int, float)) and isinstance(actual, (int, float)):
+        if not math.isclose(actual, expected, rel_tol=rtol, abs_tol=1e-300):
+            mismatches.append(f"{path}: {actual!r} != expected {expected!r}")
+        return mismatches
+    if expected != actual:
+        mismatches.append(f"{path}: {actual!r} != expected {expected!r}")
+    return mismatches
+
+
+def write_golden(path: str | Path, payload: dict | None = None) -> str:
+    """Write a golden fixture (computing it when not supplied)."""
+    payload = payload if payload is not None else compute_golden_figures()
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    return str(target)
+
+
+def load_golden(path: str | Path) -> dict:
+    """Load a golden fixture, validating its schema tag."""
+    target = Path(path)
+    if not target.exists():
+        raise ConfigurationError(
+            f"golden fixture {target} does not exist "
+            "(regenerate with REPRO_REGEN_GOLDEN=1 or repro fidelity --update-golden)"
+        )
+    with open(target, encoding="utf-8") as stream:
+        payload = json.load(stream)
+    if not isinstance(payload, dict) or payload.get("schema") != 1:
+        raise ConfigurationError(f"golden fixture {target} has unknown schema")
+    return payload
+
+
+def check_golden_file(path: str | Path, rtol: float = GOLDEN_RTOL) -> list[str]:
+    """Compare the stored fixture at ``path`` against a fresh computation."""
+    return compare_golden(compute_golden_figures(), load_golden(path), rtol)
+
+
+def default_golden_path() -> Path:
+    """The checked-in fixture used by the test suite and the CLI."""
+    return (
+        Path(__file__).resolve().parents[3]
+        / "tests"
+        / "fidelity"
+        / "golden_figures.json"
+    )
+
+
+def _round_floats(value):
+    if isinstance(value, dict):
+        return {k: _round_floats(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_round_floats(v) for v in value]
+    if isinstance(value, float) and math.isfinite(value) and value != 0.0:
+        digits = GOLDEN_SIG_DIGITS - 1 - int(math.floor(math.log10(abs(value))))
+        return round(value, digits)
+    return value
+
+
+def _join(path: str, key: str) -> str:
+    return f"{path}.{key}" if path else str(key)

@@ -1,0 +1,167 @@
+"""Hypothesis profiles and metamorphic helpers for the property suites.
+
+Two concerns live here:
+
+* :func:`install_hypothesis_profiles` registers the seed-pinned ``ci``
+  (fast, derandomized) and ``nightly`` (thorough) hypothesis profiles
+  and loads the one named by ``REPRO_HYPOTHESIS_PROFILE``.  Both test
+  conftests call it, so every property test in the repo runs under a
+  pinned seed by default — CI failures reproduce locally byte-for-byte.
+  The function is a no-op returning ``None`` when hypothesis is absent,
+  keeping the core package importable without the test extra.
+
+* Metamorphic helpers: small deterministic drivers that reduce a paper
+  mechanism to a scalar the property tests can compare across related
+  inputs (SMD enable cycle vs threshold, MDT upgrade latency vs marked
+  regions, refresh power vs period, fast-vs-reference codec agreement).
+  Keeping them in the package rather than in test files makes the
+  relations they encode part of the public fidelity surface.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+#: Environment variable selecting the active hypothesis profile.
+PROFILE_ENV = "REPRO_HYPOTHESIS_PROFILE"
+
+#: Default profile when the environment does not choose one.
+DEFAULT_PROFILE = "ci"
+
+
+def install_hypothesis_profiles(default: str = DEFAULT_PROFILE) -> str | None:
+    """Register ``ci``/``nightly`` profiles and load the active one.
+
+    Returns the loaded profile name, or ``None`` when hypothesis is not
+    installed.  Safe to call more than once (re-registration overwrites
+    with identical settings).
+    """
+    try:
+        from hypothesis import HealthCheck, settings
+    except ImportError:  # test extra not installed — property tests skip
+        return None
+
+    common = dict(
+        derandomize=True,  # pinned seed: CI failures reproduce locally
+        deadline=None,  # simulation-backed cases have uneven step costs
+        suppress_health_check=[HealthCheck.too_slow],
+        print_blob=True,
+    )
+    settings.register_profile("ci", max_examples=25, **common)
+    settings.register_profile("nightly", max_examples=250, **common)
+    profile = os.environ.get(PROFILE_ENV, default)
+    settings.load_profile(profile)
+    return profile
+
+
+# ---------------------------------------------------------------------------
+# Metamorphic drivers
+# ---------------------------------------------------------------------------
+
+
+def smd_enable_cycle(
+    access_cycles: Sequence[int],
+    threshold_mpkc: float,
+    quantum_cycles: int = 10_000,
+) -> int | None:
+    """Cycle at which SMD enables downgrade for an access trace.
+
+    Returns ``None`` when the trace never crosses the MPKC threshold.
+    The monotonicity relation under test: raising ``threshold_mpkc`` can
+    only delay (or prevent) enablement, never hasten it.
+    """
+    from repro.core.smd import SelectiveMemoryDowngrade
+
+    smd = SelectiveMemoryDowngrade(
+        threshold_mpkc=threshold_mpkc, quantum_cycles=quantum_cycles
+    )
+    last = 0
+    for now in sorted(access_cycles):
+        smd.record_access(now)
+        last = max(last, now)
+    # Quantum boundaries evaluate lazily on the next access, so advance
+    # time past the final quantum to flush the trailing boundary.
+    smd.record_access(last + 2 * quantum_cycles)
+    return smd.enabled_at_cycle
+
+
+def smd_disabled_fraction(
+    access_cycles: Sequence[int],
+    threshold_mpkc: float,
+    total_cycles: int,
+    quantum_cycles: int = 10_000,
+) -> float:
+    """Fraction of ``total_cycles`` spent with downgrade disabled."""
+    from repro.core.smd import SelectiveMemoryDowngrade
+
+    smd = SelectiveMemoryDowngrade(
+        threshold_mpkc=threshold_mpkc, quantum_cycles=quantum_cycles
+    )
+    last = 0
+    for now in sorted(access_cycles):
+        smd.record_access(now)
+        last = max(last, now)
+    smd.record_access(max(total_cycles, last + quantum_cycles))
+    return smd.report(total_cycles).disabled_fraction
+
+
+def mdt_upgrade_seconds(addresses: Iterable[int], entries: int = 1024) -> float:
+    """Upgrade-pass latency for the regions marked by ``addresses``.
+
+    The metamorphic relation: marking a superset of addresses can only
+    increase (or keep) the latency, and it is bounded above by the full
+    1 GB pass.
+    """
+    from repro.core.mdt import MemoryDowngradeTracker
+    from repro.dram.device import DramDevice
+
+    tracker = MemoryDowngradeTracker(entries=entries)
+    for address in addresses:
+        tracker.record_downgrade(address)
+    device = DramDevice()
+    return device.upgrade_seconds_for_regions(
+        tracker.marked_count, tracker.region_bytes
+    )
+
+
+def refresh_power_w(period_s: float) -> float:
+    """Idle refresh power at a refresh period (Fig. 8's energy axis)."""
+    from repro.power.calculator import DramPowerCalculator
+
+    return DramPowerCalculator().refresh_power_idle(period_s)
+
+
+def codec_divergences(code, words: Sequence[int], flip_bits: int = 0) -> list[str]:
+    """Fast-matrix vs polynomial-reference disagreements for a codec.
+
+    For each data word: compares ``encode`` against ``encode_reference``
+    and, with ``flip_bits`` errors injected into the codeword,
+    ``decode`` against ``decode_reference``.  Returns human-readable
+    divergence descriptions; an empty list means the fast path agrees
+    with the oracle everywhere.  This is the detector the
+    matrix-cache-corruption regression test must trip.
+    """
+    parity = getattr(code, "parity_bits", None) or getattr(code, "check_bits", 0)
+    codeword_bits = code.data_bits + parity
+    divergences: list[str] = []
+    for word in words:
+        fast = code.encode(word)
+        reference = code.encode_reference(word)
+        if fast != reference:
+            divergences.append(
+                f"encode({word:#x}): fast {fast:#x} != reference {reference:#x}"
+            )
+            continue
+        if flip_bits:
+            corrupted = fast
+            for position in range(flip_bits):
+                corrupted ^= 1 << (position * 7 % codeword_bits)
+            fast_decode = code.decode(corrupted)
+            reference_decode = code.decode_reference(corrupted)
+            if fast_decode.data != reference_decode.data:
+                divergences.append(
+                    f"decode({word:#x}, {flip_bits} flips): fast data "
+                    f"{fast_decode.data:#x} != reference {reference_decode.data:#x}"
+                )
+    return divergences

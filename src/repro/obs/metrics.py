@@ -17,6 +17,7 @@ Namespaces:
 * ``runner.*`` — experiment-runner manifest aggregates.
 * ``obs.trace.*`` — tracer buffer statistics.
 * ``invariants.*`` — invariant-suite evaluation/violation counts.
+* ``fidelity.*`` — paper-claim conformance verdicts and relative errors.
 """
 
 from __future__ import annotations
@@ -198,6 +199,29 @@ class MetricsRegistry:
                         self.set(f"{namespace}.{key}.{inner_key}", inner_value)
             elif value is None or isinstance(value, _SCALAR_TYPES):
                 self.set(f"{namespace}.{key}", value)
+
+    def record_fidelity(self, report, namespace: str = "fidelity") -> None:
+        """Merge a :class:`repro.fidelity.engine.ConformanceReport`.
+
+        Emits the pass/fail totals plus one ``claim.<id>`` triple
+        (passed / measured / relative_error) per evaluated claim, so a
+        metrics sink can watch individual paper claims drift over time.
+        """
+        self.update(
+            namespace,
+            {
+                "passed": report.passed,
+                "evaluated": len(report.results),
+                "failed": len(report.violations),
+                "wall_s": report.wall_s,
+                "instructions": report.instructions,
+            },
+        )
+        for result in report.results:
+            prefix = f"{namespace}.claim.{result.claim.id}"
+            self.set(f"{prefix}.passed", result.passed)
+            self.set(f"{prefix}.measured", result.measured)
+            self.set(f"{prefix}.relative_error", result.relative_error)
 
     # -- export --------------------------------------------------------------
 

@@ -6,9 +6,15 @@ import random
 
 import pytest
 
+from repro.fidelity.properties import install_hypothesis_profiles
 from repro.sim.system import ScaledRun, SystemConfig
 from repro.types import MemoryOp, TraceRecord
 from repro.workloads.trace import Trace
+
+# Register the seed-pinned hypothesis profiles ('ci' fast, 'nightly'
+# thorough) at collection time so every property test in the suite runs
+# derandomized by default.  Select with REPRO_HYPOTHESIS_PROFILE=nightly.
+install_hypothesis_profiles()
 
 
 @pytest.fixture(autouse=True, scope="session")

@@ -1,0 +1,32 @@
+"""Full conformance pass: every registered claim, simulations included.
+
+This is the nightly tier of the fidelity gate (the analytic ``reduced``
+set runs on every merge): the complete benchmark x policy fan-out at the
+standard 400k-instruction slice, ~30 s serial.
+"""
+
+import pytest
+
+from repro.fidelity import claims_in_set, evaluate_claims
+from repro.obs import MetricsRegistry
+
+pytestmark = pytest.mark.slow
+
+
+def test_full_claim_set_conforms():
+    report = evaluate_claims([c.id for c in claims_in_set("full")])
+    assert report.passed, report.render_table()
+    assert len(report.results) >= 10
+    kinds = {r.claim.kind for r in report.results}
+    assert kinds == {"analytic", "simulation"}
+
+
+def test_full_report_feeds_metrics():
+    report = evaluate_claims([c.id for c in claims_in_set("full")])
+    registry = MetricsRegistry()
+    registry.record_fidelity(report)
+    assert registry.get("fidelity.passed") is True
+    assert registry.get("fidelity.evaluated") == len(report.results)
+    assert registry.get("fidelity.failed") == 0
+    for result in report.results:
+        assert registry.get(f"fidelity.claim.{result.claim.id}.passed") is True

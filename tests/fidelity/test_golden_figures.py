@@ -1,0 +1,89 @@
+"""Golden-figure regression: the paper exhibits' numeric content.
+
+The committed ``golden_figures.json`` snapshot must match a fresh
+computation within a tight relative tolerance.  Regenerate after an
+*intentional* model change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/fidelity/test_golden_figures.py
+"""
+
+import copy
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fidelity import (
+    compare_golden,
+    compute_golden_figures,
+    load_golden,
+    write_golden,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "golden_figures.json"
+
+
+def test_figures_match_golden_fixture():
+    actual = compute_golden_figures()
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        write_golden(GOLDEN_PATH, actual)
+    expected = load_golden(GOLDEN_PATH)
+    mismatches = compare_golden(actual, expected)
+    assert mismatches == []
+
+
+def test_fixture_covers_all_exhibit_blocks():
+    payload = load_golden(GOLDEN_PATH)
+    assert set(payload) >= {
+        "table1_line_failure",
+        "fig2_retention_ber",
+        "fig8_idle_power",
+        "mdt",
+        "related_work",
+        "sim_slice",
+    }
+    # The sim slice must exercise the full policy stack on both corners.
+    results = payload["sim_slice"]["results"]
+    assert set(results) == {"povray", "libq"}
+    for per_policy in results.values():
+        assert set(per_policy) == {"baseline", "mecc"}
+
+
+def test_compare_golden_flags_value_drift():
+    expected = compute_golden_figures()
+    drifted = copy.deepcopy(expected)
+    drifted["mdt"]["full_upgrade_ms"] *= 1.01
+    mismatches = compare_golden(drifted, expected)
+    assert len(mismatches) == 1
+    assert "mdt.full_upgrade_ms" in mismatches[0]
+
+
+def test_compare_golden_flags_missing_and_extra_keys():
+    expected = {"schema": 1, "a": 1.0, "b": 2.0}
+    actual = {"schema": 1, "a": 1.0, "c": 3.0}
+    mismatches = compare_golden(actual, expected)
+    assert any("b" in m and "missing" in m for m in mismatches)
+    assert any("c" in m and "unexpected" in m for m in mismatches)
+
+
+def test_compare_golden_tolerates_last_ulp_noise():
+    expected = {"x": 0.1 + 0.2}
+    actual = {"x": 0.3}
+    assert compare_golden(actual, expected) == []
+
+
+def test_load_golden_rejects_missing_file(tmp_path):
+    with pytest.raises(ConfigurationError):
+        load_golden(tmp_path / "nope.json")
+
+
+def test_load_golden_rejects_foreign_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"schema": 99}', encoding="utf-8")
+    with pytest.raises(ConfigurationError):
+        load_golden(path)
+
+
+def test_golden_is_deterministic():
+    assert compare_golden(compute_golden_figures(), compute_golden_figures()) == []

@@ -1,0 +1,100 @@
+"""Hypothesis property suite: BCH/GF(2^m) round-trips and codec equivalence.
+
+Profiles are installed by ``tests/conftest.py`` (seed-pinned ``ci`` by
+default; ``REPRO_HYPOTHESIS_PROFILE=nightly`` for the thorough tier).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.ecc.bch import BchCode
+from repro.ecc.hamming import SecDedCode
+from repro.fidelity.properties import codec_divergences
+
+#: Small enough to keep each example cheap, large enough for real cosets.
+DATA_BITS = 64
+T = 3
+
+_code = BchCode(t=T, data_bits=DATA_BITS)
+_secded = SecDedCode(DATA_BITS)
+
+
+@given(data=st.integers(min_value=0, max_value=2**DATA_BITS - 1))
+def test_bch_encode_fast_matches_reference(data):
+    assert _code.encode(data) == _code.encode_reference(data)
+
+
+@given(
+    data=st.integers(min_value=0, max_value=2**DATA_BITS - 1),
+    positions=st.sets(
+        st.integers(min_value=0, max_value=_code.codeword_bits - 1),
+        max_size=T,
+    ),
+)
+def test_bch_roundtrip_within_capacity(data, positions):
+    word = _code.encode(data)
+    for position in positions:
+        word ^= 1 << position
+    result = _code.decode(word)
+    assert result.data == data
+    assert sorted(result.corrected_positions) == sorted(positions)
+
+
+@given(
+    data=st.integers(min_value=0, max_value=2**DATA_BITS - 1),
+    positions=st.sets(
+        st.integers(min_value=0, max_value=_code.codeword_bits - 1),
+        min_size=T + 1,
+        max_size=T + 1,
+    ),
+)
+def test_bch_beyond_capacity_fast_and_reference_agree(data, positions):
+    """Past the designed distance the decode outcome is coset-determined:
+    whatever the polynomial oracle does (detect or miscorrect), the fast
+    matrix path must do the identical thing."""
+    word = _code.encode(data)
+    for position in positions:
+        word ^= 1 << position
+    fast_error = reference_error = None
+    try:
+        fast = _code.decode(word)
+    except Exception as exc:
+        fast, fast_error = None, type(exc).__name__
+    try:
+        reference = _code.decode_reference(word)
+    except Exception as exc:
+        reference, reference_error = None, type(exc).__name__
+    assert fast_error == reference_error
+    if fast is not None:
+        assert fast.data == reference.data
+        assert sorted(fast.corrected_positions) == sorted(
+            reference.corrected_positions
+        )
+
+
+@given(
+    data=st.integers(min_value=0, max_value=2**DATA_BITS - 1),
+    position=st.integers(min_value=0, max_value=DATA_BITS + _secded.check_bits - 1),
+)
+def test_secded_single_error_roundtrip(data, position):
+    word = _secded.encode(data) ^ (1 << position)
+    assert _secded.decode(word).data == data
+
+
+@given(words=st.lists(
+    st.integers(min_value=0, max_value=2**DATA_BITS - 1), max_size=8
+))
+def test_divergence_detector_clean_on_healthy_codec(words):
+    assert codec_divergences(_code, words, flip_bits=T) == []
+
+
+@given(data=st.integers(min_value=0, max_value=2**512 - 1))
+@hypothesis.settings(max_examples=10)
+def test_paper_configuration_roundtrip(data):
+    """The paper's actual ECC-6 line geometry, fast vs reference."""
+    code = BchCode(t=6, data_bits=512)
+    word = code.encode(data)
+    assert word == code.encode_reference(data)
+    assert code.decode(word ^ 0b111111).data == data

@@ -1,0 +1,70 @@
+"""Hypothesis metamorphic suite: MDT coverage vs upgrade latency.
+
+Sec. VI-A's pitch is that the Memory Downgrade Tracker turns the fixed
+~400 ms whole-memory ECC-Upgrade pass into one proportional to the
+downgraded footprint.  The metamorphic relations: upgrade latency is
+monotone in the set of downgraded addresses (marking more regions never
+shortens the pass), invariant under duplicate marks, and bounded above
+by the full-memory pass.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.core.mdt import MemoryDowngradeTracker
+from repro.dram.device import DramDevice
+from repro.fidelity.properties import mdt_upgrade_seconds
+
+GIB = 1 << 30
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=GIB - 1), min_size=0, max_size=40
+)
+
+
+@given(base=addresses, extra=addresses)
+def test_upgrade_latency_monotone_in_coverage(base, extra):
+    subset = mdt_upgrade_seconds(base)
+    superset = mdt_upgrade_seconds(base + extra)
+    assert subset <= superset
+
+
+@given(addr_list=addresses)
+def test_duplicate_marks_do_not_change_latency(addr_list):
+    once = mdt_upgrade_seconds(addr_list)
+    twice = mdt_upgrade_seconds(addr_list + addr_list)
+    assert once == twice
+
+
+@given(addr_list=addresses)
+def test_tracked_pass_bounded_by_full_pass(addr_list):
+    tracked = mdt_upgrade_seconds(addr_list)
+    full = DramDevice().full_upgrade_seconds()
+    assert 0.0 <= tracked <= full * (1 + 1e-12)
+
+
+@given(count=st.integers(min_value=0, max_value=1024))
+def test_latency_linear_in_region_count(count):
+    device = DramDevice()
+    region_bytes = 1 << 20
+    one = device.upgrade_seconds_for_regions(1, region_bytes)
+    many = device.upgrade_seconds_for_regions(count, region_bytes)
+    assert many == pytest.approx(count * one, rel=1e-9)
+
+
+@given(addr_list=addresses)
+def test_marked_count_matches_distinct_regions(addr_list):
+    tracker = MemoryDowngradeTracker()
+    for address in addr_list:
+        tracker.record_downgrade(address)
+    distinct = {address // tracker.region_bytes for address in addr_list}
+    assert tracker.marked_count == len(distinct)
+
+
+def test_full_coverage_equals_full_pass():
+    device = DramDevice()
+    assert device.upgrade_seconds_for_regions(1024, 1 << 20) == pytest.approx(
+        device.full_upgrade_seconds(), rel=1e-9
+    )

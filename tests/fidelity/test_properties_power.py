@@ -1,0 +1,42 @@
+"""Hypothesis property suite: refresh-energy monotonicity in period.
+
+Fig. 8's premise — refresh power scales inversely with the refresh
+period — as properties: power is antitone in period, the power x period
+product is invariant (each refresh pass costs fixed energy), and the
+16x period extension yields exactly the paper's 16x operation reduction.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.fidelity.properties import refresh_power_w
+
+periods = st.floats(min_value=0.016, max_value=4.0, allow_nan=False)
+
+
+@given(a=periods, b=periods)
+def test_refresh_power_antitone_in_period(a, b):
+    short, long = min(a, b), max(a, b)
+    hypothesis.assume(short < long)
+    assert refresh_power_w(long) <= refresh_power_w(short)
+
+
+@given(period=periods, factor=st.floats(min_value=1.0, max_value=32.0))
+def test_energy_per_interval_invariant(period, factor):
+    """P(k*T) * (k*T) == P(T) * T: a refresh pass costs fixed energy."""
+    base = refresh_power_w(period) * period
+    scaled = refresh_power_w(period * factor) * (period * factor)
+    assert scaled == pytest.approx(base, rel=1e-9)
+
+
+@given(period=periods)
+def test_power_positive(period):
+    assert refresh_power_w(period) > 0.0
+
+
+def test_sixteen_x_claim_exact():
+    fast = refresh_power_w(0.064)
+    slow = refresh_power_w(0.064 * 16)
+    assert slow / fast == pytest.approx(1 / 16, rel=1e-12)

@@ -1,0 +1,83 @@
+"""Hypothesis metamorphic suite: SMD threshold monotonicity.
+
+The paper's Selective Memory Downgrade arms ECC-Downgrade once a
+quantum's misses-per-kilo-cycle *exceed* the threshold (heavy-traffic
+phases get the fast weak-ECC path).  Raising the threshold therefore
+makes enablement strictly harder: it can only delay or prevent
+downgrade, never hasten it — i.e. raising MPKC's bar never increases
+the downgrade count, and the disabled-time fraction is nondecreasing in
+the threshold.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.fidelity.properties import smd_disabled_fraction, smd_enable_cycle
+
+QUANTUM = 1_000
+
+#: Access traces as positive cycle gaps (cumulative sums give timestamps).
+gaps = st.lists(st.integers(min_value=1, max_value=400), min_size=0, max_size=60)
+thresholds = st.floats(min_value=0.01, max_value=64.0, allow_nan=False)
+
+
+def _timestamps(gap_list):
+    now, out = 0, []
+    for gap in gap_list:
+        now += gap
+        out.append(now)
+    return out
+
+
+@given(gap_list=gaps, a=thresholds, b=thresholds)
+def test_enable_cycle_monotone_in_threshold(gap_list, a, b):
+    low, high = min(a, b), max(a, b)
+    accesses = _timestamps(gap_list)
+    at_low = smd_enable_cycle(accesses, low, QUANTUM)
+    at_high = smd_enable_cycle(accesses, high, QUANTUM)
+    # A higher bar can only delay (or prevent) enablement.
+    if at_low is None:
+        assert at_high is None
+    elif at_high is not None:
+        assert at_low <= at_high
+
+
+@given(gap_list=gaps, a=thresholds, b=thresholds)
+def test_disabled_fraction_nondecreasing_in_threshold(gap_list, a, b):
+    low, high = min(a, b), max(a, b)
+    accesses = _timestamps(gap_list)
+    total = (max(accesses) if accesses else 0) + 4 * QUANTUM
+    disabled_low = smd_disabled_fraction(accesses, low, total, QUANTUM)
+    disabled_high = smd_disabled_fraction(accesses, high, total, QUANTUM)
+    assert 0.0 <= disabled_low <= disabled_high <= 1.0
+
+
+@given(gap_list=gaps, threshold=thresholds)
+def test_disabled_fraction_bounded(gap_list, threshold):
+    accesses = _timestamps(gap_list)
+    total = (max(accesses) if accesses else 0) + QUANTUM
+    fraction = smd_disabled_fraction(accesses, threshold, total, QUANTUM)
+    assert 0.0 <= fraction <= 1.0
+
+
+@given(gap_list=gaps)
+def test_threshold_above_peak_traffic_never_enables(gap_list):
+    """With <= 60 accesses per 1000-cycle quantum, MPKC never tops 60,
+    so a threshold of 64 must leave downgrade disabled forever."""
+    accesses = _timestamps(gap_list)
+    assert smd_enable_cycle(accesses, 64.0, QUANTUM) is None
+
+
+@given(burst=st.integers(min_value=3, max_value=50))
+def test_dense_burst_enables_at_first_quantum_boundary(burst):
+    """A quantum carrying more than (threshold/1000)*quantum accesses
+    must arm the gate exactly at that quantum's boundary."""
+    accesses = list(range(1, burst + 1))  # all inside the first quantum
+    threshold = 1.0  # trips when accesses > 1 per kilo-cycle
+    enabled_at = smd_enable_cycle(accesses, threshold, QUANTUM)
+    if 1000.0 * burst / QUANTUM > threshold:
+        assert enabled_at == QUANTUM
+    else:
+        assert enabled_at is None

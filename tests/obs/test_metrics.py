@@ -123,3 +123,28 @@ class TestExport:
         from repro.analysis.report import render_metrics
 
         assert render_metrics(MetricsRegistry()) == ""
+
+
+class TestFidelityAdapter:
+    def test_record_fidelity_report(self):
+        from repro.fidelity import evaluate_claims
+
+        report = evaluate_claims(["MDT-STORAGE-128B", "F8-REFRESH-16X"])
+        registry = MetricsRegistry()
+        registry.record_fidelity(report)
+        assert registry.get("fidelity.passed") is True
+        assert registry.get("fidelity.evaluated") == 2
+        assert registry.get("fidelity.failed") == 0
+        assert registry.get("fidelity.claim.MDT-STORAGE-128B.passed") is True
+        assert registry.get("fidelity.claim.MDT-STORAGE-128B.measured") == 128.0
+        error = registry.get("fidelity.claim.F8-REFRESH-16X.relative_error")
+        assert 0.0 <= error < 0.01
+
+    def test_record_fidelity_custom_namespace(self):
+        from repro.fidelity import evaluate_claims
+
+        report = evaluate_claims(["MDT-STORAGE-128B"])
+        registry = MetricsRegistry()
+        registry.record_fidelity(report, namespace="gate")
+        assert registry.get("gate.passed") is True
+        assert registry.get("gate.evaluated") == 1

@@ -245,3 +245,71 @@ class TestChaosCli:
         assert args.retries == 2
         assert args.checkpoint == "ckpt.json"
         assert args.resume == "ckpt.json"
+
+
+class TestValidate:
+    def test_validate_passes_at_default_tolerance(self, capsys):
+        assert main(["validate", "--trials", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "model validation" in out
+        assert "PASS" in out
+
+    def test_validate_forced_disagreement_exits_nonzero(self, capsys):
+        # An impossible tolerance with the noise fallback disabled must
+        # turn every comparison into a disagreement and exit 1.
+        assert main(
+            ["validate", "--trials", "200", "--tolerance", "-1", "--sigma", "0"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "DISAGREEMENT" in captured.err
+        assert "FAIL" in captured.out
+
+
+class TestFidelity:
+    def test_reduced_set_passes(self, capsys):
+        assert main(["fidelity", "--claim-set", "reduced"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+        assert "F8-REFRESH-16X" in out
+
+    def test_violated_claim_named_and_nonzero(self, monkeypatch, capsys):
+        import dataclasses
+
+        from repro.fidelity import claims as claims_mod
+
+        claim = claims_mod.CLAIMS["F8-REFRESH-16X"]
+        monkeypatch.setitem(
+            claims_mod.CLAIMS,
+            "F8-REFRESH-16X",
+            dataclasses.replace(claim, expected=0.95, low=0.9, high=1.0),
+        )
+        assert main(["fidelity", "--claim-set", "reduced"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION F8-REFRESH-16X" in out
+        assert "verdict: FAIL" in out
+
+    def test_list_claims(self, capsys):
+        assert main(["fidelity", "--list-claims"]) == 0
+        out = capsys.readouterr().out
+        assert "F8-REFRESH-16X" in out
+        assert "T1-LINE-FAILURE-ECC6" in out
+
+    def test_explicit_claims_and_report_json(self, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "fidelity.json"
+        code = main([
+            "fidelity", "--claims", "MDT-STORAGE-128B,F8-REFRESH-16X",
+            "--report-json", str(report),
+        ])
+        assert code == 0
+        payload = json.loads(report.read_text(encoding="utf-8"))
+        assert payload["evaluated"] == 2
+        assert payload["failed"] == 0
+        assert {c["id"] for c in payload["claims"]} == {
+            "MDT-STORAGE-128B", "F8-REFRESH-16X",
+        }
+
+    def test_unknown_claim_exits_2(self, capsys):
+        assert main(["fidelity", "--claims", "NO-SUCH-CLAIM"]) == 2
+        assert "NO-SUCH-CLAIM" in capsys.readouterr().err
