@@ -17,6 +17,7 @@ import time
 
 import pytest
 
+from repro.ecc.backend import available_backends, set_backend
 from repro.ecc.bch import BchCode
 from repro.ecc.hamming import SecDedCode
 from repro.ecc.layout import LineCodec
@@ -25,6 +26,9 @@ from repro.types import EccMode
 RNG = random.Random(99)
 
 BATCH = 256
+
+#: Deep batch where the lane engines amortize fully (64+ full slices).
+BACKEND_BATCH = 4096
 
 
 @pytest.fixture(scope="module")
@@ -130,6 +134,38 @@ def test_bench_line_codec_batch_strong(benchmark):
     assert all(r.data == d for r, d in zip(results, datas))
 
 
+@pytest.fixture(params=["matrix", "bitsliced", "numpy"])
+def batch_backend(request):
+    """One concrete backend per parametrization, honoring ``--backend``."""
+    name = request.param
+    choice = request.config.getoption("--backend")
+    if choice not in ("auto", "all") and choice != name:
+        pytest.skip(f"--backend={choice} excludes {name}")
+    if name not in available_backends():
+        pytest.skip(f"{name} backend unavailable in this interpreter")
+    set_backend(name)
+    yield name
+    set_backend(None if choice in ("auto", "all") else choice)
+
+
+def test_bench_ecc6_encode_batch_backend(benchmark, ecc6, batch_backend):
+    datas = [RNG.getrandbits(516) for _ in range(1024)]
+    words = benchmark(ecc6.encode_batch, datas)
+    assert len(words) == 1024
+
+
+def test_bench_ecc6_check_batch_backend(benchmark, ecc6, batch_backend):
+    words = ecc6.encode_batch([RNG.getrandbits(516) for _ in range(1024)])
+    oks = benchmark(ecc6.check_batch, words)
+    assert all(oks)
+
+
+def test_bench_ecc6_decode_batch_backend(benchmark, ecc6, batch_backend):
+    words = ecc6.encode_batch([RNG.getrandbits(516) for _ in range(1024)])
+    results = benchmark(ecc6.decode_batch, words)
+    assert all(r.errors_corrected == 0 for r in results)
+
+
 def _throughput(fn, words, repeats=3):
     """Best-of-N wall-clock for one pass over ``words`` (seconds)."""
     best = float("inf")
@@ -160,3 +196,57 @@ def test_fast_path_speedup_floor(ecc6):
         f"decode {decode_ref / decode_fast:.1f}x, combined {speedup:.1f}x"
     )
     assert speedup >= 5.0, f"fast path regressed: {speedup:.2f}x < 5x"
+
+
+def _batch_seconds(fn, batch, repeats=7):
+    """Best-of-N wall-clock for one whole-batch call (seconds)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(batch)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_backend_batch_speedup_floor(ecc6, backend_matrix_request):
+    """The bitsliced engine must keep >= 5x over the matrix path at 4096
+    words.
+
+    Times encode_batch / check_batch / clean decode_batch per backend
+    and prints the backend-column table; the floor is asserted on the
+    combined (sum of the three passes) bitsliced/matrix ratio, the
+    quantity the batched fault-injection and retention sweeps actually
+    pay.  The numpy column is informational: its per-row ``uint64``
+    folds trail the big-int lane engine on this codeword size.
+    """
+    rng = random.Random(4096)
+    datas = [rng.getrandbits(516) for _ in range(BACKEND_BATCH)]
+    set_backend("matrix")
+    try:
+        words = ecc6.encode_batch(datas)
+        columns = {}
+        for name in backend_matrix_request:
+            set_backend(name)
+            # Warm the engine's compiled maps so lazy table builds
+            # (exec-compiled runners) don't pollute the first timing.
+            ecc6.check_batch(words)
+            columns[name] = (
+                _batch_seconds(ecc6.encode_batch, datas),
+                _batch_seconds(ecc6.check_batch, words),
+                _batch_seconds(ecc6.decode_batch, words),
+            )
+    finally:
+        set_backend(None)
+    print(f"\nECC-6 (t=6, 516 data bits), {BACKEND_BATCH}-word batches:")
+    print(f"{'backend':>10} {'encode':>9} {'check':>9} {'decode':>9} {'combined':>9}")
+    matrix_total = sum(columns["matrix"]) if "matrix" in columns else None
+    for name, (enc, chk, dec) in columns.items():
+        total = enc + chk + dec
+        rel = f"{matrix_total / total:8.1f}x" if matrix_total else "      n/a"
+        print(f"{name:>10} {enc:8.4f}s {chk:8.4f}s {dec:8.4f}s {rel}")
+    if matrix_total is None or "bitsliced" not in columns:
+        pytest.skip("matrix/bitsliced pair excluded; no floor to assert")
+    speedup = matrix_total / sum(columns["bitsliced"])
+    assert speedup >= 5.0, (
+        f"bitsliced backend regressed: {speedup:.2f}x < 5x over matrix"
+    )

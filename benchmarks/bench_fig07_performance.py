@@ -6,6 +6,7 @@ Paper headline numbers: SECDED ~0.5% average slowdown, ECC-6 ~10%
 
 from repro.analysis.experiments import fig7_performance
 from repro.analysis.tables import format_table
+from repro.ecc.backend import selected_backend
 from repro.workloads.spec import ALL_BENCHMARKS, MpkiClass
 
 
@@ -29,7 +30,8 @@ def test_fig07_per_benchmark_performance(benchmark, run, show):
         rows,
         title=(
             "Fig. 7 — normalized IPC (paper ALL: SECDED 0.995, "
-            "ECC-6 0.90, MECC 0.988)"
+            "ECC-6 0.90, MECC 0.988) "
+            f"[codec backend: {selected_backend()}]"
         ),
     ))
     # Headline shape assertions.

@@ -12,6 +12,7 @@ import pytest
 
 from repro.analysis.experiments import fig10_total_energy
 from repro.analysis.tables import format_table
+from repro.ecc.backend import selected_backend
 
 
 def test_fig10_total_energy(benchmark, run, show):
@@ -22,7 +23,10 @@ def test_fig10_total_energy(benchmark, run, show):
             [name, v["active_j"], v["idle_j"], v["total_j"], v["total_norm"]]
             for name, v in out.items()
         ],
-        title="Fig. 10 — total memory energy over a 1-hour, 95%-idle session",
+        title=(
+            "Fig. 10 — total memory energy over a 1-hour, 95%-idle "
+            f"session [codec backend: {selected_backend()}]"
+        ),
     ))
     # Baseline and SECDED are indistinguishable.
     assert out["secded"]["total_norm"] == pytest.approx(1.0, abs=0.05)

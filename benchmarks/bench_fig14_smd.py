@@ -8,6 +8,7 @@ the first quanta.  Average performance stays within 2% of baseline.
 
 from repro.analysis.experiments import fig14_smd_disabled, run_policy_suite
 from repro.analysis.tables import format_table
+from repro.ecc.backend import selected_backend
 from repro.sim.engine import simulate
 from repro.sim.stats import geometric_mean
 from repro.sim.system import SystemConfig
@@ -23,7 +24,10 @@ def test_fig14_smd_disabled_fraction(benchmark, run, show):
         ["benchmark", "disabled fraction", "paper: never enables?"],
         [[name, frac, "yes" if name in SMD_ALWAYS_DISABLED else ""]
          for name, frac in ordered],
-        title="Fig. 14 — time with ECC-Downgrade disabled (threshold MPKC=2)",
+        title=(
+            "Fig. 14 — time with ECC-Downgrade disabled (threshold "
+            f"MPKC=2) [codec backend: {selected_backend()}]"
+        ),
     ))
     # The paper's seven stay disabled for the entire run.
     for name in SMD_ALWAYS_DISABLED:

@@ -23,6 +23,7 @@ from typing import Callable
 
 from repro.analysis import experiments as X
 from repro.analysis.tables import format_table
+from repro.ecc.backend import BACKEND_NAMES, ENV_VAR, set_backend
 from repro.sim.system import ScaledRun
 
 
@@ -300,6 +301,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="ECC policy for trace-sim",
     )
     parser.add_argument(
+        "--codec-backend",
+        default=None,
+        choices=BACKEND_NAMES,
+        help="codec batch backend for this invocation (overrides "
+        f"${ENV_VAR}; 'auto' picks the fastest available lane engine, "
+        "'matrix' forces the scalar fast path; results are bit-identical "
+        "across backends)",
+    )
+    parser.add_argument(
         "--exhibits",
         default=None,
         help="comma-separated exhibit subset for 'report' (default: all)",
@@ -543,6 +553,7 @@ def _trace_sim(args) -> int:
         registry.record_controller_stats(engine.controller.stats)
         registry.record_tracer(tracer)
         registry.record_invariants(invariants)
+        registry.record_codec_backend()
         registry.write_json(args.metrics_out)
         print(f"wrote {len(registry)} metrics to {args.metrics_out}")
     return 0
@@ -753,6 +764,7 @@ def _finish_runner(args, runner) -> None:
 
         registry = MetricsRegistry()
         registry.record_runner(runner)
+        registry.record_codec_backend()
         registry.write_json(args.metrics_out)
         print(f"wrote {len(registry)} metrics to {args.metrics_out}")
     summary = render_runner_summary(runner)
@@ -762,6 +774,8 @@ def _finish_runner(args, runner) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.codec_backend is not None:
+        set_backend(args.codec_backend)
     if args.exhibit == "list":
         print(format_table(
             ["name", "exhibit"], [[k, v[0]] for k, v in EXHIBITS.items()]

@@ -71,6 +71,16 @@ class EccPolicy:
     def on_write(self, byte_address: int, now: int) -> None:
         """Called for every write-back; default: nothing extra."""
 
+    def on_write_batch(self, byte_addresses, nows) -> None:
+        """Called for a run of consecutive write-backs (engine coalescing).
+
+        Semantically identical to calling :meth:`on_write` per element;
+        stateful policies may override to amortize dispatch over the run.
+        """
+        on_write = self.on_write
+        for byte_address, now in zip(byte_addresses, nows):
+            on_write(byte_address, now)
+
     def on_run_end(self, total_cycles: int) -> None:
         """Called once when the simulation finishes."""
 
@@ -198,6 +208,25 @@ class MeccPolicy(EccPolicy):
         self.controller.on_write(
             byte_address, downgrade_enabled=self.downgrade_enabled, now=now
         )
+
+    def on_write_batch(self, byte_addresses, nows) -> None:
+        """Amortized :meth:`on_write` over a coalesced write run.
+
+        Binds the hot components once per run instead of once per access;
+        every per-access side effect (SMD traffic accounting, quantum
+        invariant checks, MDT updates) still fires in access order.
+        """
+        smd = self.smd
+        invariants = self.invariants
+        controller_on_write = self.controller.on_write
+        for byte_address, now in zip(byte_addresses, nows):
+            if smd is not None:
+                smd.record_access(now)
+            if invariants is not None:
+                self._check_quantum(now)
+            controller_on_write(
+                byte_address, downgrade_enabled=self.downgrade_enabled, now=now
+            )
 
     def on_run_end(self, total_cycles: int) -> None:
         self._total_cycles = total_cycles

@@ -144,6 +144,20 @@ class MemoryController:
         if len(self.write_queue) >= self.write_queue_capacity:
             self._drain_writes(now)
 
+    def write_batch(self, addresses, nows) -> None:
+        """Buffer a coalesced run of write-backs (engine batching).
+
+        Timing-identical to calling :meth:`write` per element: the queue
+        fills in access order and forced drains trigger at the same
+        arrival cycles.
+        """
+        queue = self.write_queue
+        capacity = self.write_queue_capacity
+        for address, now in zip(addresses, nows):
+            queue.append(address)
+            if len(queue) >= capacity:
+                self._drain_writes(now)
+
     def flush_writes(self, now: int) -> int:
         """Drain the entire write queue; returns the completion cycle."""
         done = now

@@ -27,15 +27,26 @@ class CodecCounters:
         detected_uncorrectable: decodes that raised a detected failure.
         corrected_histogram: map ``bits corrected per word -> word count``
             over successful decodes (key 0 counts clean words).
+        backend_ops: map ``backend name -> words`` processed through that
+            backend's *batch* path (``bitsliced``/``numpy``; batch calls
+            served by the scalar loop record under ``matrix``).  Per-word
+            scalar calls deliberately do not record, keeping the hot
+            loop free of extra dict traffic.
     """
 
     encodes: int = 0
     decodes: int = 0
     detected_uncorrectable: int = 0
     corrected_histogram: dict[int, int] = field(default_factory=dict)
+    backend_ops: dict[str, int] = field(default_factory=dict)
 
     def record_encodes(self, n: int = 1) -> None:
         self.encodes += n
+
+    def record_backend(self, backend: str, n: int = 1) -> None:
+        """Tally ``n`` words processed through ``backend``'s batch path."""
+        ops = self.backend_ops
+        ops[backend] = ops.get(backend, 0) + n
 
     def record_decode(self, corrected_bits: int) -> None:
         self.decodes += 1
@@ -61,12 +72,16 @@ class CodecCounters:
         hist = dict(self.corrected_histogram)
         for bits, n in other.corrected_histogram.items():
             hist[bits] = hist.get(bits, 0) + n
+        ops = dict(self.backend_ops)
+        for name, n in other.backend_ops.items():
+            ops[name] = ops.get(name, 0) + n
         return CodecCounters(
             encodes=self.encodes + other.encodes,
             decodes=self.decodes + other.decodes,
             detected_uncorrectable=self.detected_uncorrectable
             + other.detected_uncorrectable,
             corrected_histogram=hist,
+            backend_ops=ops,
         )
 
     def reset(self) -> None:
@@ -74,6 +89,7 @@ class CodecCounters:
         self.decodes = 0
         self.detected_uncorrectable = 0
         self.corrected_histogram = {}
+        self.backend_ops = {}
 
     def as_dict(self) -> dict:
         """Plain-dict snapshot (stable keys, for export/reporting)."""
@@ -84,4 +100,5 @@ class CodecCounters:
             "corrected_bits_total": self.corrected_bits_total,
             "words_with_correction": self.words_with_correction,
             "corrected_histogram": dict(sorted(self.corrected_histogram.items())),
+            "backend_ops": dict(sorted(self.backend_ops.items())),
         }

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.ecc.backend import MIN_SLICED_BATCH, get_engine
+from repro.ecc.bitslice import lane_flags, supports_from_contributions
 from repro.ecc.counters import CodecCounters
 from repro.ecc.matrix import build_chunk_tables, cached_tables, fold_word
 from repro.errors import ConfigurationError, EncodingError, UncorrectableError
@@ -126,6 +128,44 @@ class SecDedCode:
 
         return cached_tables(("secded", data_bits), build)
 
+    def _sliced_for(self, engine):
+        """Engine-compiled maps, cached per (data length, backend).
+
+        ``enc``: data slices -> full codeword slices (check bits and the
+        overall parity folded in, since both are GF(2)-linear in the
+        data).  ``chk``: codeword slices -> r+1 outputs (Hamming
+        syndrome bits plus overall parity); any nonzero lane is dirty.
+        """
+
+        def build():
+            r = self.hamming_check_bits
+            enc_cols = []
+            for pos in self._data_positions:
+                col = 1 << pos
+                for check_pos in self._check_positions:
+                    if pos & check_pos:
+                        col |= 1 << check_pos
+                if _parity_of(col):
+                    col |= 1
+                enc_cols.append(col)
+            parity_out = 1 << r
+            chk_cols = [pos | parity_out for pos in range(self.codeword_bits)]
+            chk_cols[0] = parity_out  # bit 0 feeds only the overall parity
+            return (
+                engine.compile_map(
+                    supports_from_contributions(enc_cols, self.codeword_bits),
+                    self.data_bits,
+                ),
+                engine.compile_map(
+                    supports_from_contributions(chk_cols, r + 1),
+                    self.codeword_bits,
+                ),
+            )
+
+        return cached_tables(
+            ("secded-sliced", self.data_bits), build, backend=engine.name
+        )
+
     # -- encode -------------------------------------------------------------
 
     def encode(self, data: int) -> int:
@@ -145,8 +185,32 @@ class SecDedCode:
         return word
 
     def encode_batch(self, datas: Iterable[int]) -> list[int]:
-        """Encode many data words through the fast path."""
-        return [self.encode(data) for data in datas]
+        """Encode many data words through the fast path.
+
+        Large batches run through the active lane engine: one transpose,
+        one compiled scatter fold (check bits and overall parity
+        included), one untranspose.
+        """
+        if not isinstance(datas, list):
+            datas = list(datas)
+        engine = get_engine() if len(datas) >= MIN_SLICED_BATCH else None
+        if engine is None:
+            out = [self.encode(data) for data in datas]
+            if out:
+                self.counters.record_backend("matrix", len(out))
+            return out
+        data_bits = self.data_bits
+        for data in datas:
+            if data < 0 or data >> data_bits:
+                raise EncodingError(f"data does not fit in {data_bits} bits")
+        n = len(datas)
+        enc_map, _ = self._sliced_for(engine)
+        out = engine.untranspose(
+            engine.fold(engine.transpose(datas, data_bits), enc_map), n
+        )
+        self.counters.encodes += n
+        self.counters.record_backend(engine.name, n)
+        return out
 
     def encode_reference(self, data: int) -> int:
         """Reference encoder: per-bit Hamming-position scatter (oracle)."""
@@ -181,7 +245,32 @@ class SecDedCode:
 
     def check_batch(self, words: Iterable[int]) -> list[bool]:
         """Vectorized :meth:`check` over many received words."""
-        return [self.check(word) for word in words]
+        if not isinstance(words, list):
+            words = list(words)
+        engine = get_engine() if len(words) >= MIN_SLICED_BATCH else None
+        if engine is None:
+            out = [self.check(word) for word in words]
+            if out:
+                self.counters.record_backend("matrix", len(out))
+            return out
+        n = len(words)
+        cw_bits = self.codeword_bits
+        valid = [not (w < 0 or w >> cw_bits) for w in words]
+        safe = words if all(valid) else [
+            w if ok else 0 for w, ok in zip(words, valid)
+        ]
+        _, chk_map = self._sliced_for(engine)
+        dirty = engine.or_reduce(
+            engine.fold(engine.transpose(safe, cw_bits), chk_map)
+        )
+        self.counters.record_backend(engine.name, n)
+        if not dirty:  # common case: every in-range word is a codeword
+            return valid
+        flags = lane_flags(dirty, n)
+        return [
+            ok and not ((flags[i >> 3] >> (i & 7)) & 1)
+            for i, ok in enumerate(valid)
+        ]
 
     def decode(self, received: int) -> SecDedResult:
         """Correct a single error or detect a double error.
@@ -206,13 +295,64 @@ class SecDedCode:
         self, words: Iterable[int]
     ) -> list[SecDedResult | UncorrectableError]:
         """Decode many words; failures come back as exception instances."""
+        if not isinstance(words, list):
+            words = list(words)
         out: list[SecDedResult | UncorrectableError] = []
         append = out.append
-        for word in words:
-            try:
-                append(self.decode(word))
-            except UncorrectableError as exc:
-                append(exc)
+        decode = self.decode
+        engine = get_engine() if len(words) >= MIN_SLICED_BATCH else None
+        if engine is None:
+            for word in words:
+                try:
+                    append(decode(word))
+                except UncorrectableError as exc:
+                    append(exc)
+            if out:
+                self.counters.record_backend("matrix", len(out))
+            return out
+        # Sliced prescreen (see BchCode.decode_batch): clean lanes take a
+        # bulk extract; dirty / out-of-range lanes fall back to the
+        # scalar decoder for bit-identical results and counters.
+        n = len(words)
+        cw_bits = self.codeword_bits
+        invalid = 0
+        safe = words
+        for i, w in enumerate(words):
+            if w < 0 or w >> cw_bits:
+                if safe is words:
+                    safe = list(words)
+                safe[i] = 0
+                invalid |= 1 << i
+        _, chk_map = self._sliced_for(engine)
+        slices = engine.transpose(safe, cw_bits)
+        dirty = engine.or_reduce(engine.fold(slices, chk_map))
+        extracted = engine.untranspose(
+            engine.select(slices, self._data_positions), n
+        )
+        bad = dirty | invalid
+        if not bad:  # common case: whole batch clean, skip the lane loop
+            out = [SecDedResult(x, None) for x in extracted]
+            self.counters.decodes += n
+            hist = self.counters.corrected_histogram
+            hist[0] = hist.get(0, 0) + n
+            self.counters.record_backend(engine.name, n)
+            return out
+        flags = lane_flags(bad, n)
+        n_clean = 0
+        for i, word in enumerate(words):
+            if (flags[i >> 3] >> (i & 7)) & 1:
+                try:
+                    append(decode(word))
+                except UncorrectableError as exc:
+                    append(exc)
+            else:
+                n_clean += 1
+                append(SecDedResult(extracted[i], None))
+        if n_clean:
+            self.counters.decodes += n_clean
+            hist = self.counters.corrected_histogram
+            hist[0] = hist.get(0, 0) + n_clean
+        self.counters.record_backend(engine.name, n)
         return out
 
     def decode_reference(self, received: int) -> SecDedResult:

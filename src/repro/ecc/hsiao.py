@@ -28,6 +28,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.ecc.backend import MIN_SLICED_BATCH, get_engine
+from repro.ecc.bitslice import lane_flags, supports_from_contributions
 from repro.ecc.counters import CodecCounters
 from repro.ecc.matrix import build_chunk_tables, cached_tables, fold_word
 from repro.errors import ConfigurationError, EncodingError, UncorrectableError
@@ -96,6 +98,31 @@ class HsiaoCode:
 
         return cached_tables(("hsiao", self.data_bits), build)
 
+    def _sliced_for(self, engine):
+        """Engine-compiled maps, cached per (data length, backend).
+
+        ``enc``: data slices -> r syndrome slices (the data columns of
+        H).  ``chk``: codeword slices -> r syndrome slices (full H);
+        any nonzero lane is dirty.
+        """
+
+        def build():
+            r = self.check_bits
+            columns = list(self._data_columns)
+            full = columns + [1 << row for row in range(r)]
+            return (
+                engine.compile_map(
+                    supports_from_contributions(columns, r), self.data_bits
+                ),
+                engine.compile_map(
+                    supports_from_contributions(full, r), self.codeword_bits
+                ),
+            )
+
+        return cached_tables(
+            ("hsiao-sliced", self.data_bits), build, backend=engine.name
+        )
+
     # -- construction statistics ------------------------------------------------
 
     @property
@@ -118,8 +145,35 @@ class HsiaoCode:
         return data | (syndrome << self.data_bits)
 
     def encode_batch(self, datas: Iterable[int]) -> list[int]:
-        """Encode many data words through the fast path."""
-        return [self.encode(data) for data in datas]
+        """Encode many data words through the fast path.
+
+        Large batches run through the active lane engine: one transpose,
+        one compiled H fold for the syndromes, one untranspose.
+        """
+        if not isinstance(datas, list):
+            datas = list(datas)
+        engine = get_engine() if len(datas) >= MIN_SLICED_BATCH else None
+        if engine is None:
+            out = [self.encode(data) for data in datas]
+            if out:
+                self.counters.record_backend("matrix", len(out))
+            return out
+        data_bits = self.data_bits
+        for data in datas:
+            if data < 0 or data >> data_bits:
+                raise EncodingError(f"data does not fit in {data_bits} bits")
+        n = len(datas)
+        enc_map, _ = self._sliced_for(engine)
+        syndromes = engine.untranspose(
+            engine.fold(engine.transpose(datas, data_bits), enc_map), n
+        )
+        out = [
+            data | (syndrome << data_bits)
+            for data, syndrome in zip(datas, syndromes)
+        ]
+        self.counters.encodes += n
+        self.counters.record_backend(engine.name, n)
+        return out
 
     def encode_reference(self, data: int) -> int:
         """Reference encoder: per-bit column accumulation (oracle)."""
@@ -148,7 +202,32 @@ class HsiaoCode:
 
     def check_batch(self, words: Iterable[int]) -> list[bool]:
         """Vectorized :meth:`check` over many received words."""
-        return [self.check(word) for word in words]
+        if not isinstance(words, list):
+            words = list(words)
+        engine = get_engine() if len(words) >= MIN_SLICED_BATCH else None
+        if engine is None:
+            out = [self.check(word) for word in words]
+            if out:
+                self.counters.record_backend("matrix", len(out))
+            return out
+        n = len(words)
+        cw_bits = self.codeword_bits
+        valid = [not (w < 0 or w >> cw_bits) for w in words]
+        safe = words if all(valid) else [
+            w if ok else 0 for w, ok in zip(words, valid)
+        ]
+        _, chk_map = self._sliced_for(engine)
+        dirty = engine.or_reduce(
+            engine.fold(engine.transpose(safe, cw_bits), chk_map)
+        )
+        self.counters.record_backend(engine.name, n)
+        if not dirty:  # common case: every in-range word is a codeword
+            return valid
+        flags = lane_flags(dirty, n)
+        return [
+            ok and not ((flags[i >> 3] >> (i & 7)) & 1)
+            for i, ok in enumerate(valid)
+        ]
 
     def decode(self, received: int) -> HsiaoResult:
         """Correct single errors; detect double errors by syndrome weight.
@@ -174,13 +253,63 @@ class HsiaoCode:
         self, words: Iterable[int]
     ) -> list[HsiaoResult | UncorrectableError]:
         """Decode many words; failures come back as exception instances."""
+        if not isinstance(words, list):
+            words = list(words)
         out: list[HsiaoResult | UncorrectableError] = []
         append = out.append
-        for word in words:
-            try:
-                append(self.decode(word))
-            except UncorrectableError as exc:
-                append(exc)
+        decode = self.decode
+        engine = get_engine() if len(words) >= MIN_SLICED_BATCH else None
+        if engine is None:
+            for word in words:
+                try:
+                    append(decode(word))
+                except UncorrectableError as exc:
+                    append(exc)
+            if out:
+                self.counters.record_backend("matrix", len(out))
+            return out
+        # Sliced prescreen (see BchCode.decode_batch): the data part of a
+        # clean Hsiao word is just its low bits, so clean lanes cost one
+        # mask; dirty / out-of-range lanes take the scalar decoder.
+        n = len(words)
+        cw_bits = self.codeword_bits
+        invalid = 0
+        safe = words
+        for i, w in enumerate(words):
+            if w < 0 or w >> cw_bits:
+                if safe is words:
+                    safe = list(words)
+                safe[i] = 0
+                invalid |= 1 << i
+        _, chk_map = self._sliced_for(engine)
+        dirty = engine.or_reduce(
+            engine.fold(engine.transpose(safe, cw_bits), chk_map)
+        )
+        data_mask = (1 << self.data_bits) - 1
+        bad = dirty | invalid
+        if not bad:  # common case: whole batch clean, skip the lane loop
+            out = [HsiaoResult(w & data_mask, None) for w in words]
+            self.counters.decodes += n
+            hist = self.counters.corrected_histogram
+            hist[0] = hist.get(0, 0) + n
+            self.counters.record_backend(engine.name, n)
+            return out
+        flags = lane_flags(bad, n)
+        n_clean = 0
+        for i, word in enumerate(words):
+            if (flags[i >> 3] >> (i & 7)) & 1:
+                try:
+                    append(decode(word))
+                except UncorrectableError as exc:
+                    append(exc)
+            else:
+                n_clean += 1
+                append(HsiaoResult(word & data_mask, None))
+        if n_clean:
+            self.counters.decodes += n_clean
+            hist = self.counters.corrected_histogram
+            hist[0] = hist.get(0, 0) + n_clean
+        self.counters.record_backend(engine.name, n)
         return out
 
     def decode_reference(self, received: int) -> HsiaoResult:

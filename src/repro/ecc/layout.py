@@ -23,9 +23,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.ecc.backend import MIN_SLICED_BATCH, get_engine
 from repro.ecc.bch import BchCode
 from repro.ecc.hamming import SecDedCode
-from repro.errors import ConfigurationError, DecodingError, ModeBitError
+from repro.errors import (
+    ConfigurationError,
+    DecodingError,
+    ModeBitError,
+    UncorrectableError,
+)
 from repro.types import EccMode
 
 #: Number of replicas of the ECC-mode bit (paper: 4-way redundancy).
@@ -197,6 +203,48 @@ class LineCodec:
                 word |= 1 << pos
         return word
 
+    @property
+    def _weak_rebuild_perm(self) -> list[int]:
+        """Codeword-bit -> combined-input-bit permutation for the sliced
+        rebuild: input is ``(checks << message_bits) | message``."""
+        perm = getattr(self, "_weak_perm_cache", None)
+        if perm is None:
+            wc = self.weak_code
+            msg_bits = wc.data_bits
+            perm = [0] * wc.codeword_bits
+            perm[0] = msg_bits  # compact check bit 0 = overall parity
+            for i, pos in enumerate(wc._check_positions):
+                perm[pos] = msg_bits + 1 + i
+            for i, pos in enumerate(wc._data_positions):
+                perm[pos] = i
+            self._weak_perm_cache = perm
+        return perm
+
+    def _weak_codewords_batch(self, messages, checks, engine) -> list[int]:
+        """Vectorized :meth:`_weak_codeword_from_parts` over many lines.
+
+        Scattering 516 message bits per word is the dominant per-line
+        loop of a weak-mode read; sliced, the scatter is a pure slice
+        permutation (transpose, reorder, untranspose).
+        """
+        wc = self.weak_code
+        msg_bits = wc.data_bits
+        msg_mask = (1 << msg_bits) - 1
+        if engine is None or len(messages) < MIN_SLICED_BATCH:
+            return [
+                self._weak_codeword_from_parts(m, c)
+                for m, c in zip(messages, checks)
+            ]
+        # Masking also normalizes negative/oversized messages to the low
+        # bits the scalar rebuild would read — bit-identical fallback.
+        combined = [
+            (c << msg_bits) | (m & msg_mask) for m, c in zip(messages, checks)
+        ]
+        slices = engine.transpose(combined, wc.codeword_bits)
+        return engine.untranspose(
+            engine.select(slices, self._weak_rebuild_perm), len(combined)
+        )
+
     # -- decode ---------------------------------------------------------------
 
     def decode(self, stored: int) -> LineDecodeResult:
@@ -235,18 +283,102 @@ class LineCodec:
 
         Returns one entry per word: the :class:`LineDecodeResult` on
         success, or the exception instance (``DecodingError`` /
-        ``ModeBitError``) the word produced.  Mode resolution and the
-        trial-decode fallback run per word, but every syndrome check
-        inside goes through the codes' matrix fast paths.
+        ``ModeBitError``) the word produced.
+
+        Lines are grouped by majority-voted mode and pushed through the
+        underlying codes' batch decoders (which bit-slice large groups);
+        replica ties and decode failures fall back to the scalar
+        trial-decode path per word, so outcomes match :meth:`decode`
+        exactly.
         """
-        out: list[LineDecodeResult | DecodingError | ModeBitError] = []
-        append = out.append
-        for stored in stored_words:
-            try:
-                append(self.decode(stored))
-            except (DecodingError, ModeBitError) as exc:
-                append(exc)
-        return out
+        if not isinstance(stored_words, list):
+            stored_words = list(stored_words)
+        n = len(stored_words)
+        engine = get_engine() if n >= MIN_SLICED_BATCH else None
+        if engine is None:
+            out: list[LineDecodeResult | DecodingError | ModeBitError] = []
+            append = out.append
+            for stored in stored_words:
+                try:
+                    append(self.decode(stored))
+                except (DecodingError, ModeBitError) as exc:
+                    append(exc)
+            return out
+        results: list = [None] * n
+        mode_mask = (1 << self.layout.mode_bits) - 1
+        mode_bits = self.layout.mode_bits
+        field_bits = self.layout.field_bits
+        field_mask = (1 << field_bits) - 1
+        strong_idx: list[int] = []
+        weak_idx: list[int] = []
+        for i, stored in enumerate(stored_words):
+            majority = self.resolve_mode(stored & mode_mask)
+            if majority is EccMode.STRONG:
+                strong_idx.append(i)
+            elif majority is EccMode.WEAK:
+                weak_idx.append(i)
+            else:
+                # Replica tie (rare): the paper's try-both fallback.
+                try:
+                    results[i] = self.decode(stored)
+                except (DecodingError, ModeBitError) as exc:
+                    results[i] = exc
+        if strong_idx:
+            parity_bits = self.strong_code.parity_bits
+            parity_mask = (1 << parity_bits) - 1
+            codewords = []
+            for i in strong_idx:
+                stored = stored_words[i]
+                field = stored & field_mask
+                message = ((stored >> field_bits) << mode_bits) | (field & mode_mask)
+                codewords.append(
+                    (message << parity_bits) | ((field >> mode_bits) & parity_mask)
+                )
+            decoded = self.strong_code.decode_batch(codewords)
+            for i, res in zip(strong_idx, decoded):
+                results[i] = self._finish_line(stored_words[i], EccMode.STRONG, res)
+        if weak_idx:
+            check_mask = (1 << self.weak_code.check_bits) - 1
+            messages = []
+            checks = []
+            for i in weak_idx:
+                stored = stored_words[i]
+                field = stored & field_mask
+                messages.append(
+                    ((stored >> field_bits) << mode_bits) | (field & mode_mask)
+                )
+                checks.append((field >> mode_bits) & check_mask)
+            codewords = self._weak_codewords_batch(messages, checks, engine)
+            decoded = self.weak_code.decode_batch(codewords)
+            for i, res in zip(weak_idx, decoded):
+                results[i] = self._finish_line(stored_words[i], EccMode.WEAK, res)
+        return results
+
+    def _finish_line(
+        self, stored: int, mode: EccMode, result
+    ) -> "LineDecodeResult | DecodingError | ModeBitError":
+        """Line-level outcome from one underlying batch-decode entry.
+
+        Mirrors the majority branch of :meth:`decode`: a successful
+        decode whose corrected replicas agree with ``mode`` is accepted;
+        anything else takes the scalar trial decode under the other mode.
+        """
+        if not isinstance(result, UncorrectableError):
+            corrected_message = result.data
+            if self.resolve_mode(corrected_message & ((1 << self.layout.mode_bits) - 1)) is mode:
+                return LineDecodeResult(
+                    data=corrected_message >> self.layout.mode_bits,
+                    mode=mode,
+                    errors_corrected=result.errors_corrected,
+                    used_trial_decode=False,
+                )
+        other = EccMode.WEAK if mode is EccMode.STRONG else EccMode.STRONG
+        try:
+            return self._decode_as(stored, other, trial=True)
+        except (DecodingError, ModeBitError) as exc:
+            error = ModeBitError("line undecodable under both ECC modes")
+            error.__cause__ = exc
+            return error
 
     def codec_counters(self) -> dict:
         """Fast-path counters of the underlying codes, by role.

@@ -84,19 +84,24 @@ _HITS = 0
 _MISSES = 0
 
 
-def cached_tables(key: tuple, builder: Callable[[], Any]) -> Any:
+def cached_tables(key: tuple, builder: Callable[[], Any], backend: str = "matrix") -> Any:
     """Return the cached table set for ``key``, building it on first use.
 
     Keys are namespaced by the codec module (e.g. ``("bch", t, k, m, g)``)
-    so one process-wide cache serves every code family.
+    so one process-wide cache serves every code family.  The ``backend``
+    name is part of the effective key: chunk tables (ints), bitsliced
+    compiled maps, and numpy index maps for the *same* code parameters
+    are distinct entries, so switching ``REPRO_CODEC_BACKEND``
+    mid-process can never hand one fold path another backend's tables.
     """
     global _HITS, _MISSES
+    full_key = (backend,) + key
     try:
-        value = _CACHE[key]
+        value = _CACHE[full_key]
     except KeyError:
         _MISSES += 1
         value = builder()
-        _CACHE[key] = value
+        _CACHE[full_key] = value
         return value
     _HITS += 1
     return value

@@ -1,0 +1,124 @@
+"""Numpy ``uint64`` lane engine: the vectorized twin of :mod:`bitslice`.
+
+Same contract as the pure-python engine — lane ``i`` of every slice is
+input word ``i``, lane masks are plain python ints — but slices live in
+a 2-D ``(n_bits, n_lanes/64)`` array of little-endian ``uint64`` words,
+transposition runs through ``np.unpackbits``/``np.packbits`` and folds
+through ``np.bitwise_xor.reduce``.  The module imports without numpy;
+construction of :class:`NumpyEngine` is what requires it
+(:mod:`repro.ecc.backend` handles probing and fallback).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+NAME = "numpy"
+
+
+class NpMap:
+    """A GF(2) linear map for the numpy engine: per-output index arrays.
+
+    Byte-group sharing (the bitsliced engine's four-Russians pass) does
+    not pay here — each output is one C-speed ``bitwise_xor.reduce``
+    over its support rows, so the compile step just freezes the support
+    lists into fancy-index arrays.
+    """
+
+    __slots__ = ("n_inputs", "supports")
+
+    def __init__(self, n_inputs, supports):
+        self.n_inputs = n_inputs
+        self.supports = supports
+
+
+class NumpyEngine:
+    """Lane engine backed by numpy ``uint64`` slice matrices."""
+
+    name = NAME
+
+    def __init__(self, np):
+        self.np = np
+
+    # -- transpose -----------------------------------------------------------
+
+    def transpose(self, words: Sequence[int], n_bits: int):
+        """Bit-transpose ``words`` into an ``(n_bits, W)`` uint64 matrix."""
+        np = self.np
+        n = len(words)
+        lane_words = max(1, (n + 63) >> 6)
+        if n == 0 or n_bits == 0:
+            return np.zeros((n_bits, lane_words), dtype="<u8")
+        stride = (n_bits + 7) >> 3
+        buf = b"".join(w.to_bytes(stride, "little") for w in words)
+        rows = np.frombuffer(buf, dtype=np.uint8).reshape(n, stride)
+        bits = np.unpackbits(rows, axis=1, bitorder="little")[:, :n_bits]
+        packed = np.packbits(bits.T, axis=1, bitorder="little")
+        out = np.zeros((n_bits, lane_words << 3), dtype=np.uint8)
+        out[:, : packed.shape[1]] = packed
+        return out.view("<u8")
+
+    def untranspose(self, slices, n_words: int) -> list[int]:
+        """Rebuild per-word ints from a slice matrix (first ``n_words`` lanes)."""
+        np = self.np
+        n_bits = slices.shape[0]
+        if n_words == 0:
+            return []
+        if n_bits == 0:
+            return [0] * n_words
+        bits = np.unpackbits(
+            np.ascontiguousarray(slices).view(np.uint8), axis=1, bitorder="little"
+        )[:, :n_words]
+        packed = np.packbits(bits.T, axis=1, bitorder="little")
+        word_bytes = packed.shape[1]
+        flat = packed.tobytes()
+        from_bytes = int.from_bytes
+        return [
+            from_bytes(flat[i * word_bytes : (i + 1) * word_bytes], "little")
+            for i in range(n_words)
+        ]
+
+    # -- linear maps ---------------------------------------------------------
+
+    def compile_map(self, supports: Sequence[Sequence[int]], n_inputs: int) -> NpMap:
+        np = self.np
+        frozen = []
+        for support in supports:
+            for i in support:
+                if not 0 <= i < n_inputs:
+                    raise ValueError(f"support index {i} outside {n_inputs} inputs")
+            frozen.append(np.asarray(support, dtype=np.intp))
+        return NpMap(n_inputs, tuple(frozen))
+
+    def fold(self, slices, cmap: NpMap):
+        np = self.np
+        if slices.shape[0] != cmap.n_inputs:
+            raise ValueError(
+                f"map expects {cmap.n_inputs} input slices, got {slices.shape[0]}"
+            )
+        out = np.zeros((len(cmap.supports), slices.shape[1]), dtype="<u8")
+        for r, idx in enumerate(cmap.supports):
+            if len(idx):
+                out[r] = np.bitwise_xor.reduce(slices[idx], axis=0)
+        return out
+
+    # -- lane masks ----------------------------------------------------------
+
+    def _mask(self, vec) -> int:
+        return int.from_bytes(vec.tobytes(), "little")
+
+    def or_reduce(self, slices) -> int:
+        np = self.np
+        if slices.shape[0] == 0:
+            return 0
+        return self._mask(np.bitwise_or.reduce(slices, axis=0))
+
+    def xor_reduce(self, slices) -> int:
+        np = self.np
+        if slices.shape[0] == 0:
+            return 0
+        return self._mask(np.bitwise_xor.reduce(slices, axis=0))
+
+    def select(self, slices, indices: Sequence[int]):
+        """Subset of slices (rows) by position, preserving lane order."""
+        return slices[list(indices)]

@@ -110,6 +110,17 @@ class FaultProcess:
         """Soft-error-only flips (active mode at the 64 ms safe period)."""
         return self._sample_positions(self.soft_errors.flip_probability(duration_s))
 
+    def sample_soft_error_flips_batch(self, durations_s) -> list[list[int]]:
+        """Per-line soft-error flips for many lines in one call.
+
+        Draws from the shared RNG in list order, so the result is
+        bit-identical to ``[sample_soft_error_flips(d) for d in
+        durations_s]`` — batch settling must not change a seeded run.
+        """
+        flip_probability = self.soft_errors.flip_probability
+        sample = self._sample_positions
+        return [sample(flip_probability(d)) for d in durations_s]
+
     def _sample_positions(self, p: float) -> list[int]:
         if p <= 0.0:
             return []

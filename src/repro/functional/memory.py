@@ -166,13 +166,14 @@ class FunctionalMemory:
         :meth:`read`.
         """
         entries = []
+        lines = []
         for address in addresses:
             line = self._line_index(address)
-            entry = self._materialize(line)
-            self._settle_faults_entry(entry, line)
-            entries.append(entry)
+            entries.append(self._materialize(line))
+            lines.append(line)
+        self._settle_faults_batch(entries, lines)
         self.counters.reads += len(entries)
-        results = self.codec.decode_batch(entry.stored for entry in entries)
+        results = self.codec.decode_batch([entry.stored for entry in entries])
         return [
             self._finish_read(entry, result, downgrade)
             for entry, result in zip(entries, results)
@@ -218,6 +219,40 @@ class FunctionalMemory:
         entry.mode = EccMode.STRONG
         entry.last_touched_s = self._now_s
         return True
+
+    def upgrade_batch(self, addresses) -> list[bool]:
+        """Bulk :meth:`upgrade_line`: one settle pass, one decode_batch,
+        one encode_batch for every upgradeable line."""
+        entries = []
+        lines = []
+        for address in addresses:
+            line = self._line_index(address)
+            entries.append(self._materialize(line))
+            lines.append(line)
+        self._settle_faults_batch(entries, lines)
+        results = self.codec.decode_batch([entry.stored for entry in entries])
+        out = []
+        survivors = []
+        datas = []
+        for entry, result in zip(entries, results):
+            if isinstance(result, Exception):
+                self.counters.detected_uncorrectable += 1
+                out.append(False)
+                continue
+            if result.data != entry.expected_data:
+                self.counters.silent_corruptions += 1
+            if result.mode is EccMode.WEAK:
+                self.counters.upgrades += 1
+            survivors.append(entry)
+            datas.append(result.data)
+            out.append(True)
+        for entry, stored in zip(
+            survivors, self.codec.encode_batch(datas, EccMode.STRONG)
+        ):
+            entry.stored = stored
+            entry.mode = EccMode.STRONG
+            entry.last_touched_s = self._now_s
+        return out
 
     def mode_of(self, address: int) -> EccMode:
         line = self._line_index(address)
@@ -325,6 +360,45 @@ class FunctionalMemory:
                 if (entry.stored >> position) & 1 != decay:
                     entry.stored ^= 1 << position
         entry.last_touched_s = self._now_s
+
+    def _settle_faults_batch(self, entries, lines) -> None:
+        """Batched :meth:`_settle_faults_entry` over many lines.
+
+        The shared soft-error RNG is drawn in entry order (one batched
+        call), and per-line weak-cell RNGs are order-independent by
+        construction, so a seeded run settles bit-identically to the
+        per-line loop.  Timestamps update as each line is collected, so
+        duplicate lines in one batch settle once — as sequential calls
+        would.
+        """
+        faults = self.faults
+        now = self._now_s
+        if faults is None:
+            for entry in entries:
+                entry.last_touched_s = now
+            return
+        pending = []
+        for entry, line in zip(entries, lines):
+            elapsed = now - entry.last_touched_s
+            if elapsed <= 0:
+                continue
+            pending.append((entry, line, elapsed))
+            entry.last_touched_s = now
+        if not pending:
+            return
+        flip_lists = faults.sample_soft_error_flips_batch(
+            [elapsed for _, _, elapsed in pending]
+        )
+        period = self.refresh_period_s
+        for (entry, line, elapsed), positions in zip(pending, flip_lists):
+            for position in positions:
+                entry.stored ^= 1 << position
+            if elapsed >= period and entry.fault_state is not None:
+                f = faults.retention_flip_probability(period)
+                entry.fault_state.extend(f, faults.rng_for_line(line))
+                for position, decay in entry.fault_state.decayed_cells(f):
+                    if (entry.stored >> position) & 1 != decay:
+                        entry.stored ^= 1 << position
 
 
 class NoEccMemory:

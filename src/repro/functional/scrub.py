@@ -111,16 +111,26 @@ class PatrolScrubber:
         it back in the right code and tells the control plane via
         :attr:`on_mode_repair`.
         """
-        repairs = 0
+        mismatched = []
+        founds = []
         for line in sorted(lines):
             address = line * self.memory.line_bytes
             found = self.memory.mode_of(address)
-            if found is self.expected_mode:
-                continue
-            if self.expected_mode is EccMode.STRONG:
-                repaired = self.memory.upgrade_line(address)
-            else:
-                repaired = self.memory.read(address, downgrade=True) is not None
+            if found is not self.expected_mode:
+                mismatched.append((line, address))
+                founds.append(found)
+        if not mismatched:
+            return 0
+        addresses = [address for _, address in mismatched]
+        if self.expected_mode is EccMode.STRONG:
+            repaired_flags = self.memory.upgrade_batch(addresses)
+        else:
+            repaired_flags = [
+                data is not None
+                for data in self.memory.read_batch(addresses, downgrade=True)
+            ]
+        repairs = 0
+        for (line, _), found, repaired in zip(mismatched, founds, repaired_flags):
             if not repaired:
                 continue
             repairs += 1

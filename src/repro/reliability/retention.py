@@ -205,22 +205,28 @@ def monte_carlo_line_failure(
     code = BchCode(t=ecc_t, data_bits=data_bits, extended=extended)
     ber = model.ber_at_refresh_period(period_s)
     rng = random.Random(seed)
+    # Draw every line up front, then flip in encode order: the RNG draw
+    # sequence is independent of the chunk size below, so chunked and
+    # monolithic campaigns with one seed are bit-identical.
     datas = [rng.getrandbits(data_bits) for _ in range(trials)]
-    received = []
-    for word in code.encode_batch(datas):
-        for position in _sample_sparse_flips(rng, code.codeword_bits, ber):
-            word ^= 1 << position
-        received.append(word)
     detected = 0
     miscorrected = 0
     corrected_bits = 0
-    for data, result in zip(datas, code.decode_batch(received)):
-        if not isinstance(result, DecodeResult):
-            detected += 1
-        elif result.data != data:
-            miscorrected += 1
-        else:
-            corrected_bits += result.errors_corrected
+    chunk = 8192  # bounds live codewords; batch is still deep enough to slice
+    for start in range(0, trials, chunk):
+        chunk_datas = datas[start:start + chunk]
+        received = []
+        for word in code.encode_batch(chunk_datas):
+            for position in _sample_sparse_flips(rng, code.codeword_bits, ber):
+                word ^= 1 << position
+            received.append(word)
+        for data, result in zip(chunk_datas, code.decode_batch(received)):
+            if not isinstance(result, DecodeResult):
+                detected += 1
+            elif result.data != data:
+                miscorrected += 1
+            else:
+                corrected_bits += result.errors_corrected
     return LineFailureEstimate(
         trials=trials,
         detected=detected,

@@ -79,7 +79,11 @@ class SimulationEngine:
         retire = 0.0  # retirement clock, processor cycles
         reads = 0
         read_latency_sum = 0
-        for record in trace.records:
+        records = trace.records
+        n_records = len(records)
+        index = 0
+        while index < n_records:
+            record = records[index]
             if record.gap:
                 retire += record.gap * cpi
             now = int(retire)
@@ -95,9 +99,27 @@ class SimulationEngine:
                 reads += 1
                 read_latency_sum += completion - now
                 retire = float(completion)
+                index += 1
             else:
-                policy.on_write(record.address, now)
-                controller.write(record.address, now)
+                # Coalesce the run of consecutive write-backs: writes never
+                # move the retirement clock, so the per-record arithmetic
+                # below reproduces the scalar loop cycle for cycle while
+                # the policy/controller dispatch is paid once per run.
+                write_addresses = [record.address]
+                write_nows = [now]
+                index += 1
+                while index < n_records:
+                    record = records[index]
+                    if record.op is MemoryOp.READ:
+                        break
+                    if record.gap:
+                        retire += record.gap * cpi
+                        now = int(retire)
+                    write_addresses.append(record.address)
+                    write_nows.append(now)
+                    index += 1
+                policy.on_write_batch(write_addresses, write_nows)
+                controller.write_batch(write_addresses, write_nows)
         total_cycles = max(1, int(retire))
         policy.on_run_end(total_cycles)
         if tracer is not None:

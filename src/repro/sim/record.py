@@ -39,6 +39,16 @@ class RecordingController(MemoryController):
         ))
         super().write(address, now)
 
+    def write_batch(self, addresses, nows) -> None:
+        # The engine coalesces write runs; log each arrival individually.
+        recorded = self.recorded
+        for address, now in zip(addresses, nows):
+            recorded.append(Request(
+                op=MemoryOp.WRITE, address=address, arrival=now,
+                request_id=len(recorded),
+            ))
+        super().write_batch(addresses, nows)
+
 
 def record_requests(
     trace: Trace,

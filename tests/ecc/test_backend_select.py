@@ -1,0 +1,188 @@
+"""Backend selection: env/CLI resolution, numpy-missing fallback, cache keys.
+
+The contract under test: requesting ``REPRO_CODEC_BACKEND=numpy`` on a
+machine without numpy must *never* crash — it falls back to the
+bitsliced engine, warns exactly once per process, and counts the
+fallback where :meth:`repro.obs.metrics.MetricsRegistry.record_codec_backend`
+exports it.  numpy is simulated missing by poisoning ``sys.modules``
+(the stdlib-sanctioned way to make ``import numpy`` raise ImportError).
+"""
+
+import random
+import sys
+import warnings
+
+import pytest
+
+from repro.ecc import backend as backend_mod
+from repro.ecc import matrix
+from repro.ecc.backend import (
+    available_backends,
+    engine_for,
+    get_engine,
+    requested_backend,
+    reset_backend,
+    selected_backend,
+    selection_info,
+    set_backend,
+)
+from repro.ecc.bch import BchCode
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _clean_selection(monkeypatch):
+    """Every test starts from an unresolved, unwarned selection state."""
+    monkeypatch.delenv(backend_mod.ENV_VAR, raising=False)
+    reset_backend()
+    yield
+    reset_backend()
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    """Make ``import numpy`` raise ImportError for the duration of a test."""
+    monkeypatch.setitem(sys.modules, "numpy", None)
+
+
+class TestResolution:
+    def test_default_is_auto(self):
+        assert requested_backend() == "auto"
+        assert selected_backend() in ("numpy", "bitsliced")
+
+    def test_env_variable_selects(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.ENV_VAR, "matrix")
+        assert selected_backend() == "matrix"
+        assert get_engine() is None
+
+    def test_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.ENV_VAR, "matrix")
+        set_backend("bitsliced")
+        assert selected_backend() == "bitsliced"
+        assert get_engine().name == "bitsliced"
+
+    def test_unknown_names_rejected(self, monkeypatch):
+        with pytest.raises(ConfigurationError):
+            set_backend("cuda")
+        monkeypatch.setenv(backend_mod.ENV_VAR, "cuda")
+        with pytest.raises(ConfigurationError):
+            selected_backend()
+        with pytest.raises(ConfigurationError):
+            engine_for("cuda")
+
+    def test_matrix_and_bitsliced_always_available(self):
+        names = available_backends()
+        assert "matrix" in names and "bitsliced" in names
+
+
+class TestNumpyFallback:
+    def test_numpy_request_falls_back_to_bitsliced(self, no_numpy):
+        set_backend("numpy")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine = get_engine()
+        assert engine is not None and engine.name == "bitsliced"
+        runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1
+        assert "falling back" in str(runtime[0].message)
+        assert selection_info()["fallbacks"] == 1
+
+    def test_warning_fires_once_per_process(self, no_numpy, monkeypatch):
+        set_backend("numpy")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            get_engine()
+            # Second resolution of a *fresh* request string must stay silent.
+            backend_mod._resolved.clear()
+            get_engine()
+        runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1
+
+    def test_auto_without_numpy_is_silent(self, no_numpy):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine = get_engine()
+        assert engine.name == "bitsliced"
+        assert not [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert selection_info()["fallbacks"] == 0
+
+    def test_codec_still_decodes_after_fallback(self, no_numpy):
+        """End to end: numpy requested, numpy missing, batches still work."""
+        set_backend("numpy")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            code = BchCode(t=2, data_bits=40)
+            rng = random.Random(5)
+            datas = [rng.getrandbits(40) for _ in range(64)]
+            words = code.encode_batch(datas)
+            assert [r.data for r in code.decode_batch(words)] == datas
+        assert "bitsliced" in code.counters.backend_ops
+
+    def test_engine_for_does_not_fall_back(self, no_numpy):
+        with pytest.raises(ConfigurationError):
+            engine_for("numpy")
+
+    def test_available_backends_drops_numpy(self, no_numpy):
+        assert available_backends() == ["matrix", "bitsliced"]
+
+    def test_metrics_export_carries_fallback_count(self, no_numpy):
+        set_backend("numpy")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            get_engine()
+        registry = MetricsRegistry()
+        registry.record_codec_backend()
+        snap = registry.namespace("ecc.backend")
+        assert snap["requested"] == "numpy"
+        assert snap["selected"] == "bitsliced"
+        assert snap["fallbacks"] == 1
+
+
+class TestCacheKeying:
+    """Regression: compiled tables must be keyed by (backend, code params).
+
+    Before the fix, ``cached_tables`` keyed on code parameters alone, so
+    switching backends mid-process handed the bitsliced fold a numpy map
+    (or vice versa).  The effective key now leads with the backend name.
+    """
+
+    def test_same_params_distinct_backends_distinct_entries(self):
+        built = []
+
+        def builder_for(tag):
+            def build():
+                built.append(tag)
+                return tag
+            return build
+
+        key = ("regression-code", 6, 516)
+        a = matrix.cached_tables(key, builder_for("matrix-tables"))
+        b = matrix.cached_tables(
+            key, builder_for("bitsliced-maps"), backend="bitsliced"
+        )
+        c = matrix.cached_tables(
+            key, builder_for("numpy-maps"), backend="numpy"
+        )
+        assert (a, b, c) == ("matrix-tables", "bitsliced-maps", "numpy-maps")
+        assert built == ["matrix-tables", "bitsliced-maps", "numpy-maps"]
+        # Second lookups hit, never cross-talk.
+        assert matrix.cached_tables(key, builder_for("X")) == "matrix-tables"
+        assert matrix.cached_tables(
+            key, builder_for("X"), backend="bitsliced"
+        ) == "bitsliced-maps"
+
+    def test_codec_batches_never_share_maps_across_backends(self):
+        """Driving one code through two engines builds two map entries."""
+        code = BchCode(t=1, data_bits=24)
+        rng = random.Random(8)
+        datas = [rng.getrandbits(24) for _ in range(40)]
+        set_backend("bitsliced")
+        words = code.encode_batch(datas)
+        entries_after_bitsliced = matrix.table_cache_info()["entries"]
+        if "numpy" in available_backends():
+            set_backend("numpy")
+            assert code.encode_batch(datas) == words
+            assert matrix.table_cache_info()["entries"] > entries_after_bitsliced
+        set_backend("matrix")
+        assert code.encode_batch(datas) == words
