@@ -63,6 +63,7 @@ import dataclasses
 import hashlib
 import json
 import logging
+import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -73,14 +74,16 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.core.smd import DEFAULT_THRESHOLD_MPKC
+from repro.ecc import backend as codec_backend
 from repro.errors import ConfigurationError, JobExecutionError, JobTimeoutError
 from repro.sim.system import ScaledRun, SystemConfig
 from repro.types import SimResult
 from repro.workloads.spec import BenchmarkSpec
 
 #: Bump when the cached payload layout changes; old entries become misses.
-#: Schema 2 added the per-entry payload checksum.
-CACHE_SCHEMA = 2
+#: Schema 2 added the per-entry payload checksum; schema 3 records the
+#: codec backend that computed each entry.
+CACHE_SCHEMA = 3
 
 logger = logging.getLogger("repro.analysis.runner")
 
@@ -175,6 +178,10 @@ class JobOutcome:
     wall_s: float
     cached: bool
     key: str
+    #: Codec backend the *executing* process resolved (``matrix`` /
+    #: ``bitsliced`` / ``numpy``); the original run's backend when served
+    #: from cache, or None for entries written before this field existed.
+    backend: str | None = None
 
 
 def code_fingerprint() -> str:
@@ -223,8 +230,30 @@ def clear_trace_memo() -> None:
     _TRACE_MEMO.clear()
 
 
-def execute_job(spec: JobSpec) -> tuple[SimResult, float | None, float]:
-    """Run one job; returns (result, smd_disabled_fraction, wall_s)."""
+def _pool_initializer(backend_request: str | None) -> None:
+    """Worker bootstrap: carry the parent's codec-backend request across.
+
+    ``ProcessPoolExecutor`` workers do not inherit the parent's
+    process-local :func:`repro.ecc.backend.set_backend` override (the
+    CLI's ``--codec-backend``): under the spawn start method they begin
+    from fresh module state, so a forced-backend sweep would silently
+    run ``auto`` inside every worker.  The request is installed both as
+    the worker's explicit override and in its environment, so any
+    grandchild process inherits it too.
+    """
+    if backend_request is not None:
+        os.environ[codec_backend.ENV_VAR] = backend_request
+        codec_backend.set_backend(backend_request)
+
+
+def execute_job(spec: JobSpec) -> tuple[SimResult, float | None, float, str]:
+    """Run one job; returns (result, smd_disabled_fraction, wall_s, backend).
+
+    ``backend`` is the codec backend the executing process actually
+    resolved (:func:`repro.ecc.backend.selected_backend`), reported back
+    so the run manifest can prove which engine did the work — in
+    particular that pool workers honored a forced ``--codec-backend``.
+    """
     from repro.sim.engine import simulate
 
     start = time.perf_counter()
@@ -240,7 +269,8 @@ def execute_job(spec: JobSpec) -> tuple[SimResult, float | None, float]:
     result = simulate(trace, policy)
     smd = getattr(policy, "smd", None)
     disabled = smd.report(result.cycles).disabled_fraction if smd is not None else None
-    return result, disabled, time.perf_counter() - start
+    backend = codec_backend.selected_backend()
+    return result, disabled, time.perf_counter() - start, backend
 
 
 # ---------------------------------------------------------------------------
@@ -362,6 +392,9 @@ class JobRecord:
     wall_s: float
     source: str  # "run" | "cache"
     status: str = "ok"  # "ok" | "resumed" | "failed" | "timeout"
+    #: Codec backend resolved by the process that computed the result
+    #: (None for failures and pre-existing cache entries without one).
+    backend: str | None = None
 
 
 #: Exceptions meaning "the pool itself died", not "the job failed".
@@ -385,6 +418,10 @@ class ExperimentRunner:
             per attempt, capped at 30 s.
         checkpoint_path: when set, the manifest is rewritten atomically
             after every job disposition (see :meth:`resume_from`).
+        start_method: multiprocessing start method for the worker pool
+            (``fork`` / ``spawn`` / ``forkserver``); None uses the
+            platform default.  Results are identical either way — the
+            backend-propagation initializer makes spawn safe.
     """
 
     def __init__(
@@ -395,9 +432,17 @@ class ExperimentRunner:
         retries: int = 0,
         retry_backoff_s: float = 0.25,
         checkpoint_path: str | os.PathLike | None = None,
+        start_method: str | None = None,
     ):
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
+        if start_method is not None and start_method not in (
+            multiprocessing.get_all_start_methods()
+        ):
+            raise ConfigurationError(
+                f"unknown start method {start_method!r}; choose from "
+                f"{', '.join(multiprocessing.get_all_start_methods())}"
+            )
         if timeout_s is not None and timeout_s <= 0:
             raise ConfigurationError("timeout_s must be positive (or None)")
         if retries < 0:
@@ -410,6 +455,7 @@ class ExperimentRunner:
         self.retries = retries
         self.retry_backoff_s = retry_backoff_s
         self.checkpoint_path = checkpoint_path
+        self.start_method = start_method
         self.records: list[JobRecord] = []
         #: Cache keys a resume manifest reported complete (see
         #: :meth:`resume_from`); hits on these are marked ``"resumed"``.
@@ -492,10 +538,13 @@ class ExperimentRunner:
                     wall_s=payload.get("wall_s", 0.0),
                     cached=True,
                     key=key,
+                    backend=payload.get("backend"),
                 )
                 outcomes[spec] = outcome
                 status = "resumed" if key in self.resumed_keys else "ok"
-                self._record(spec, key, outcome.wall_s, "cache", status)
+                self._record(
+                    spec, key, outcome.wall_s, "cache", status, outcome.backend
+                )
                 self._checkpoint()
             else:
                 misses.append((spec, key))
@@ -504,13 +553,14 @@ class ExperimentRunner:
 
             def harvest(position: int, triple) -> None:
                 spec, key = misses[position]
-                result, disabled, wall_s = triple
+                result, disabled, wall_s, backend = triple
                 outcomes[spec] = JobOutcome(
                     result=result,
                     smd_disabled_fraction=disabled,
                     wall_s=wall_s,
                     cached=False,
                     key=key,
+                    backend=backend,
                 )
                 if self.cache is not None:
                     self.cache.store(
@@ -522,9 +572,10 @@ class ExperimentRunner:
                             "result": result.to_dict(),
                             "smd_disabled_fraction": disabled,
                             "wall_s": wall_s,
+                            "backend": backend,
                         },
                     )
-                self._record(spec, key, wall_s, "run", "ok")
+                self._record(spec, key, wall_s, "run", "ok", backend)
                 self._checkpoint()
 
             errors = self._execute_resilient(
@@ -613,7 +664,20 @@ class ExperimentRunner:
         failed: list[tuple[int, JobSpec, Exception]] = []
         leftover: list[tuple[int, JobSpec]] = []
         workers = min(self.jobs, len(pending)) if self.jobs > 1 else 1
-        pool = ProcessPoolExecutor(max_workers=workers)
+        # The initializer replays the parent's codec-backend request in
+        # every worker: an explicit set_backend() override lives in
+        # process-local module state that spawn-started workers would
+        # otherwise never see (forced-backend sweeps silently ran `auto`).
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=(
+                multiprocessing.get_context(self.start_method)
+                if self.start_method
+                else None
+            ),
+            initializer=_pool_initializer,
+            initargs=(codec_backend.requested_backend(),),
+        )
         futures = []
         try:
             for index, spec in pending:
@@ -709,6 +773,7 @@ class ExperimentRunner:
         wall_s: float,
         source: str,
         status: str = "ok",
+        backend: str | None = None,
     ) -> None:
         self.records.append(
             JobRecord(
@@ -719,6 +784,7 @@ class ExperimentRunner:
                 wall_s=wall_s,
                 source=source,
                 status=status,
+                backend=backend,
             )
         )
 
@@ -743,7 +809,16 @@ class ExperimentRunner:
         return {
             "schema": CACHE_SCHEMA,
             "code_version": code_fingerprint(),
-            "parallelism": {"jobs": self.jobs},
+            "parallelism": {
+                "jobs": self.jobs,
+                "start_method": self.start_method,
+            },
+            # Which codec engines actually computed results this run —
+            # workers report their resolved backend per job, so a forced
+            # --codec-backend sweep is provable from the manifest alone.
+            "codec_backends": sorted(
+                {r.backend for r in self.records if r.backend is not None}
+            ),
             "cache": {
                 "enabled": self.cache is not None,
                 "dir": str(self.cache.root) if self.cache is not None else None,
@@ -803,6 +878,7 @@ def configure_runner(
     timeout_s: float | None = None,
     retries: int = 0,
     checkpoint_path: str | os.PathLike | None = None,
+    start_method: str | None = None,
 ) -> ExperimentRunner:
     """Install (and return) the process-wide default runner.
 
@@ -812,6 +888,7 @@ def configure_runner(
         timeout_s: per-job wall-clock deadline (None = unlimited).
         retries: extra attempts for failed/timed-out jobs.
         checkpoint_path: incremental checkpoint manifest path.
+        start_method: worker-pool start method (None = platform default).
     """
     global _default_runner
     cache = ResultCache(cache_dir) if cache_dir else None
@@ -821,6 +898,7 @@ def configure_runner(
         timeout_s=timeout_s,
         retries=retries,
         checkpoint_path=checkpoint_path,
+        start_method=start_method,
     )
     return _default_runner
 
@@ -829,9 +907,11 @@ def get_runner() -> ExperimentRunner:
     """The default runner; built from the environment on first use.
 
     ``REPRO_JOBS`` (int), ``REPRO_CACHE_DIR`` (path),
-    ``REPRO_JOB_TIMEOUT_S`` (float), ``REPRO_RETRIES`` (int), and
-    ``REPRO_CHECKPOINT`` (path) configure it; with none set the default
-    is serial and memory-only, matching the pre-runner behavior exactly.
+    ``REPRO_JOB_TIMEOUT_S`` (float), ``REPRO_RETRIES`` (int),
+    ``REPRO_CHECKPOINT`` (path), and ``REPRO_POOL_START_METHOD``
+    (``fork``/``spawn``/``forkserver``) configure it; with none set the
+    default is serial and memory-only, matching the pre-runner behavior
+    exactly.
     """
     global _default_runner
     if _default_runner is None:
@@ -840,12 +920,14 @@ def get_runner() -> ExperimentRunner:
         timeout_env = os.environ.get("REPRO_JOB_TIMEOUT_S") or None
         retries = int(os.environ.get("REPRO_RETRIES", "0") or "0")
         checkpoint = os.environ.get("REPRO_CHECKPOINT") or None
+        start_method = os.environ.get("REPRO_POOL_START_METHOD") or None
         _default_runner = configure_runner(
             jobs=max(1, jobs),
             cache_dir=cache_dir,
             timeout_s=float(timeout_env) if timeout_env else None,
             retries=max(0, retries),
             checkpoint_path=checkpoint,
+            start_method=start_method,
         )
     return _default_runner
 

@@ -268,13 +268,16 @@ def build_parser() -> argparse.ArgumentParser:
             "chaos",
             "fidelity",
             "validate",
+            "fleet",
+            "serve",
         ],
         help="exhibit to regenerate ('list' to enumerate, 'all' for everything, "
         "'report' for a markdown report via --output), a trace tool "
         "(trace-gen / trace-sim), a codec fault-injection campaign "
         "(fault-inject), a control-plane chaos campaign (chaos), the "
-        "paper-claim conformance gate (fidelity), or the analytic-vs-"
-        "Monte-Carlo cross-checks (validate)",
+        "paper-claim conformance gate (fidelity), the analytic-vs-"
+        "Monte-Carlo cross-checks (validate), a fleet-scale population "
+        "study (fleet), or the policy-advisory service (serve)",
     )
     parser.add_argument(
         "--instructions",
@@ -462,6 +465,99 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fidelity: regenerate the golden-figure fixture (at --golden "
         "PATH, or the checked-in default) instead of comparing",
+    )
+    parser.add_argument(
+        "--devices",
+        type=int,
+        default=100_000,
+        help="fleet: population size to simulate (default 100000; the "
+        "sharded streaming aggregation makes 1M+ routine)",
+    )
+    parser.add_argument(
+        "--mix",
+        default=None,
+        metavar="NAME:W,...",
+        help="fleet: persona mix like 'light:0.45,moderate:0.35,heavy:0.2' "
+        "(default: the built-in mix; see repro.fleet.population)",
+    )
+    parser.add_argument(
+        "--fleet-seed",
+        type=int,
+        default=0,
+        help="fleet: population sampling seed (same seed, same fleet, "
+        "at any shard size)",
+    )
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=100_000,
+        help="fleet: devices per aggregation shard (default 100000; "
+        "aggregates are invariant to this)",
+    )
+    parser.add_argument(
+        "--schemes",
+        default=None,
+        metavar="S,S,...",
+        help="fleet: comma-separated policy schemes to evaluate per device "
+        "(default baseline,secded,mecc)",
+    )
+    parser.add_argument(
+        "--index-out",
+        default=None,
+        metavar="PATH",
+        help="fleet: also write the policy-advisory index (for 'repro "
+        "serve --index') as JSON to PATH",
+    )
+    parser.add_argument(
+        "--index",
+        default=None,
+        metavar="PATH",
+        help="serve: load the policy index from PATH (from 'repro fleet "
+        "--index-out'); default: build one in-process first",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve: listen on this TCP port (JSON lines; 0 picks a free "
+        "port); without --port, --self-test is required",
+    )
+    parser.add_argument(
+        "--self-test",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve: fire N concurrent in-process requests through the "
+        "service, print the latency/disposition report, and exit "
+        "nonzero if any request is lost (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=200,
+        help="serve --self-test: in-flight request cap (default 200)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="serve: bounded request-queue capacity; submissions beyond "
+        "it are rejected immediately with an overload error "
+        "(default 256)",
+    )
+    parser.add_argument(
+        "--service-workers",
+        type=int,
+        default=4,
+        help="serve: concurrent worker tasks draining the request queue "
+        "(default 4)",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="serve: per-request deadline including queue wait (default 1.0)",
     )
     parser.add_argument(
         "--tolerance",
@@ -713,6 +809,154 @@ def _fidelity(args, runner) -> int:
     return 0 if report.passed and golden_ok else 1
 
 
+def _build_fleet_simulator(args):
+    from repro.fleet import FleetSimulator, PopulationModel, parse_mix
+
+    mix = parse_mix(args.mix) if args.mix else None
+    schemes = (
+        tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+        if args.schemes
+        else None
+    )
+    population = PopulationModel(mix=mix, seed=args.fleet_seed)
+    kwargs = {"run": ScaledRun(instructions=args.instructions)}
+    if schemes:
+        kwargs["schemes"] = schemes
+    return FleetSimulator(
+        population, shard_size=max(1, args.shard_size), **kwargs
+    )
+
+
+def _fleet(args, runner) -> int:
+    """Simulate a persona-mixed device fleet; print the summary table."""
+    from repro.errors import ConfigurationError
+    from repro.fleet import PolicyIndex
+
+    try:
+        simulator = _build_fleet_simulator(args)
+        report = simulator.simulate(max(1, args.devices))
+    except ConfigurationError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
+    summary = report.summary()
+    print(format_table(
+        ["metric", "value"],
+        [[k, v] for k, v in summary.items()],
+        title=(
+            f"fleet: {report.devices} devices, {report.shards} shard(s), "
+            f"seed {simulator.population.seed}"
+        ),
+    ))
+    if args.output:
+        import json as _json
+
+        with open(args.output, "w", encoding="utf-8") as stream:
+            _json.dump(report.as_dict(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote fleet report to {args.output}")
+    if args.index_out:
+        path = PolicyIndex.build(simulator).save(args.index_out)
+        print(f"wrote policy index to {path}")
+    from repro.analysis.report import render_runner_summary
+
+    if args.manifest:
+        runner.write_manifest(args.manifest)
+        print(f"wrote run manifest to {args.manifest}")
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.record_fleet(report)
+        registry.record_runner(runner)
+        registry.record_codec_backend()
+        registry.write_json(args.metrics_out)
+        print(f"wrote {len(registry)} metrics to {args.metrics_out}")
+    runner_summary = render_runner_summary(runner)
+    if runner_summary:
+        print(runner_summary)
+    return 0
+
+
+def _serve(args, runner) -> int:
+    """Run the advisory service: TCP listener and/or in-process self-test."""
+    import asyncio
+
+    from repro.errors import ConfigurationError
+    from repro.fleet import AdvisoryService, PolicyIndex, run_request_storm
+
+    if args.port is None and args.self_test is None:
+        print("serve requires --port and/or --self-test N", file=sys.stderr)
+        return 2
+    try:
+        if args.index:
+            index = PolicyIndex.load(args.index)
+        else:
+            index = PolicyIndex.build(_build_fleet_simulator(args))
+        service = AdvisoryService(
+            index,
+            max_queue=args.queue_limit,
+            workers=args.service_workers,
+            request_timeout_s=args.request_timeout,
+        )
+    except ConfigurationError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+
+    async def _run() -> int:
+        status = 0
+        await service.start()
+        if args.self_test is not None:
+            n = max(1, args.self_test)
+            # Deterministic profile sweep across the idle-fraction band.
+            profiles = [
+                {"idle_fraction": 0.55 + 0.44 * (i % 89) / 88.0}
+                for i in range(n)
+            ]
+            outcomes = await run_request_storm(
+                service, profiles, concurrency=max(1, args.concurrency)
+            )
+            accounted = sum(outcomes.values())
+            print(format_table(
+                ["disposition", "count"],
+                sorted(outcomes.items()),
+                title=f"serve self-test: {n} requests, "
+                f"concurrency {args.concurrency}",
+            ))
+            if accounted != n or outcomes["error"]:
+                status = 1
+        if args.port is not None and status == 0:
+            server = await service.serve_tcp(port=args.port)
+            host, port = server.sockets[0].getsockname()[:2]
+            print(f"advisory service listening on {host}:{port} "
+                  "(JSON lines; Ctrl-C to stop)", flush=True)
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+        await service.stop()
+        return status
+
+    try:
+        status = asyncio.run(_run())
+    except KeyboardInterrupt:
+        status = 0
+    snapshot = service.metrics_snapshot()
+    print(format_table(
+        ["metric", "value"],
+        [[k, v] for k, v in sorted(snapshot.items())],
+        title="advisory-service request metrics",
+    ))
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.record_service(service)
+        registry.record_runner(runner)
+        registry.write_json(args.metrics_out)
+        print(f"wrote {len(registry)} metrics to {args.metrics_out}")
+    return status
+
+
 def _configure_runner(args):
     """Install the process-wide experiment runner from CLI flags/env."""
     from repro.analysis.runner import configure_runner
@@ -739,6 +983,7 @@ def _configure_runner(args):
         timeout_s=timeout_s,
         retries=max(0, retries),
         checkpoint_path=checkpoint,
+        start_method=os.environ.get("REPRO_POOL_START_METHOD") or None,
     )
     if args.resume:
         if cache_dir is None:
@@ -794,6 +1039,10 @@ def main(argv: list[str] | None = None) -> int:
     runner = _configure_runner(args)
     if args.exhibit == "fidelity":
         return _fidelity(args, runner)
+    if args.exhibit == "fleet":
+        return _fleet(args, runner)
+    if args.exhibit == "serve":
+        return _serve(args, runner)
     if args.exhibit == "csv":
         from repro.analysis.export import export_all
 

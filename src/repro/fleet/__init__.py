@@ -1,0 +1,72 @@
+"""Fleet-scale population simulation and the policy-advisory service.
+
+``repro.fleet`` answers the deployment-side questions the single-device
+studies cannot: across an installed base of millions of heterogeneous
+devices, how much refresh energy does Morphable ECC actually save, and
+which policy should any *particular* traffic profile run?
+
+Layers:
+
+* :mod:`~repro.fleet.population` — seeded, counter-based persona
+  sampling (chunk-invariant by construction).
+* :mod:`~repro.fleet.aggregates` — mergeable streaming statistics
+  (moments + fixed-bin histograms) so no per-device records are kept.
+* :mod:`~repro.fleet.simulator` — cohort-decomposed fleet simulation
+  through the cached experiment runner.
+* :mod:`~repro.fleet.index` — precomputed traffic-profile -> policy
+  lookup, serializable for ``repro serve``.
+* :mod:`~repro.fleet.service` — asyncio advisory service with bounded
+  backpressure and per-request deadlines.
+"""
+
+from repro.fleet.aggregates import (
+    EXPORT_PERCENTILES,
+    FixedBinHistogram,
+    FleetAggregate,
+    StreamingMoments,
+    merge_aggregates,
+)
+from repro.fleet.index import Advisory, PolicyIndex, TrafficProfile
+from repro.fleet.population import (
+    DEFAULT_MIX,
+    DeviceSample,
+    PopulationModel,
+    parse_mix,
+)
+from repro.fleet.service import (
+    AdvisoryService,
+    AdvisoryTimeoutError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+    run_request_storm,
+)
+from repro.fleet.simulator import (
+    DEFAULT_SCHEMES,
+    CohortProfile,
+    FleetReport,
+    FleetSimulator,
+)
+
+__all__ = [
+    "Advisory",
+    "AdvisoryService",
+    "AdvisoryTimeoutError",
+    "CohortProfile",
+    "DEFAULT_MIX",
+    "DEFAULT_SCHEMES",
+    "DeviceSample",
+    "EXPORT_PERCENTILES",
+    "FixedBinHistogram",
+    "FleetAggregate",
+    "FleetReport",
+    "FleetSimulator",
+    "PolicyIndex",
+    "PopulationModel",
+    "ServiceOverloadedError",
+    "ServiceStoppedError",
+    "StreamingMoments",
+    "TrafficProfile",
+    "merge_aggregates",
+    "parse_mix",
+    "run_request_storm",
+]

@@ -1,0 +1,255 @@
+"""Precomputed policy-advisory index: traffic profile -> best policy.
+
+The advisory service must answer "which ECC/refresh policy should this
+device run?" in microseconds, so everything expensive — the cohort
+simulations behind each persona's :class:`CohortProfile` — is folded
+into an index ahead of time by :meth:`PolicyIndex.build`.  A query is a
+:class:`TrafficProfile` (duty cycle + memory intensity); answering it is
+nearest-cohort matching (log-distance on MPKI) plus the same energy
+ledger arithmetic the fleet simulator streams per device.
+
+The index serializes to JSON so ``repro fleet --index-out`` artifacts
+can be shipped to (and loaded by) ``repro serve`` without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import asdict, dataclass
+
+from repro.errors import ConfigurationError
+from repro.fleet.population import IDLE_BOUNDS
+from repro.fleet.simulator import CohortProfile, FleetSimulator
+
+#: Index file schema; bump when the entry layout changes.
+INDEX_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """One device's traffic description, as the service receives it."""
+
+    idle_fraction: float
+    mpki: float | None = None
+    sessions_per_day: int | None = None
+
+    def __post_init__(self) -> None:
+        lo, hi = IDLE_BOUNDS
+        if not lo <= self.idle_fraction <= hi:
+            raise ConfigurationError(
+                f"idle_fraction must be in [{lo}, {hi}], got {self.idle_fraction}"
+            )
+        if self.mpki is not None and self.mpki <= 0:
+            raise ConfigurationError("mpki must be positive")
+        if self.sessions_per_day is not None and self.sessions_per_day < 1:
+            raise ConfigurationError("sessions_per_day must be >= 1")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrafficProfile":
+        if not isinstance(payload, dict):
+            raise ConfigurationError("traffic profile must be a JSON object")
+        unknown = set(payload) - {"idle_fraction", "mpki", "sessions_per_day"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown traffic-profile fields: {sorted(unknown)}"
+            )
+        if "idle_fraction" not in payload:
+            raise ConfigurationError("traffic profile requires idle_fraction")
+        try:
+            idle = float(payload["idle_fraction"])
+            mpki = None if payload.get("mpki") is None else float(payload["mpki"])
+            sessions = payload.get("sessions_per_day")
+            sessions = None if sessions is None else int(sessions)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"bad traffic profile: {exc}") from exc
+        return cls(idle_fraction=idle, mpki=mpki, sessions_per_day=sessions)
+
+
+@dataclass(frozen=True)
+class Advisory:
+    """The service's answer for one traffic profile."""
+
+    policy: str
+    matched_persona: str
+    energy_j_day: float
+    saving_fraction: float
+    normalized_ipc: float
+    failure_prob_day: float
+    #: Per-scheme day energy, for clients that want the full picture.
+    alternatives: dict
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class _Entry:
+    """One persona's cohort: its traffic signature + per-scheme profiles."""
+
+    persona: str
+    mpki: float
+    sessions_per_day: int
+    profiles: dict  # scheme -> CohortProfile
+
+
+class PolicyIndex:
+    """Persona-cohort lookup table answering best-policy queries."""
+
+    def __init__(self, entries: list[_Entry], ipc_floor: float = 0.95):
+        if not entries:
+            raise ConfigurationError("policy index needs at least one cohort")
+        if not 0.0 < ipc_floor <= 1.0:
+            raise ConfigurationError("ipc_floor must be in (0, 1]")
+        self._entries = list(entries)
+        self.ipc_floor = ipc_floor
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(cls, simulator: FleetSimulator) -> "PolicyIndex":
+        """Precompute the index from a fleet simulator's cohort pass."""
+        profiles = simulator.build_profiles()
+        entries = []
+        for persona in simulator.population.personas:
+            entries.append(
+                _Entry(
+                    persona=persona.name,
+                    mpki=persona.mean_mpki,
+                    sessions_per_day=persona.sessions_per_day,
+                    profiles={
+                        scheme: profiles[(persona.name, scheme)]
+                        for scheme in simulator.schemes
+                    },
+                )
+            )
+        return cls(entries, ipc_floor=simulator.ipc_floor)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def personas(self) -> list[str]:
+        return [entry.persona for entry in self._entries]
+
+    @property
+    def schemes(self) -> list[str]:
+        return sorted(self._entries[0].profiles)
+
+    def _match(self, profile: TrafficProfile) -> _Entry:
+        """Nearest cohort by memory intensity (log scale), else idle shape."""
+        if profile.mpki is not None:
+            return min(
+                self._entries,
+                key=lambda e: abs(
+                    math.log(max(e.mpki, 1e-6)) - math.log(profile.mpki)
+                ),
+            )
+        # No intensity given: pick the cohort whose duty cycle is closest.
+        return min(
+            self._entries,
+            key=lambda e: abs(profile.idle_fraction - _persona_idle(e)),
+        )
+
+    def advise(self, profile: TrafficProfile) -> Advisory:
+        """Best policy for ``profile``: min day-energy above the IPC floor."""
+        entry = self._match(profile)
+        sessions = (
+            profile.sessions_per_day
+            if profile.sessions_per_day is not None
+            else entry.sessions_per_day
+        )
+        energies = {
+            scheme: cohort.day_energy_j(profile.idle_fraction, sessions)
+            for scheme, cohort in entry.profiles.items()
+        }
+        eligible = [
+            scheme
+            for scheme, cohort in entry.profiles.items()
+            if cohort.normalized_ipc >= self.ipc_floor
+        ]
+        if eligible:
+            best = min(eligible, key=lambda s: energies[s])
+        else:
+            best = max(
+                entry.profiles, key=lambda s: entry.profiles[s].normalized_ipc
+            )
+        chosen = entry.profiles[best]
+        reference = energies.get("baseline", max(energies.values()))
+        return Advisory(
+            policy=best,
+            matched_persona=entry.persona,
+            energy_j_day=energies[best],
+            saving_fraction=(
+                1.0 - energies[best] / reference if reference > 0 else 0.0
+            ),
+            normalized_ipc=chosen.normalized_ipc,
+            failure_prob_day=chosen.failure_prob_day,
+            alternatives={s: energies[s] for s in sorted(energies)},
+        )
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": INDEX_SCHEMA,
+            "ipc_floor": self.ipc_floor,
+            "entries": [
+                {
+                    "persona": entry.persona,
+                    "mpki": entry.mpki,
+                    "sessions_per_day": entry.sessions_per_day,
+                    "profiles": {
+                        scheme: asdict(cohort)
+                        for scheme, cohort in sorted(entry.profiles.items())
+                    },
+                }
+                for entry in self._entries
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PolicyIndex":
+        if not isinstance(payload, dict) or payload.get("schema") != INDEX_SCHEMA:
+            raise ConfigurationError(
+                f"not a policy index (expected schema {INDEX_SCHEMA})"
+            )
+        entries = []
+        for raw in payload.get("entries", []):
+            entries.append(
+                _Entry(
+                    persona=raw["persona"],
+                    mpki=raw["mpki"],
+                    sessions_per_day=raw["sessions_per_day"],
+                    profiles={
+                        scheme: CohortProfile(**fields)
+                        for scheme, fields in raw["profiles"].items()
+                    },
+                )
+            )
+        return cls(entries, ipc_floor=payload.get("ipc_floor", 0.95))
+
+    def save(self, path: str | os.PathLike) -> str:
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(self.to_dict(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        return str(path)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "PolicyIndex":
+        try:
+            with open(path, encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError) as exc:
+            raise ConfigurationError(
+                f"cannot read policy index {path}: {exc}"
+            ) from exc
+        return cls.from_dict(payload)
+
+
+def _persona_idle(entry: _Entry) -> float:
+    """A cohort's nominal idle fraction (for intensity-less matching)."""
+    from repro.workloads.personas import ALL_PERSONAS_BY_NAME
+
+    persona = ALL_PERSONAS_BY_NAME.get(entry.persona)
+    return persona.idle_fraction if persona is not None else 0.9

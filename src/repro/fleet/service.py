@@ -1,0 +1,281 @@
+"""Asyncio policy-advisory service (``repro serve``).
+
+Serves "which ECC/refresh policy for this traffic profile?" answers
+from a precomputed :class:`repro.fleet.index.PolicyIndex` under heavy
+concurrent load.  The load-shedding contract:
+
+* **Bounded-queue backpressure** — requests enter a fixed-capacity
+  ``asyncio.Queue``; a full queue *rejects immediately*
+  (:class:`ServiceOverloadedError`) instead of growing without bound,
+  so memory stays flat no matter the offered load and the caller gets
+  an honest overload signal it can back off on.
+* **Per-request timeouts** — a request that waits longer than
+  ``request_timeout_s`` fails with :class:`AdvisoryTimeoutError`; the
+  worker discards timed-out entries instead of computing dead answers.
+* **Observability** — every disposition (completed / rejected /
+  timed out / errored), queue high-water mark, and a latency histogram
+  with p50/p95/p99 export through :meth:`AdvisoryService.metrics_snapshot`
+  into the :mod:`repro.obs.metrics` registry.
+
+The TCP front-end (:meth:`AdvisoryService.serve_tcp`) speaks JSON
+lines: one request object per line in, one advisory (or error) object
+per line out.  All pure stdlib asyncio.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from repro.errors import ConfigurationError, ReproError
+from repro.fleet.aggregates import FixedBinHistogram
+from repro.fleet.index import PolicyIndex, TrafficProfile
+
+
+class ServiceOverloadedError(ReproError):
+    """The advisory queue is full; the caller should back off and retry."""
+
+
+class AdvisoryTimeoutError(ReproError):
+    """The request waited past its deadline in the advisory queue."""
+
+
+class ServiceStoppedError(ReproError):
+    """submit() on a service that is not running."""
+
+
+#: Latency histogram range (seconds): sub-millisecond answers dominate,
+#: the tail is queue wait under saturation.
+_LATENCY_RANGE_S = (0.0, 0.5)
+_LATENCY_BINS = 200
+
+
+class AdvisoryService:
+    """Queue-fed worker pool answering advisory requests from an index.
+
+    Args:
+        index: the precomputed policy index.
+        max_queue: bounded queue capacity (backpressure knob).
+        workers: concurrent worker tasks draining the queue.
+        request_timeout_s: per-request wall-clock deadline, measured
+            from submission (queue wait included).
+    """
+
+    def __init__(
+        self,
+        index: PolicyIndex,
+        max_queue: int = 256,
+        workers: int = 4,
+        request_timeout_s: float = 1.0,
+    ):
+        if max_queue < 1:
+            raise ConfigurationError("max_queue must be >= 1")
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if request_timeout_s <= 0:
+            raise ConfigurationError("request_timeout_s must be positive")
+        self.index = index
+        self.max_queue = max_queue
+        self.workers = workers
+        self.request_timeout_s = request_timeout_s
+        self._queue: asyncio.Queue | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._server: asyncio.AbstractServer | None = None
+        # -- counters (exported via metrics_snapshot) -------------------------
+        self.requests_total = 0
+        self.completed = 0
+        self.rejected_overload = 0
+        self.timeouts = 0
+        self.errors = 0
+        self.queue_high_water = 0
+        self.latency = FixedBinHistogram(*_LATENCY_RANGE_S, _LATENCY_BINS)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._queue is not None
+
+    async def start(self) -> None:
+        """Spin up the worker tasks (idempotent)."""
+        if self.running:
+            return
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
+        self._tasks = [
+            asyncio.create_task(self._worker(), name=f"advisory-worker-{i}")
+            for i in range(self.workers)
+        ]
+
+    async def stop(self) -> None:
+        """Drain nothing, cancel workers, close the TCP server if any."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks = []
+        queue, self._queue = self._queue, None
+        if queue is not None:
+            # Fail anything still queued so no submitter hangs.
+            while not queue.empty():
+                _, future, _ = queue.get_nowait()
+                if not future.done():
+                    future.set_exception(ServiceStoppedError("service stopped"))
+
+    async def _worker(self) -> None:
+        while True:
+            profile, future, deadline = await self._queue.get()
+            if future.done():
+                continue  # submitter already timed out / cancelled
+            if time.perf_counter() > deadline:
+                continue  # dead on arrival; submitter's wait_for handles it
+            try:
+                advisory = self.index.advise(profile)
+            except ReproError as exc:
+                if not future.done():
+                    future.set_exception(exc)
+                continue
+            if not future.done():
+                future.set_result(advisory)
+
+    # -- request path ----------------------------------------------------------
+
+    async def submit(self, profile: TrafficProfile | dict):
+        """Answer one advisory request; raises on overload or timeout.
+
+        Returns a :class:`repro.fleet.index.Advisory`.
+        """
+        if not self.running:
+            raise ServiceStoppedError("advisory service is not running")
+        if isinstance(profile, dict):
+            profile = TrafficProfile.from_dict(profile)
+        self.requests_total += 1
+        start = time.perf_counter()
+        future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait(
+                (profile, future, start + self.request_timeout_s)
+            )
+        except asyncio.QueueFull:
+            self.rejected_overload += 1
+            raise ServiceOverloadedError(
+                f"advisory queue full ({self.max_queue} pending); retry later"
+            ) from None
+        depth = self._queue.qsize()
+        if depth > self.queue_high_water:
+            self.queue_high_water = depth
+        try:
+            advisory = await asyncio.wait_for(future, self.request_timeout_s)
+        except asyncio.TimeoutError:
+            self.timeouts += 1
+            raise AdvisoryTimeoutError(
+                f"advisory request timed out after {self.request_timeout_s:g} s"
+            ) from None
+        except ReproError:
+            self.errors += 1
+            raise
+        self.completed += 1
+        self.latency.add(time.perf_counter() - start)
+        return advisory
+
+    # -- TCP front-end ---------------------------------------------------------
+
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 8123):
+        """Start the JSON-lines TCP listener; returns the asyncio server."""
+        await self.start()
+        self._server = await asyncio.start_server(self._handle_client, host, port)
+        return self._server
+
+    async def _handle_client(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._respond(line)
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+
+    async def _respond(self, line: bytes) -> dict:
+        """One request line -> one JSON-native response object."""
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            return {"ok": False, "error": "bad-request", "detail": "invalid JSON"}
+        try:
+            advisory = await self.submit(payload)
+        except ServiceOverloadedError as exc:
+            return {"ok": False, "error": "overloaded", "detail": str(exc)}
+        except AdvisoryTimeoutError as exc:
+            return {"ok": False, "error": "timeout", "detail": str(exc)}
+        except ReproError as exc:
+            return {"ok": False, "error": "bad-request", "detail": str(exc)}
+        return {"ok": True, "advisory": advisory.as_dict()}
+
+    # -- observability ---------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Scalar request metrics (the ``service.*`` metrics namespace)."""
+        out = {
+            "requests_total": self.requests_total,
+            "completed": self.completed,
+            "rejected_overload": self.rejected_overload,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "queue_limit": self.max_queue,
+            "queue_high_water": self.queue_high_water,
+            "workers": self.workers,
+            "request_timeout_s": self.request_timeout_s,
+        }
+        if self.latency.total:
+            out["latency_p50_ms"] = 1000.0 * self.latency.percentile(0.50)
+            out["latency_p95_ms"] = 1000.0 * self.latency.percentile(0.95)
+            out["latency_p99_ms"] = 1000.0 * self.latency.percentile(0.99)
+        return out
+
+
+async def run_request_storm(
+    service: AdvisoryService,
+    profiles,
+    concurrency: int = 200,
+) -> dict:
+    """Fire many advisory requests with bounded concurrency; count fates.
+
+    The shared harness behind ``repro serve --self-test`` and
+    ``bench_serve``: submits every profile through at most
+    ``concurrency`` in-flight requests and returns disposition counts
+    (the service's own counters carry latency percentiles).
+    """
+    gate = asyncio.Semaphore(concurrency)
+    outcomes = {"ok": 0, "overloaded": 0, "timeout": 0, "error": 0}
+
+    async def one(profile) -> None:
+        async with gate:
+            try:
+                await service.submit(profile)
+            except ServiceOverloadedError:
+                outcomes["overloaded"] += 1
+            except AdvisoryTimeoutError:
+                outcomes["timeout"] += 1
+            except ReproError:
+                outcomes["error"] += 1
+            else:
+                outcomes["ok"] += 1
+
+    await asyncio.gather(*(one(profile) for profile in profiles))
+    return outcomes

@@ -18,6 +18,8 @@ Namespaces:
 * ``obs.trace.*`` — tracer buffer statistics.
 * ``invariants.*`` — invariant-suite evaluation/violation counts.
 * ``fidelity.*`` — paper-claim conformance verdicts and relative errors.
+* ``fleet.*`` — fleet-simulation aggregates (:mod:`repro.fleet`).
+* ``service.*`` — advisory-service request counters and latency tails.
 """
 
 from __future__ import annotations
@@ -238,6 +240,38 @@ class MetricsRegistry:
             self.set(f"{prefix}.passed", result.passed)
             self.set(f"{prefix}.measured", result.measured)
             self.set(f"{prefix}.relative_error", result.relative_error)
+
+    def record_fleet(self, report, namespace: str = "fleet") -> None:
+        """Merge a :class:`repro.fleet.simulator.FleetReport` summary.
+
+        Emits the sharding/caching totals plus per-metric mean and p95
+        (the full histograms live in the report artifact, not here).
+        """
+        self.update(
+            namespace,
+            {
+                "devices": report.devices,
+                "shards": report.shards,
+                "shard_size": report.shard_size,
+                "cohort_jobs": report.cohort_jobs,
+                "cohort_cache_hits": report.cohort_cache_hits,
+                "seed": report.population["seed"],
+                "schemes": ",".join(report.schemes),
+                "codec_backends": ",".join(report.codec_backends),
+            },
+        )
+        skip = {"devices", "shards", "cohort_jobs"}
+        for key, value in report.summary().items():
+            if key not in skip and isinstance(value, _SCALAR_TYPES):
+                self.set(f"{namespace}.{key}", value)
+
+    def record_service(self, service, namespace: str = "service") -> None:
+        """Merge an advisory service's request metrics.
+
+        Accepts anything exposing ``metrics_snapshot()`` returning
+        scalars (:class:`repro.fleet.service.AdvisoryService`).
+        """
+        self.update(namespace, service.metrics_snapshot())
 
     # -- export --------------------------------------------------------------
 

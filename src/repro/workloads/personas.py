@@ -60,6 +60,17 @@ class Persona:
         day = 24 * 3600.0
         return day * self.idle_fraction / self.sessions_per_day
 
+    @property
+    def mean_mpki(self) -> float:
+        """Average memory intensity of the app mix (traffic profile)."""
+        specs = [BENCHMARKS_BY_NAME[name] for name in self.app_mix]
+        return sum(spec.mpki for spec in specs) / len(specs)
+
+    @property
+    def total_footprint_mb(self) -> float:
+        """Summed full-scale footprint of the app mix (MDT sizing)."""
+        return sum(BENCHMARKS_BY_NAME[name].footprint_mb for name in self.app_mix)
+
 
 #: Representative personas.
 PERSONAS: tuple[Persona, ...] = (
@@ -84,6 +95,29 @@ PERSONAS: tuple[Persona, ...] = (
 )
 
 PERSONAS_BY_NAME = {p.name: p for p in PERSONAS}
+
+#: Fleet-study extension personas: the tails of the installed base that
+#: the three representative profiles average away.  Kept out of
+#: :data:`PERSONAS` so the paper-facing persona studies stay three-way.
+EXTENDED_PERSONAS: tuple[Persona, ...] = (
+    Persona(
+        name="minimal",
+        app_mix=("povray",),  # feature-phone-style usage: rare, light checks
+        sessions_per_day=12,
+        idle_fraction=0.99,
+    ),
+    Persona(
+        name="gamer",
+        app_mix=("lbm", "milc", "libq"),  # sustained memory-bound sessions
+        sessions_per_day=30,
+        idle_fraction=0.75,
+    ),
+)
+
+#: Every persona the fleet simulator can sample from.
+ALL_PERSONAS: tuple[Persona, ...] = PERSONAS + EXTENDED_PERSONAS
+
+ALL_PERSONAS_BY_NAME = {p.name: p for p in ALL_PERSONAS}
 
 
 def simulate_persona_day(

@@ -1,0 +1,173 @@
+"""Mergeable streaming aggregates: the fleet layer's numerical core.
+
+The contract under test: aggregating a stream in any sharding, any
+order, yields the same result — exactly for counts/histograms, to
+float-rounding for the Welford/Chan moments.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.aggregates import (
+    FixedBinHistogram,
+    FleetAggregate,
+    StreamingMoments,
+    merge_aggregates,
+)
+
+RNG = random.Random(4242)
+VALUES = [RNG.gauss(100.0, 25.0) for _ in range(5_000)]
+
+
+def _chunks(values, size):
+    for start in range(0, len(values), size):
+        yield values[start : start + size]
+
+
+class TestStreamingMoments:
+    def test_matches_direct_computation(self):
+        moments = StreamingMoments()
+        for value in VALUES:
+            moments.add(value)
+        mean = sum(VALUES) / len(VALUES)
+        var = sum((v - mean) ** 2 for v in VALUES) / len(VALUES)
+        assert moments.count == len(VALUES)
+        assert moments.mean == pytest.approx(mean, rel=1e-12)
+        assert moments.variance == pytest.approx(var, rel=1e-9)
+        assert moments.stddev == pytest.approx(math.sqrt(var), rel=1e-9)
+
+    @pytest.mark.parametrize("size", [1, 7, 100, 1_000, 5_000])
+    def test_chunk_size_invariance(self, size):
+        merged = StreamingMoments()
+        for chunk in _chunks(VALUES, size):
+            part = StreamingMoments()
+            for value in chunk:
+                part.add(value)
+            merged.merge(part)
+        whole = StreamingMoments()
+        for value in VALUES:
+            whole.add(value)
+        assert merged.count == whole.count
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert merged.variance == pytest.approx(whole.variance, rel=1e-9)
+
+    def test_merge_order_invariance(self):
+        parts = []
+        for chunk in _chunks(VALUES, 250):
+            part = StreamingMoments()
+            for value in chunk:
+                part.add(value)
+            parts.append(part)
+        forward = StreamingMoments()
+        for part in parts:
+            forward.merge(part)
+        backward = StreamingMoments()
+        for part in reversed(parts):
+            backward.merge(part)
+        assert forward.count == backward.count
+        assert forward.mean == pytest.approx(backward.mean, rel=1e-12)
+        assert forward.variance == pytest.approx(backward.variance, rel=1e-9)
+
+    def test_merge_with_empty_is_identity(self):
+        full = StreamingMoments()
+        for value in VALUES[:100]:
+            full.add(value)
+        before = (full.count, full.mean, full.variance)
+        full.merge(StreamingMoments())
+        assert (full.count, full.mean, full.variance) == before
+
+
+class TestFixedBinHistogram:
+    def test_counts_and_gutters(self):
+        hist = FixedBinHistogram(0.0, 10.0, bins=10)
+        for value in (-5.0, 0.0, 0.5, 5.0, 9.99, 10.0, 25.0):
+            hist.add(value)
+        assert hist.total == 7
+        assert hist.underflow == 1  # -5.0
+        assert hist.overflow == 2  # 10.0 (right edge) and 25.0
+
+    def test_merge_is_exact(self):
+        shard_a = FixedBinHistogram(0.0, 200.0, bins=64)
+        shard_b = FixedBinHistogram(0.0, 200.0, bins=64)
+        whole = FixedBinHistogram(0.0, 200.0, bins=64)
+        for i, value in enumerate(VALUES):
+            (shard_a if i % 2 else shard_b).add(value)
+            whole.add(value)
+        shard_a.merge(shard_b)
+        assert shard_a.counts == whole.counts
+        assert shard_a.underflow == whole.underflow
+        assert shard_a.overflow == whole.overflow
+
+    def test_percentiles_close_to_exact(self):
+        hist = FixedBinHistogram(0.0, 200.0, bins=400)
+        for value in VALUES:
+            hist.add(value)
+        exact = sorted(VALUES)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            want = exact[int(q * (len(exact) - 1))]
+            # Interpolated sketch error is bounded by one bin width.
+            assert hist.percentile(q) == pytest.approx(want, abs=0.5 + 1e-9)
+
+    def test_mismatched_binning_refuses_merge(self):
+        with pytest.raises(ConfigurationError):
+            FixedBinHistogram(0.0, 1.0, 10).merge(FixedBinHistogram(0.0, 1.0, 20))
+        with pytest.raises(ConfigurationError):
+            FixedBinHistogram(0.0, 1.0, 10).merge(FixedBinHistogram(0.0, 2.0, 10))
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedBinHistogram(1.0, 1.0, 10)
+        with pytest.raises(ConfigurationError):
+            FixedBinHistogram(0.0, 1.0, 0)
+
+
+class TestFleetAggregate:
+    def _fill(self, values):
+        agg = FleetAggregate()
+        metric = agg.metric("energy", 0.0, 200.0, 64)
+        for value in values:
+            metric.add(value)
+            agg.count_device("light" if value < 120.0 else "heavy")
+            agg.count_best_policy("mecc" if value > 100.0 else "baseline")
+        return agg
+
+    @pytest.mark.parametrize("size", [1, 37, 500, 5_000])
+    def test_sharded_equals_whole(self, size):
+        whole = self._fill(VALUES)
+        shards = [self._fill(chunk) for chunk in _chunks(VALUES, size)]
+        merged = merge_aggregates(shards)
+        assert merged.devices == whole.devices
+        assert merged.persona_counts == whole.persona_counts
+        assert merged.best_policy_counts == whole.best_policy_counts
+        ours, theirs = merged.metrics["energy"], whole.metrics["energy"]
+        assert ours.histogram.counts == theirs.histogram.counts
+        assert ours.moments.mean == pytest.approx(theirs.moments.mean, rel=1e-12)
+
+    def test_merge_order_invariance(self):
+        shards = [self._fill(chunk) for chunk in _chunks(VALUES, 250)]
+        forward = merge_aggregates(shards)
+        backward = merge_aggregates(list(reversed(shards)))
+        assert forward.devices == backward.devices
+        a, b = forward.metrics["energy"], backward.metrics["energy"]
+        assert a.histogram.counts == b.histogram.counts
+        assert a.moments.mean == pytest.approx(b.moments.mean, rel=1e-12)
+        assert a.moments.variance == pytest.approx(b.moments.variance, rel=1e-9)
+
+    def test_as_dict_shape(self):
+        payload = self._fill(VALUES[:100]).as_dict()
+        assert payload["devices"] == 100
+        assert "energy" in payload["metrics"]
+        assert set(payload["metrics"]["energy"]["percentiles"]) == {
+            "p50", "p90", "p95", "p99",
+        }
+
+    def test_metric_rebinding_conflict_rejected(self):
+        agg = FleetAggregate()
+        agg.metric("energy", 0.0, 200.0, 64)
+        with pytest.raises(ConfigurationError):
+            agg.metric("energy", 0.0, 100.0, 64)

@@ -1,0 +1,107 @@
+"""Policy-advisory index: matching, advice, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.index import PolicyIndex, TrafficProfile
+from repro.fleet.population import PopulationModel
+from repro.fleet.simulator import FleetSimulator
+from repro.sim.system import ScaledRun
+
+RUN = ScaledRun(instructions=10_000)
+
+
+@pytest.fixture(scope="module")
+def index():
+    return PolicyIndex.build(
+        FleetSimulator(PopulationModel(seed=9), run=RUN)
+    )
+
+
+class TestTrafficProfile:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrafficProfile(idle_fraction=0.2)  # below IDLE_BOUNDS
+        with pytest.raises(ConfigurationError):
+            TrafficProfile(idle_fraction=0.9, mpki=-1.0)
+        with pytest.raises(ConfigurationError):
+            TrafficProfile(idle_fraction=0.9, sessions_per_day=0)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            TrafficProfile.from_dict({"idle_fraction": 0.9, "color": "red"})
+        with pytest.raises(ConfigurationError, match="idle_fraction"):
+            TrafficProfile.from_dict({"mpki": 1.0})
+        with pytest.raises(ConfigurationError):
+            TrafficProfile.from_dict({"idle_fraction": "lots"})
+        with pytest.raises(ConfigurationError):
+            TrafficProfile.from_dict("not a dict")
+
+    def test_from_dict_round_trip(self):
+        profile = TrafficProfile.from_dict(
+            {"idle_fraction": 0.9, "mpki": 4.5, "sessions_per_day": 30}
+        )
+        assert profile == TrafficProfile(0.9, 4.5, 30)
+
+
+class TestAdvise:
+    def test_covers_index_personas(self, index):
+        assert set(index.personas) == {"light", "moderate", "heavy"}
+        assert set(index.schemes) == {"baseline", "secded", "mecc"}
+
+    def test_mpki_matching(self, index):
+        light = index.advise(TrafficProfile(idle_fraction=0.98, mpki=0.3))
+        heavy = index.advise(TrafficProfile(idle_fraction=0.85, mpki=25.0))
+        assert light.matched_persona == "light"
+        assert heavy.matched_persona == "heavy"
+
+    def test_idle_matching_without_mpki(self, index):
+        adv = index.advise(TrafficProfile(idle_fraction=0.85))
+        assert adv.matched_persona == "heavy"
+
+    def test_idle_user_gets_mecc_and_saves(self, index):
+        adv = index.advise(TrafficProfile(idle_fraction=0.98, mpki=0.3))
+        assert adv.policy == "mecc"
+        assert adv.saving_fraction > 0.3
+        assert adv.normalized_ipc >= 0.95
+        assert set(adv.alternatives) == {"baseline", "secded", "mecc"}
+        # The chosen policy really is the cheapest alternative.
+        assert adv.energy_j_day == min(adv.alternatives.values())
+
+    def test_advice_scales_with_idle_fraction(self, index):
+        lazy = index.advise(TrafficProfile(idle_fraction=0.99, mpki=0.3))
+        busy = index.advise(TrafficProfile(idle_fraction=0.60, mpki=0.3))
+        # More idle time -> larger share of energy is refresh -> bigger saving.
+        assert lazy.saving_fraction > busy.saving_fraction
+
+    def test_as_dict_is_json_native(self, index):
+        import json
+
+        payload = index.advise(TrafficProfile(idle_fraction=0.9)).as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestSerialization:
+    def test_round_trip(self, index, tmp_path):
+        path = index.save(tmp_path / "index.json")
+        loaded = PolicyIndex.load(path)
+        for profile in (
+            TrafficProfile(idle_fraction=0.98, mpki=0.2),
+            TrafficProfile(idle_fraction=0.7, mpki=30.0, sessions_per_day=10),
+            TrafficProfile(idle_fraction=0.9),
+        ):
+            assert loaded.advise(profile) == index.advise(profile)
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            PolicyIndex.from_dict({"schema": 999, "entries": []})
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            PolicyIndex.load(tmp_path / "nope.json")
+
+    def test_empty_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolicyIndex([])

@@ -1,0 +1,116 @@
+"""Persona-mix population sampling: determinism and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.population import (
+    DEFAULT_MIX,
+    IDLE_BOUNDS,
+    PopulationModel,
+    parse_mix,
+)
+from repro.workloads.personas import ALL_PERSONAS_BY_NAME
+
+
+class TestDeterminism:
+    def test_same_seed_same_fleet(self):
+        a = PopulationModel(seed=7)
+        b = PopulationModel(seed=7)
+        assert list(a.devices(0, 500)) == list(b.devices(0, 500))
+
+    def test_different_seed_different_fleet(self):
+        a = list(PopulationModel(seed=7).devices(0, 500))
+        b = list(PopulationModel(seed=8).devices(0, 500))
+        assert a != b
+
+    def test_device_is_pure_function_of_index(self):
+        """Chunking cannot change a device: index i is index i, always."""
+        model = PopulationModel(seed=3)
+        whole = list(model.devices(0, 1_000))
+        for chunk_size in (1, 13, 250):
+            chunked = [
+                device
+                for start in range(0, 1_000, chunk_size)
+                for device in model.devices(
+                    start, min(start + chunk_size, 1_000)
+                )
+            ]
+            assert chunked == whole
+
+    def test_mix_shares_converge(self):
+        model = PopulationModel(seed=11)
+        counts: dict[str, int] = {}
+        n = 20_000
+        for device in model.devices(0, n):
+            name = device.persona.name
+            counts[name] = counts.get(name, 0) + 1
+        for name, weight in DEFAULT_MIX.items():
+            assert counts[name] / n == pytest.approx(weight, abs=0.02)
+
+    def test_jitter_respects_bounds(self):
+        model = PopulationModel(seed=5, idle_jitter=0.2)
+        lo, hi = IDLE_BOUNDS
+        for device in model.devices(0, 2_000):
+            assert lo <= device.idle_fraction <= hi
+            assert device.sessions_per_day >= 1
+
+
+class TestValidation:
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PopulationModel(mix={})
+
+    def test_unknown_persona_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown personas"):
+            PopulationModel(mix={"light": 1.0, "nosuch": 1.0})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PopulationModel(mix={"light": -0.5, "heavy": 1.5})
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PopulationModel(mix={"light": 0.0, "heavy": 0.0})
+
+    def test_jitter_ranges_enforced(self):
+        with pytest.raises(ConfigurationError):
+            PopulationModel(idle_jitter=0.5)
+        with pytest.raises(ConfigurationError):
+            PopulationModel(session_jitter=1.5)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PopulationModel().device(-1)
+        with pytest.raises(ConfigurationError):
+            list(PopulationModel().devices(-1, 5))
+
+    def test_extended_personas_usable(self):
+        model = PopulationModel(mix={"minimal": 1.0, "gamer": 1.0}, seed=1)
+        names = {d.persona.name for d in model.devices(0, 200)}
+        assert names == {"minimal", "gamer"}
+        assert all(name in ALL_PERSONAS_BY_NAME for name in names)
+
+    def test_weights_normalized(self):
+        model = PopulationModel(mix={"light": 3.0, "heavy": 1.0})
+        assert model.mix["light"] == pytest.approx(0.75)
+        assert model.mix["heavy"] == pytest.approx(0.25)
+
+
+class TestParseMix:
+    def test_parses_weighted_list(self):
+        assert parse_mix("light:0.5, moderate:0.3,heavy:0.2") == {
+            "light": 0.5, "moderate": 0.3, "heavy": 0.2,
+        }
+
+    def test_bare_name_defaults_to_one(self):
+        assert parse_mix("light,heavy") == {"light": 1.0, "heavy": 1.0}
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_mix("light:abc")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_mix("  , ,")

@@ -1,0 +1,240 @@
+"""Advisory service: concurrency, backpressure, timeouts, TCP framing.
+
+pytest-asyncio is not a dependency; every test drives its own event
+loop with ``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.index import PolicyIndex, TrafficProfile
+from repro.fleet.population import PopulationModel
+from repro.fleet.service import (
+    AdvisoryService,
+    AdvisoryTimeoutError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+    run_request_storm,
+)
+from repro.fleet.simulator import FleetSimulator
+from repro.sim.system import ScaledRun
+
+
+@pytest.fixture(scope="module")
+def index():
+    return PolicyIndex.build(
+        FleetSimulator(PopulationModel(seed=9), run=ScaledRun(instructions=10_000))
+    )
+
+
+def _profiles(n: int) -> list[dict]:
+    return [
+        {"idle_fraction": 0.55 + 0.44 * (i % 89) / 88.0} for i in range(n)
+    ]
+
+
+class TestRequestPath:
+    def test_concurrent_requests_all_complete(self, index):
+        service = AdvisoryService(
+            index, max_queue=512, workers=4, request_timeout_s=5.0
+        )
+
+        async def run():
+            await service.start()
+            try:
+                return await run_request_storm(
+                    service, _profiles(300), concurrency=200
+                )
+            finally:
+                await service.stop()
+
+        outcomes = asyncio.run(run())
+        assert outcomes == {"ok": 300, "overloaded": 0, "timeout": 0, "error": 0}
+        snapshot = service.metrics_snapshot()
+        assert snapshot["completed"] == 300
+        assert snapshot["latency_p50_ms"] <= snapshot["latency_p95_ms"]
+
+    def test_accepts_traffic_profile_objects(self, index):
+        service = AdvisoryService(index)
+
+        async def run():
+            await service.start()
+            try:
+                return await service.submit(
+                    TrafficProfile(idle_fraction=0.97, mpki=0.3)
+                )
+            finally:
+                await service.stop()
+
+        advisory = asyncio.run(run())
+        assert advisory.matched_persona == "light"
+
+    def test_invalid_profile_counts_as_error(self, index):
+        service = AdvisoryService(index)
+
+        async def run():
+            await service.start()
+            try:
+                with pytest.raises(ConfigurationError):
+                    await service.submit({"idle_fraction": 2.0})
+            finally:
+                await service.stop()
+
+        asyncio.run(run())
+        assert service.errors == 0  # rejected before entering the queue
+        assert service.requests_total == 0 or service.requests_total == 1
+
+    def test_submit_when_stopped_raises(self, index):
+        service = AdvisoryService(index)
+
+        async def run():
+            with pytest.raises(ServiceStoppedError):
+                await service.submit({"idle_fraction": 0.9})
+
+        asyncio.run(run())
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_immediately(self, index):
+        service = AdvisoryService(
+            index, max_queue=4, workers=1, request_timeout_s=5.0
+        )
+
+        async def run():
+            await service.start()
+            try:
+                # Submit without yielding: the queue fills before any
+                # worker gets scheduled, so rejections are deterministic.
+                results = await asyncio.gather(
+                    *(service.submit(p) for p in _profiles(20)),
+                    return_exceptions=True,
+                )
+            finally:
+                await service.stop()
+            return results
+
+        results = asyncio.run(run())
+        rejected = [r for r in results if isinstance(r, ServiceOverloadedError)]
+        served = [r for r in results if not isinstance(r, Exception)]
+        assert len(rejected) == 16
+        assert len(served) == 4
+        assert service.rejected_overload == 16
+        assert service.queue_high_water <= 4
+
+    def test_queue_is_bounded(self, index):
+        service = AdvisoryService(index, max_queue=8, workers=1)
+
+        async def run():
+            await service.start()
+            try:
+                await run_request_storm(service, _profiles(100), concurrency=50)
+            finally:
+                await service.stop()
+
+        asyncio.run(run())
+        assert service.queue_high_water <= 8
+        assert service.requests_total == 100
+        assert service.completed + service.rejected_overload + service.timeouts == 100
+
+
+class TestTimeouts:
+    def test_stalled_workers_time_out_requests(self, index):
+        service = AdvisoryService(
+            index, max_queue=8, workers=1, request_timeout_s=0.05
+        )
+
+        async def run():
+            await service.start()
+            # Stall the drain: no worker ever picks the request up.
+            for task in service._tasks:
+                task.cancel()
+            with pytest.raises(AdvisoryTimeoutError):
+                await service.submit({"idle_fraction": 0.9})
+            await service.stop()
+
+        asyncio.run(run())
+        assert service.timeouts == 1
+
+    def test_stop_fails_queued_requests(self, index):
+        service = AdvisoryService(index, max_queue=8, workers=1)
+
+        async def run():
+            await service.start()
+            for task in service._tasks:
+                task.cancel()
+            pending = asyncio.ensure_future(
+                service.submit({"idle_fraction": 0.9})
+            )
+            await asyncio.sleep(0)  # let the submit enqueue
+            await service.stop()
+            with pytest.raises((ServiceStoppedError, AdvisoryTimeoutError)):
+                await pending
+
+        asyncio.run(run())
+
+
+class TestTcpFrontend:
+    def test_json_lines_round_trip(self, index):
+        service = AdvisoryService(index, request_timeout_s=5.0)
+
+        async def run():
+            server = await service.serve_tcp(port=0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            lines = [
+                json.dumps({"idle_fraction": 0.97, "mpki": 0.3}),
+                "this is not json",
+                json.dumps({"idle_fraction": 5.0}),
+                json.dumps({"idle_fraction": 0.85, "mpki": 25.0}),
+            ]
+            writer.write(("\n".join(lines) + "\n").encode())
+            await writer.drain()
+            responses = [
+                json.loads(await reader.readline()) for _ in range(len(lines))
+            ]
+            writer.close()
+            await writer.wait_closed()
+            await service.stop()
+            return responses
+
+        ok1, bad1, bad2, ok2 = asyncio.run(run())
+        assert ok1["ok"] and ok1["advisory"]["matched_persona"] == "light"
+        assert not bad1["ok"] and bad1["error"] == "bad-request"
+        assert not bad2["ok"] and bad2["error"] == "bad-request"
+        assert ok2["ok"] and ok2["advisory"]["matched_persona"] == "heavy"
+        assert not service.running  # stop() closed everything
+
+
+class TestConfigAndMetrics:
+    def test_bad_config_rejected(self, index):
+        with pytest.raises(ConfigurationError):
+            AdvisoryService(index, max_queue=0)
+        with pytest.raises(ConfigurationError):
+            AdvisoryService(index, workers=0)
+        with pytest.raises(ConfigurationError):
+            AdvisoryService(index, request_timeout_s=0.0)
+
+    def test_metrics_registry_adapter(self, index):
+        from repro.obs.metrics import MetricsRegistry
+
+        service = AdvisoryService(index)
+
+        async def run():
+            await service.start()
+            try:
+                await run_request_storm(service, _profiles(10), concurrency=5)
+            finally:
+                await service.stop()
+
+        asyncio.run(run())
+        registry = MetricsRegistry()
+        registry.record_service(service)
+        snapshot = registry.snapshot()
+        assert snapshot["service.requests_total"] == 10
+        assert snapshot["service.completed"] == 10
+        assert "service.latency_p50_ms" in snapshot

@@ -313,3 +313,119 @@ class TestFidelity:
     def test_unknown_claim_exits_2(self, capsys):
         assert main(["fidelity", "--claims", "NO-SUCH-CLAIM"]) == 2
         assert "NO-SUCH-CLAIM" in capsys.readouterr().err
+
+
+class TestFleet:
+    ARGS = ["--devices", "2000", "--shard-size", "500", "--instructions", "10000"]
+
+    def test_fleet_summary_table(self, capsys):
+        assert main(["fleet"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2000 devices, 4 shard(s)" in out
+        assert "saving_fraction.mean" in out
+        assert "best_policy.mecc" in out
+
+    def test_fleet_report_index_and_metrics(self, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "fleet.json"
+        index = tmp_path / "index.json"
+        metrics = tmp_path / "metrics.json"
+        code = main([
+            "fleet", *self.ARGS, "--output", str(report),
+            "--index-out", str(index), "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        payload = json.loads(report.read_text(encoding="utf-8"))
+        assert payload["devices"] == 2000
+        assert payload["aggregate"]["devices"] == 2000
+        from repro.fleet import PolicyIndex
+
+        assert set(PolicyIndex.load(index).personas) == {
+            "light", "moderate", "heavy",
+        }
+        snapshot = json.loads(metrics.read_text(encoding="utf-8"))
+        assert snapshot["fleet.devices"] == 2000
+        assert "runner.job_count" in snapshot
+
+    def test_fleet_report_is_deterministic(self, tmp_path):
+        import json
+
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main([
+                "fleet", *self.ARGS, "--fleet-seed", "3",
+                "--output", str(path),
+            ]) == 0
+        a = json.loads(paths[0].read_text(encoding="utf-8"))
+        b = json.loads(paths[1].read_text(encoding="utf-8"))
+        assert a == b
+
+    def test_fleet_custom_mix_and_schemes(self, capsys):
+        code = main([
+            "fleet", *self.ARGS,
+            "--mix", "minimal:0.6,gamer:0.4",
+            "--schemes", "baseline,mecc",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "energy_j.mecc.mean" in out
+        assert "energy_j.secded.mean" not in out
+
+    def test_fleet_bad_mix_exits_2(self, capsys):
+        assert main(["fleet", *self.ARGS, "--mix", "nosuch:1.0"]) == 2
+        assert "unknown personas" in capsys.readouterr().err
+
+
+class TestServe:
+    ARGS = ["--instructions", "10000"]
+
+    def test_serve_requires_port_or_self_test(self, capsys):
+        assert main(["serve"] + self.ARGS) == 2
+        assert "--self-test" in capsys.readouterr().err
+
+    def test_serve_self_test_smoke(self, capsys):
+        code = main([
+            "serve", *self.ARGS, "--self-test", "250",
+            "--concurrency", "200", "--queue-limit", "256",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve self-test: 250 requests" in out
+        assert "latency_p50_ms" in out
+        assert "latency_p95_ms" in out
+
+    def test_serve_from_saved_index(self, tmp_path, capsys):
+        index = tmp_path / "index.json"
+        assert main([
+            "fleet", "--devices", "500", "--shard-size", "500",
+            "--instructions", "10000", "--index-out", str(index),
+        ]) == 0
+        code = main([
+            "serve", "--index", str(index), "--self-test", "50",
+            "--concurrency", "25",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+
+    def test_serve_missing_index_exits_2(self, tmp_path, capsys):
+        code = main([
+            "serve", "--index", str(tmp_path / "nope.json"),
+            "--self-test", "5",
+        ])
+        assert code == 2
+        assert "cannot read policy index" in capsys.readouterr().err
+
+    def test_serve_metrics_out(self, tmp_path):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "serve", *self.ARGS, "--self-test", "40",
+            "--concurrency", "20", "--metrics-out", str(metrics),
+        ]) == 0
+        snapshot = json.loads(metrics.read_text(encoding="utf-8"))
+        assert snapshot["service.requests_total"] == 40
+        assert snapshot["service.completed"] == 40
+        assert "service.latency_p95_ms" in snapshot
