@@ -3,45 +3,45 @@
 Paper: devices alternate short active bursts with long idle periods;
 active memory power is ~9x idle; refresh's share of power is small while
 active but about half of the idle power.
+
+Thin shim over the ``repro.report`` registry (exhibit ``fig1``).
 """
 
 import pytest
 
-from repro.analysis.experiments import fig1_usage_timeline
 from repro.analysis.tables import format_table
-from repro.types import SystemState
+from repro.report.spec import get_exhibit
+
+EXHIBIT_ID = "fig1"
 
 
 def test_fig01_usage_power_timeline(benchmark, show):
-    samples, active_power = benchmark.pedantic(
-        fig1_usage_timeline, kwargs={"total_s": 1200.0}, rounds=1, iterations=1
+    spec = get_exhibit(EXHIBIT_ID)
+    data = benchmark.pedantic(
+        spec.build, kwargs={"total_s": 1200.0}, rounds=1, iterations=1
     )
-    rows = []
-    t = 0.0
-    for s in samples[:12]:
-        rows.append([
-            f"{t:7.1f}s",
-            s.phase.state.value,
-            f"{s.phase.duration_s:.1f}s",
-            s.power_w / active_power,
-            s.refresh_w / s.power_w,
-        ])
-        t += s.phase.duration_s
+    rows = [
+        [f"{row['start_s']:7.1f}s", row["state"], f"{row['duration_s']:.1f}s",
+         row["power_norm"], row["refresh_share"]]
+        for row in (data.row(k) for k in data.row_keys()[:12])
+    ]
     show(format_table(
         ["start", "state", "duration", "power (norm)", "refresh share"],
         rows,
         title="Fig. 1 — normalized memory power over a usage session (first phases)",
     ))
-    active = [s for s in samples if s.phase.state is SystemState.ACTIVE]
-    idle = [s for s in samples if s.phase.state is SystemState.IDLE]
+    active = [data.row(k) for k in data.row_keys()
+              if data.cell(k, "state") == "active"]
+    idle = [data.row(k) for k in data.row_keys()
+            if data.cell(k, "state") == "idle"]
     assert active and idle
     # Active memory power ~9x idle (paper Fig. 1 caption).
-    ratio = active[0].power_w / idle[0].power_w
+    ratio = active[0]["power_norm"] / idle[0]["power_norm"]
     assert ratio == pytest.approx(9.0, rel=0.05)
     # Refresh share: small in active mode, ~half in idle mode.
-    assert active[0].refresh_w / active[0].power_w < 0.1
-    assert idle[0].refresh_w / idle[0].power_w == pytest.approx(0.5, abs=0.1)
+    assert active[0]["refresh_share"] < 0.1
+    assert idle[0]["refresh_share"] == pytest.approx(0.5, abs=0.1)
     # Idle dominates the session's time budget.
-    idle_time = sum(s.phase.duration_s for s in idle)
-    total_time = sum(s.phase.duration_s for s in samples)
+    idle_time = sum(row["duration_s"] for row in idle)
+    total_time = sum(data.column("duration_s"))
     assert idle_time / total_time > 0.9

@@ -1,25 +1,30 @@
 """Fig. 2: DRAM bit-failure probability vs. retention time (60 nm).
 
 Paper anchors: ~1e-9 at the 64 ms JEDEC period, 10^-4.5 at 1 second.
+
+Thin shim over the ``repro.report`` registry (exhibit ``fig2``).
 """
 
 import pytest
 
-from repro.analysis.experiments import fig2_retention_curve
 from repro.analysis.tables import format_table
 from repro.reliability.retention import RetentionModel
+from repro.report.spec import get_exhibit
+
+EXHIBIT_ID = "fig2"
 
 
 def test_fig02_retention_curve(benchmark, show):
-    curve = benchmark.pedantic(fig2_retention_curve, rounds=1, iterations=1)
+    spec = get_exhibit(EXHIBIT_ID)
+    data = benchmark.pedantic(spec.build, rounds=1, iterations=1)
     # Print a decimated view of the series.
-    rows = [[f"{t:.3g} s", p] for t, p in curve[::5]]
+    rows = [[f"{t:.3g} s", p] for t, p in data.rows[::5]]
     show(format_table(["retention time", "bit failure probability"], rows,
                       title="Fig. 2 — retention-time failure curve"))
     model = RetentionModel()
     assert model.bit_failure_probability(0.064) == pytest.approx(1e-9, rel=1e-6)
     assert model.bit_failure_probability(1.0) == pytest.approx(10 ** -4.5, rel=1e-9)
-    probs = [p for _, p in curve]
+    probs = data.column("bit_failure_probability")
     assert probs == sorted(probs)
     assert probs[-1] <= 1.0
 

@@ -2,10 +2,14 @@
 
 Paper: SECDED is nearly free (<1%); ECC-6 costs ~10% on average and most
 for High-MPKI workloads.
+
+Thin shim over the ``repro.report`` registry (exhibit ``fig3``).
 """
 
-from repro.analysis.experiments import fig3_ecc_overhead_by_class
 from repro.analysis.tables import format_table
+from repro.report.spec import get_exhibit
+
+EXHIBIT_ID = "fig3"
 
 #: Approximate bar heights read off paper Fig. 3.
 PAPER = {
@@ -17,17 +21,23 @@ PAPER = {
 
 
 def test_fig03_ecc_overhead_by_class(benchmark, run, show):
-    out = benchmark.pedantic(fig3_ecc_overhead_by_class, args=(run,), rounds=1, iterations=1)
+    spec = get_exhibit(EXHIBIT_ID)
+    data = benchmark.pedantic(spec.build, args=(run,), rounds=1, iterations=1)
     show(format_table(
         ["class", "SECDED (paper)", "SECDED (ours)", "ECC-6 (paper)", "ECC-6 (ours)"],
         [
-            [cls, PAPER[cls]["secded"], vals["secded"], PAPER[cls]["ecc6"], vals["ecc6"]]
-            for cls, vals in out.items()
+            [cls, PAPER[cls]["secded"], data.cell(cls, "secded"),
+             PAPER[cls]["ecc6"], data.cell(cls, "ecc6")]
+            for cls in data.row_keys()
         ],
         title="Fig. 3 — normalized IPC by MPKI class",
     ))
     # Shape: SECDED near-free everywhere; ECC-6 cost grows with intensity.
-    for cls, vals in out.items():
-        assert vals["secded"] > 0.98, cls
-    assert out["Low-MPKI"]["ecc6"] > out["Med-MPKI"]["ecc6"] > out["High-MPKI"]["ecc6"]
-    assert 0.84 <= out["ALL"]["ecc6"] <= 0.95
+    for cls in data.row_keys():
+        assert data.cell(cls, "secded") > 0.98, cls
+    assert (
+        data.cell("Low-MPKI", "ecc6")
+        > data.cell("Med-MPKI", "ecc6")
+        > data.cell("High-MPKI", "ecc6")
+    )
+    assert 0.84 <= data.cell("ALL", "ecc6") <= 0.95

@@ -2,23 +2,28 @@
 
 Paper: both MECC and ECC-6 cut refresh operations 16x and total idle
 power by ~43% ("almost 2X"); refresh is about half the idle power.
+
+Thin shim over the ``repro.report`` registry (exhibit ``fig8``).
 """
 
 import pytest
 
-from repro.analysis.experiments import fig8_idle_power
 from repro.analysis.tables import format_table
+from repro.report.spec import get_exhibit
+
+EXHIBIT_ID = "fig8"
 
 
 def test_fig08_idle_power(benchmark, show):
-    out = benchmark.pedantic(fig8_idle_power, rounds=1, iterations=1)
+    spec = get_exhibit(EXHIBIT_ID)
+    data = benchmark.pedantic(spec.build, rounds=1, iterations=1)
     show(format_table(
         ["scheme", "refresh mW", "background mW", "total mW",
          "refresh norm", "total norm"],
         [
-            [name, 1000 * v["refresh_w"], 1000 * v["background_w"],
-             1000 * v["total_w"], v["refresh_norm"], v["total_norm"]]
-            for name, v in out.items()
+            [row["scheme"], 1000 * row["refresh_w"], 1000 * row["background_w"],
+             1000 * row["total_w"], row["refresh_norm"], row["total_norm"]]
+            for row in (data.row(k) for k in data.row_keys())
         ],
         title=(
             "Fig. 8 — idle (self-refresh) power; paper: refresh 1/16, "
@@ -26,7 +31,7 @@ def test_fig08_idle_power(benchmark, show):
         ),
     ))
     for scheme in ("MECC", "ECC-6"):
-        assert out[scheme]["refresh_norm"] == pytest.approx(1 / 16)
-        assert 0.40 <= out[scheme]["total_norm"] <= 0.60
-    base = out["Baseline"]
+        assert data.cell(scheme, "refresh_norm") == pytest.approx(1 / 16)
+        assert 0.40 <= data.cell(scheme, "total_norm") <= 0.60
+    base = data.row("Baseline")
     assert base["refresh_w"] / base["total_w"] == pytest.approx(0.5, abs=0.1)

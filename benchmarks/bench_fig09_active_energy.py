@@ -3,10 +3,14 @@
 Paper: MECC's active power is ~1% above baseline (extra write-back
 traffic); ECC-6 shows *lower* power only because it runs ~10% longer;
 energies are similar; ECC-6's EDP is ~10% worse, MECC's near baseline.
+
+Thin shim over the ``repro.report`` registry (exhibit ``fig9``).
 """
 
-from repro.analysis.experiments import fig9_active_metrics
 from repro.analysis.tables import format_table
+from repro.report.spec import get_exhibit
+
+EXHIBIT_ID = "fig9"
 
 PAPER = {
     "baseline": {"power": 1.00, "energy": 1.00, "edp": 1.00},
@@ -17,23 +21,25 @@ PAPER = {
 
 
 def test_fig09_active_power_energy_edp(benchmark, run, show):
-    out = benchmark.pedantic(fig9_active_metrics, args=(run,), rounds=1, iterations=1)
+    spec = get_exhibit(EXHIBIT_ID)
+    data = benchmark.pedantic(spec.build, args=(run,), rounds=1, iterations=1)
     show(format_table(
         ["scheme", "power paper", "power ours", "energy paper", "energy ours",
          "EDP paper", "EDP ours"],
         [
-            [name, PAPER[name]["power"], v["power"], PAPER[name]["energy"],
-             v["energy"], PAPER[name]["edp"], v["edp"]]
-            for name, v in out.items()
+            [name, PAPER[name]["power"], data.cell(name, "power"),
+             PAPER[name]["energy"], data.cell(name, "energy"),
+             PAPER[name]["edp"], data.cell(name, "edp")]
+            for name in data.row_keys()
         ],
         title="Fig. 9 — active-mode metrics normalized to baseline",
     ))
     # ECC-6: lower average power, clearly worse EDP.
-    assert out["ecc6"]["power"] < 1.0
-    assert out["ecc6"]["edp"] > 1.08
+    assert data.cell("ecc6", "power") < 1.0
+    assert data.cell("ecc6", "edp") > 1.08
     # MECC: slightly higher power than baseline, EDP much better than ECC-6.
-    assert 1.0 <= out["mecc"]["power"] <= 1.12
-    assert out["mecc"]["edp"] < out["ecc6"]["edp"]
+    assert 1.0 <= data.cell("mecc", "power") <= 1.12
+    assert data.cell("mecc", "edp") < data.cell("ecc6", "edp")
     # Energy is similar across schemes.
     for scheme in ("secded", "ecc6", "mecc"):
-        assert 0.9 <= out[scheme]["energy"] <= 1.15, scheme
+        assert 0.9 <= data.cell(scheme, "energy") <= 1.15, scheme

@@ -3,36 +3,34 @@
 Paper: the average footprint (~128 MB) is 8x smaller than the 1 GB
 memory, so MDT cuts the ECC-Upgrade pass from ~400 ms to ~50 ms and the
 encoder energy by 8x.  A 128-byte table suffices.
+
+Thin shim over the ``repro.report`` registry (exhibit ``fig11``).
 """
 
-import pytest
-
-from repro.analysis.experiments import fig11_mdt_tracking
 from repro.analysis.tables import format_table
 from repro.core.mdt import MemoryDowngradeTracker
+from repro.report.spec import get_exhibit
 from repro.workloads.spec import ALL_BENCHMARKS
+
+EXHIBIT_ID = "fig11"
 
 
 def test_fig11_mdt_tracked_memory(benchmark, show):
-    out = benchmark.pedantic(
-        fig11_mdt_tracking, kwargs={"coverage_factor": 2.0}, rounds=1, iterations=1
-    )
+    spec = get_exhibit(EXHIBIT_ID)
+    data = benchmark.pedantic(spec.build, rounds=1, iterations=1)
     show(format_table(
         ["benchmark", "footprint MB", "MDT-tracked MB", "upgrade ms"],
-        [
-            [name, v["footprint_mb"], v["tracked_mb"], v["upgrade_ms"]]
-            for name, v in out.items()
-        ],
+        [list(row) for row in data.rows],
         title="Fig. 11 — MDT-estimated accessed memory (1K x 1MB regions)",
     ))
     # Tracked size tracks the footprint (within region rounding).
-    for spec in ALL_BENCHMARKS:
-        row = out[spec.name]
+    for b in ALL_BENCHMARKS:
+        row = data.row(b.name)
         assert row["tracked_mb"] >= 0.8 * min(row["footprint_mb"], 1024)
         assert row["tracked_mb"] <= 1.5 * row["footprint_mb"] + 8
     # The headline: average upgrade cost is far below the 400 ms full scan,
     # in the ~50 ms regime.
-    avg = out["ALL"]
+    avg = data.row("ALL")
     assert avg["upgrade_ms"] < 150.0
     assert avg["tracked_mb"] < 1024 / 3
     # And the table itself is 128 bytes.

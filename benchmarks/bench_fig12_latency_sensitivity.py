@@ -3,10 +3,14 @@
 Paper: ECC-6's slowdown grows to ~18% at 60 cycles, while MECC stays
 within ~2% of baseline at every latency — the designer can use small,
 slow decoders.
+
+Thin shim over the ``repro.report`` registry (exhibit ``fig12``).
 """
 
-from repro.analysis.experiments import fig12_latency_sensitivity
 from repro.analysis.tables import format_table
+from repro.report.spec import get_exhibit
+
+EXHIBIT_ID = "fig12"
 
 #: Approximate series read off paper Fig. 12.
 PAPER = {15: {"ecc6": 0.95, "mecc": 0.99},
@@ -16,24 +20,24 @@ PAPER = {15: {"ecc6": 0.95, "mecc": 0.99},
 
 
 def test_fig12_decode_latency_sensitivity(benchmark, run, show):
-    out = benchmark.pedantic(
-        fig12_latency_sensitivity, kwargs={"run": run}, rounds=1, iterations=1
-    )
+    spec = get_exhibit(EXHIBIT_ID)
+    data = benchmark.pedantic(spec.build, args=(run,), rounds=1, iterations=1)
     show(format_table(
         ["decode cycles", "ECC-6 paper", "ECC-6 ours", "MECC paper", "MECC ours"],
         [
-            [lat, PAPER[lat]["ecc6"], v["ecc6"], PAPER[lat]["mecc"], v["mecc"]]
-            for lat, v in out.items()
+            [lat, PAPER[lat]["ecc6"], data.cell(lat, "ecc6"),
+             PAPER[lat]["mecc"], data.cell(lat, "mecc")]
+            for lat in data.row_keys()
         ],
         title="Fig. 12 — normalized IPC vs. strong-ECC decode latency",
     ))
-    latencies = sorted(out)
-    ecc6 = [out[l]["ecc6"] for l in latencies]
-    mecc = [out[l]["mecc"] for l in latencies]
+    latencies = sorted(data.row_keys())
+    ecc6 = [data.cell(l, "ecc6") for l in latencies]
+    mecc = [data.cell(l, "mecc") for l in latencies]
     # ECC-6 degrades steadily with latency; MECC barely moves.
     assert all(a > b for a, b in zip(ecc6, ecc6[1:]))
     assert ecc6[0] - ecc6[-1] > 0.06
     assert mecc[0] - mecc[-1] < 0.03
     # Even at 60 cycles MECC stays within a few percent of baseline.
-    assert out[60]["mecc"] > 0.95
-    assert out[60]["ecc6"] < 0.88
+    assert data.cell(60, "mecc") > 0.95
+    assert data.cell(60, "ecc6") < 0.88

@@ -3,32 +3,29 @@
 Paper: MECC is ~2% slow in the first ~1B instructions (while cold lines
 still carry ECC-6) and converges to within 1.2% by 4B instructions;
 downgrades concentrate at the start of the active period.
+
+Thin shim over the ``repro.report`` registry (exhibit ``fig13``).
 """
 
-from repro.analysis.experiments import fig13_transition
 from repro.analysis.tables import format_table
+from repro.report.spec import get_exhibit
+
+EXHIBIT_ID = "fig13"
 
 
 def test_fig13_transition_time(benchmark, run, show):
-    out = benchmark.pedantic(
-        fig13_transition, kwargs={"run": run}, rounds=1, iterations=1
-    )
-    rows = []
-    for fraction in sorted(out):
-        v = out[fraction]
-        rows.append([
-            f"{v['paper_instructions'] / 1e9:.1f}B",
-            v["secded"],
-            v["mecc"],
-            v["secded"] - v["mecc"],
-        ])
+    spec = get_exhibit(EXHIBIT_ID)
+    data = benchmark.pedantic(spec.build, args=(run,), rounds=1, iterations=1)
     show(format_table(
         ["slice (paper scale)", "SECDED", "MECC", "gap"],
-        rows,
+        [
+            [f"{row['paper_billions']:.1f}B", row["secded"], row["mecc"],
+             row["gap"]]
+            for row in (data.row(k) for k in data.row_keys())
+        ],
         title="Fig. 13 — MECC convergence toward SECDED with slice length",
     ))
-    fractions = sorted(out)
-    gaps = [out[f]["secded"] - out[f]["mecc"] for f in fractions]
+    gaps = list(data.column("gap"))
     # The MECC-vs-SECDED gap shrinks monotonically (modulo noise) and
     # at least halves from the shortest to the full slice.
     assert gaps[-1] < gaps[0] / 2

@@ -5,43 +5,43 @@ persona's memory-energy saving and performance cost under MECC.  The
 shape: lighter users (more idle) save a larger *fraction* of memory
 energy at near-zero performance cost; heavy users still save, but pay a
 few percent of IPC during their longer sessions.
+
+Thin shim over the ``repro.report`` registry (exhibit ``personas``),
+which scales session counts down 8x (duty cycle preserved) and caps the
+per-session instruction budget to keep the bench quick.
 """
 
 from repro.analysis.tables import format_table
-from repro.sim.system import ScaledRun
-from repro.workloads.personas import PERSONAS, Persona, persona_savings
+from repro.report.spec import get_exhibit
+
+EXHIBIT_ID = "personas"
 
 
 def test_persona_day_study(benchmark, run, show):
-    study_run = ScaledRun(instructions=min(run.instructions, 150_000))
-
-    def compute():
-        out = {}
-        for persona in PERSONAS:
-            # Scale session counts down 4x to keep the bench quick; duty
-            # cycle (idle_fraction) is what matters, and it is preserved.
-            scaled = Persona(
-                persona.name,
-                persona.app_mix,
-                max(3, persona.sessions_per_day // 8),
-                persona.idle_fraction,
-            )
-            out[persona.name] = persona_savings(scaled, study_run)
-        return out
-
-    out = benchmark.pedantic(compute, rounds=1, iterations=1)
+    spec = get_exhibit(EXHIBIT_ID)
+    data = benchmark.pedantic(spec.build, args=(run,), rounds=1, iterations=1)
     show(format_table(
         ["persona", "baseline J/day", "MECC J/day", "saving", "idle share",
          "MECC norm. IPC"],
-        [[name, v["baseline_j"], v["mecc_j"], f"{v['saving_fraction']:.1%}",
-          f"{v['idle_share_of_energy']:.1%}", v["mecc_normalized_ipc"]]
-         for name, v in out.items()],
+        [
+            [name, row["baseline_j"], row["mecc_j"],
+             f"{row['saving_fraction']:.1%}",
+             f"{row['idle_share_of_energy']:.1%}",
+             row["mecc_normalized_ipc"]]
+            for name, row in ((k, data.row(k)) for k in data.row_keys())
+        ],
         title="Persona study — one simulated day per usage profile",
     ))
     # Everyone saves; lighter personas save a larger fraction.
-    for name, row in out.items():
-        assert row["saving_fraction"] > 0.1, name
-    assert out["light"]["saving_fraction"] >= out["heavy"]["saving_fraction"]
+    for name in data.row_keys():
+        assert data.cell(name, "saving_fraction") > 0.1, name
+    assert (
+        data.cell("light", "saving_fraction")
+        >= data.cell("heavy", "saving_fraction")
+    )
     # Performance cost ordering follows memory intensity.
-    assert out["light"]["mecc_normalized_ipc"] >= out["heavy"]["mecc_normalized_ipc"]
-    assert out["light"]["mecc_normalized_ipc"] > 0.98
+    assert (
+        data.cell("light", "mecc_normalized_ipc")
+        >= data.cell("heavy", "mecc_normalized_ipc")
+    )
+    assert data.cell("light", "mecc_normalized_ipc") > 0.98

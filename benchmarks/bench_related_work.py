@@ -3,40 +3,37 @@
 The paper argues, qualitatively, that MECC beats Flikker on effective
 refresh rate without sacrificing integrity, beats retention-profiling
 schemes (RAPID/RAIDR/SECRET) on robustness to Variable Retention Time,
-and is orthogonal to multi-rate refresh.  These benches compute each
-claim from the implemented baseline models.
+and is orthogonal to multi-rate refresh.  The refresh-rate and VRT
+tables are thin shims over the ``repro.report`` registry (exhibit
+``related-work``); the remaining benches compute their claims from the
+implemented baseline models directly.
 """
 
 import pytest
 
 from repro.analysis.tables import format_table
 from repro.baselines.flikker import FlikkerModel
-from repro.baselines.raidr import RaidrModel
 from repro.baselines.rapid import RapidModel
 from repro.baselines.secret import SecretModel
-from repro.baselines.vrt import VrtModel
+from repro.report.spec import get_exhibit
+
+EXHIBIT_ID = "related-work"
 
 
-def test_related_work_refresh_rates(benchmark, show):
+def _metric(data, metric):
+    """Scheme → value mapping for one metric of the related-work table."""
+    return {
+        scheme: value
+        for m, scheme, value in data.rows
+        if m == metric
+    }
+
+
+def test_related_work_refresh_rates(benchmark, run, show):
     """Refresh operations relative to 64 ms auto-refresh, scheme by scheme."""
-
-    def compute():
-        flikker = FlikkerModel(critical_fraction=0.25)
-        raidr = RaidrModel(rows=8192, seed=5)
-        rapid = RapidModel(capacity_bytes=64 << 20, seed=3)
-        secret = SecretModel(target_period_s=1.024)
-        return {
-            "Baseline (64 ms)": 1.0,
-            "Flikker (1/4 critical)": flikker.effective_refresh_rate,
-            "RAPID (50% utilization)": rapid.refresh_rate_relative(0.5),
-            "RAIDR (3 bins)": raidr.refresh_rate_relative(),
-            "SECRET (1 s)": secret.refresh_rate_relative,
-            "MECC (idle, 1 s)": 1 / 16,
-            "RAIDR + MECC (naive multiply)": raidr.combined_with_ecc_rate(16),
-            "RAIDR + MECC (reliability-honest)": raidr.safe_combined_rate(1.024),
-        }
-
-    rates = benchmark.pedantic(compute, rounds=1, iterations=1)
+    spec = get_exhibit(EXHIBIT_ID)
+    data = benchmark.pedantic(spec.build, args=(run,), rounds=1, iterations=1)
+    rates = _metric(data, "refresh_rate")
     show(format_table(
         ["scheme", "relative refresh rate", "reduction"],
         [[name, rate, f"{1 / rate:.1f}x" if rate else "inf"]
@@ -49,29 +46,26 @@ def test_related_work_refresh_rates(benchmark, show):
     for name in ("Flikker (1/4 critical)", "RAPID (50% utilization)", "RAIDR (3 bins)"):
         assert rates[name] > rates["MECC (idle, 1 s)"], name
     # The naive multiplicative combination looks great...
-    assert rates["RAIDR + MECC (naive multiply)"] < rates["MECC (idle, 1 s)"]
+    assert rates["RAIDR + MECC (naive)"] < rates["MECC (idle, 1 s)"]
     # ...but the reliability-honest combination collapses onto MECC alone:
     # every bin is capped by the same ECC-safe period (reproduction
     # finding — the schemes compose architecturally, not multiplicatively).
-    assert rates["RAIDR + MECC (reliability-honest)"] == pytest.approx(
+    assert rates["RAIDR + MECC (honest)"] == pytest.approx(
         rates["MECC (idle, 1 s)"], rel=0.01
     )
 
 
-def test_related_work_vrt_robustness(benchmark, show):
+def test_related_work_vrt_robustness(benchmark, run, show):
     """Uncorrectable lines per 1 GB under post-profiling VRT flips."""
-
-    def compute():
-        model = VrtModel(seed=9)
-        return model.compare(vrt_flip_probability=1e-7)
-
-    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    spec = get_exhibit(EXHIBIT_ID)
+    data = benchmark.pedantic(spec.build, args=(run,), rounds=1, iterations=1)
+    assert data.meta["vrt_flip_probability"] == 1e-7
+    by_scheme = _metric(data, "vrt_uncorrectable_lines")
     show(format_table(
-        ["scheme", "uncorrectable lines / GB", "notes"],
-        [[r.scheme, r.uncorrectable_lines, r.notes] for r in results],
+        ["scheme", "uncorrectable lines / GB"],
+        [[scheme, lines] for scheme, lines in by_scheme.items()],
         title="Sec. VII-B — VRT exposure (1e-7 of cells toggle low)",
     ))
-    by_scheme = {r.scheme: r.uncorrectable_lines for r in results}
     assert by_scheme["MECC"] < 1e-3
     for scheme in ("RAPID", "RAIDR", "SECRET"):
         assert by_scheme[scheme] > 100, scheme

@@ -2,12 +2,18 @@
 
 Paper: at BER 10^-4.5 over 576-bit lines, ECC-5 brings a 1 GB system's
 failure probability under 1e-6; ECC-6 adds the soft-error margin.
+
+Thin shim over the ``repro.report`` registry: the data comes from the
+registered exhibit builder, so this bench, ``repro table1``, and the
+``repro report`` artifact pipeline all share one implementation.
 """
 
 import pytest
 
-from repro.analysis.experiments import table1_failure
 from repro.analysis.tables import format_table
+from repro.report.spec import get_exhibit
+
+EXHIBIT_ID = "table1"
 
 PAPER = {
     0: (1.8e-2, 1.0),
@@ -21,20 +27,23 @@ PAPER = {
 
 
 def test_table1_failure_probability(benchmark, show):
-    rows = benchmark.pedantic(table1_failure, rounds=1, iterations=1)
-    table = format_table(
+    spec = get_exhibit(EXHIBIT_ID)
+    data = benchmark.pedantic(spec.build, rounds=1, iterations=1)
+    show(format_table(
         ["ECC", "line (paper)", "line (ours)", "system (paper)", "system (ours)"],
         [
-            [r.label, PAPER[r.ecc_t][0], r.line_failure, PAPER[r.ecc_t][1], r.system_failure]
-            for r in rows
+            [data.cell(t, "label"), PAPER[t][0], data.cell(t, "line_failure"),
+             PAPER[t][1], data.cell(t, "system_failure")]
+            for t in data.row_keys()
         ],
         title="Table I — failure probability at BER 10^-4.5, 1 GB memory",
-    )
-    show(table)
-    for r in rows:
-        paper_line, paper_system = PAPER[r.ecc_t]
-        assert r.line_failure == pytest.approx(paper_line, rel=0.15)
+    ))
+    for ecc_t in data.row_keys():
+        paper_line, paper_system = PAPER[ecc_t]
+        assert data.cell(ecc_t, "line_failure") == pytest.approx(paper_line, rel=0.15)
         if paper_system < 1.0:
-            assert r.system_failure == pytest.approx(paper_system, rel=0.35)
+            assert data.cell(ecc_t, "system_failure") == pytest.approx(
+                paper_system, rel=0.35
+            )
         else:
-            assert r.system_failure > 0.99
+            assert data.cell(ecc_t, "system_failure") > 0.99

@@ -2,12 +2,16 @@
 
 Paper averages — Low: IPC 1.514 / MPKI 0.3 / 26 MB; Med: 0.887 / 4.7 /
 96.4 MB; High: 0.359 / 23.5 / 259.1 MB.
+
+Thin shim over the ``repro.report`` registry (exhibit ``table3``).
 """
 
 import pytest
 
-from repro.analysis.experiments import table3_characterization
 from repro.analysis.tables import format_table
+from repro.report.spec import get_exhibit
+
+EXHIBIT_ID = "table3"
 
 PAPER = {
     "Low-MPKI": {"ipc": 1.514, "mpki": 0.3, "footprint_mb": 26.0},
@@ -17,20 +21,26 @@ PAPER = {
 
 
 def test_table3_characterization(benchmark, run, show):
-    out = benchmark.pedantic(table3_characterization, args=(run,), rounds=1, iterations=1)
+    spec = get_exhibit(EXHIBIT_ID)
+    data = benchmark.pedantic(spec.build, args=(run,), rounds=1, iterations=1)
     show(format_table(
         ["class", "IPC paper", "IPC ours", "MPKI paper", "MPKI ours",
          "MB paper", "MB ours"],
         [
-            [cls, PAPER[cls]["ipc"], vals["ipc"], PAPER[cls]["mpki"], vals["mpki"],
-             PAPER[cls]["footprint_mb"], vals["footprint_mb"]]
-            for cls, vals in out.items()
+            [cls, PAPER[cls]["ipc"], data.cell(cls, "ipc"),
+             PAPER[cls]["mpki"], data.cell(cls, "mpki"),
+             PAPER[cls]["footprint_mb"], data.cell(cls, "footprint_mb")]
+            for cls in data.row_keys()
         ],
         title="Table III — measured workload characterization",
     ))
-    for cls, vals in out.items():
-        assert vals["ipc"] == pytest.approx(PAPER[cls]["ipc"], rel=0.12), cls
-        assert vals["mpki"] == pytest.approx(PAPER[cls]["mpki"], rel=0.15), cls
-        assert vals["footprint_mb"] == pytest.approx(
+    for cls in data.row_keys():
+        assert data.cell(cls, "ipc") == pytest.approx(
+            PAPER[cls]["ipc"], rel=0.12
+        ), cls
+        assert data.cell(cls, "mpki") == pytest.approx(
+            PAPER[cls]["mpki"], rel=0.15
+        ), cls
+        assert data.cell(cls, "footprint_mb") == pytest.approx(
             PAPER[cls]["footprint_mb"], rel=0.05
         ), cls

@@ -1,92 +1,44 @@
 """CSV export of exhibit data (for external plotting).
 
-The benches print text tables; researchers replotting the figures want
-machine-readable series.  ``export_exhibit`` runs one exhibit and writes
-a tidy CSV; ``export_all`` sweeps the set.
+A thin shim over the :mod:`repro.report` registry: ``exhibit_csv``
+renders any registered exhibit through the pipeline's CSV renderer, and
+``export_all`` sweeps :data:`EXPORT_SET` — the cheap, plot-ready subset
+kept for back-compat with the original exporters.  For the full
+versioned artifact tree (CSV + JSON + Markdown + LaTeX with a manifest)
+use ``repro report`` (:mod:`repro.report.pipeline`).
 """
 
 from __future__ import annotations
 
-import csv
-import io
-from typing import Callable
-
-from repro.analysis import experiments as X
-from repro.errors import ConfigurationError
+from repro.report.render import render_csv
+from repro.report.spec import exhibit_ids, get_exhibit
 from repro.sim.system import ScaledRun
 
-
-def _rows_fig2(run: ScaledRun) -> tuple[list[str], list[list]]:
-    curve = X.fig2_retention_curve()
-    return ["retention_time_s", "bit_failure_probability"], [list(p) for p in curve]
+#: Default export subset (the original exporter set, kept stable).
+EXPORT_SET = ("fig2", "table1", "fig7", "fig8", "fig12", "fig14")
 
 
-def _rows_table1(run: ScaledRun) -> tuple[list[str], list[list]]:
-    rows = X.table1_failure()
-    return (
-        ["ecc_t", "line_failure", "system_failure"],
-        [[r.ecc_t, r.line_failure, r.system_failure] for r in rows],
-    )
+def _exporter(name: str):
+    def rows(run: ScaledRun):
+        data = get_exhibit(name).build(run)
+        return list(data.columns), [list(r) for r in data.rows]
+
+    return rows
 
 
-def _rows_fig7(run: ScaledRun) -> tuple[list[str], list[list]]:
-    perf = X.fig7_performance(run)
-    header = ["benchmark", "secded", "ecc6", "mecc"]
-    rows = [
-        [name,
-         perf.normalized(name, "secded"),
-         perf.normalized(name, "ecc6"),
-         perf.normalized(name, "mecc")]
-        for name in perf.per_benchmark
-    ]
-    return header, rows
-
-
-def _rows_fig8(run: ScaledRun) -> tuple[list[str], list[list]]:
-    out = X.fig8_idle_power()
-    return (
-        ["scheme", "refresh_w", "background_w", "total_w", "total_norm"],
-        [[k, v["refresh_w"], v["background_w"], v["total_w"], v["total_norm"]]
-         for k, v in out.items()],
-    )
-
-
-def _rows_fig12(run: ScaledRun) -> tuple[list[str], list[list]]:
-    out = X.fig12_latency_sensitivity(run=run)
-    return (
-        ["decode_cycles", "ecc6", "mecc"],
-        [[lat, v["ecc6"], v["mecc"]] for lat, v in out.items()],
-    )
-
-
-def _rows_fig14(run: ScaledRun) -> tuple[list[str], list[list]]:
-    out = X.fig14_smd_disabled(run)
-    return ["benchmark", "disabled_fraction"], [[k, v] for k, v in out.items()]
-
-
-EXPORTERS: dict[str, Callable[[ScaledRun], tuple[list[str], list[list]]]] = {
-    "fig2": _rows_fig2,
-    "table1": _rows_table1,
-    "fig7": _rows_fig7,
-    "fig8": _rows_fig8,
-    "fig12": _rows_fig12,
-    "fig14": _rows_fig14,
-}
+#: Back-compat mapping: exhibit id -> ``fn(run) -> (header, rows)``.
+EXPORTERS = {name: _exporter(name) for name in EXPORT_SET}
 
 
 def exhibit_csv(name: str, run: ScaledRun | None = None) -> str:
-    """Render one exhibit's data as a CSV string."""
-    if name not in EXPORTERS:
-        raise ConfigurationError(
-            f"no CSV exporter for {name!r}; choices: {sorted(EXPORTERS)}"
-        )
+    """Render one registered exhibit's data as a CSV string.
+
+    Accepts any registry id (not just :data:`EXPORT_SET`); unknown ids
+    raise :class:`~repro.errors.ConfigurationError` naming the choices.
+    """
     run = run or ScaledRun()
-    header, rows = EXPORTERS[name](run)
-    buffer = io.StringIO()
-    writer = csv.writer(buffer)
-    writer.writerow(header)
-    writer.writerows(rows)
-    return buffer.getvalue()
+    spec = get_exhibit(name)
+    return render_csv(spec.build(run))
 
 
 def export_exhibit(name: str, path: str, run: ScaledRun | None = None) -> None:
@@ -97,14 +49,23 @@ def export_exhibit(name: str, path: str, run: ScaledRun | None = None) -> None:
 
 
 def export_all(directory: str, run: ScaledRun | None = None) -> list[str]:
-    """Write every exportable exhibit into ``directory``; returns paths."""
+    """Write the :data:`EXPORT_SET` exhibits into ``directory``.
+
+    Returns the written paths.  ``exportable_ids`` lists everything the
+    registry can render if a caller wants the full sweep.
+    """
     import os
 
     os.makedirs(directory, exist_ok=True)
     run = run or ScaledRun()
     paths = []
-    for name in EXPORTERS:
+    for name in EXPORT_SET:
         path = os.path.join(directory, f"{name}.csv")
         export_exhibit(name, path, run)
         paths.append(path)
     return paths
+
+
+def exportable_ids() -> list[str]:
+    """Every registry id ``exhibit_csv`` accepts."""
+    return exhibit_ids()

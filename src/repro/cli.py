@@ -6,6 +6,8 @@ Usage::
     python -m repro table1
     python -m repro fig7 --instructions 400000 --jobs 4
     python -m repro all --instructions 200000 --cache-dir ~/.cache/repro
+    python -m repro report --exhibits fig7,fig10 --format csv,json --out report
+    python -m repro report --exhibits table1,fig2,fig8 --diff report/baseline
 
 Simulation-backed exhibits route through the parallel cached experiment
 runner (:mod:`repro.analysis.runner`): ``--jobs N`` fans independent
@@ -21,231 +23,28 @@ import os
 import sys
 from typing import Callable
 
-from repro.analysis import experiments as X
 from repro.analysis.tables import format_table
 from repro.ecc.backend import BACKEND_NAMES, ENV_VAR, set_backend
+from repro.report.spec import ExhibitSpec, all_exhibits
 from repro.sim.system import ScaledRun
 
 
-def _table1(run: ScaledRun) -> str:
-    rows = X.table1_failure()
-    return format_table(
-        ["ECC", "line failure", "system failure (1GB)"],
-        [[r.label, r.line_failure, r.system_failure] for r in rows],
-        title="Table I — failure probability at BER 10^-4.5",
-    )
-
-
-def _fig2(run: ScaledRun) -> str:
-    curve = X.fig2_retention_curve(points=21)
-    return format_table(
-        ["retention time (s)", "bit failure probability"],
-        [[f"{t:.3g}", p] for t, p in curve],
-        title="Fig. 2 — retention-time failure curve",
-    )
-
-
-def _fig3(run: ScaledRun) -> str:
-    out = X.fig3_ecc_overhead_by_class(run)
-    return format_table(
-        ["class", "SECDED", "ECC-6"],
-        [[cls, v["secded"], v["ecc6"]] for cls, v in out.items()],
-        title="Fig. 3 — normalized IPC by MPKI class",
-    )
-
-
-def _fig7(run: ScaledRun) -> str:
-    from repro.workloads.spec import ALL_BENCHMARKS
-
-    perf = X.fig7_performance(run)
-    rows = [
-        [s.name, perf.normalized(s.name, "secded"), perf.normalized(s.name, "ecc6"),
-         perf.normalized(s.name, "mecc")]
-        for s in ALL_BENCHMARKS
-    ]
-    rows.append(["ALL", perf.geomean("secded"), perf.geomean("ecc6"), perf.geomean("mecc")])
-    return format_table(
-        ["benchmark", "SECDED", "ECC-6", "MECC"], rows,
-        title="Fig. 7 — per-benchmark normalized IPC",
-    )
-
-
-def _fig8(run: ScaledRun) -> str:
-    out = X.fig8_idle_power()
-    return format_table(
-        ["scheme", "refresh mW", "total mW", "refresh norm", "total norm"],
-        [[n, 1000 * v["refresh_w"], 1000 * v["total_w"], v["refresh_norm"], v["total_norm"]]
-         for n, v in out.items()],
-        title="Fig. 8 — idle (self-refresh) power",
-    )
-
-
-def _fig9(run: ScaledRun) -> str:
-    out = X.fig9_active_metrics(run)
-    return format_table(
-        ["scheme", "power", "energy", "EDP"],
-        [[n, v["power"], v["energy"], v["edp"]] for n, v in out.items()],
-        title="Fig. 9 — active-mode metrics (normalized)",
-    )
-
-
-def _fig10(run: ScaledRun) -> str:
-    out = X.fig10_total_energy(run)
-    return format_table(
-        ["scheme", "active J", "idle J", "total (norm)"],
-        [[n, v["active_j"], v["idle_j"], v["total_norm"]] for n, v in out.items()],
-        title="Fig. 10 — total memory energy (95% idle, 1 h)",
-    )
-
-
-def _fig11(run: ScaledRun) -> str:
-    out = X.fig11_mdt_tracking(coverage_factor=2.0)
-    return format_table(
-        ["benchmark", "footprint MB", "tracked MB", "upgrade ms"],
-        [[n, v["footprint_mb"], v["tracked_mb"], v["upgrade_ms"]] for n, v in out.items()],
-        title="Fig. 11 — MDT-tracked memory",
-    )
-
-
-def _fig12(run: ScaledRun) -> str:
-    out = X.fig12_latency_sensitivity(run=run)
-    return format_table(
-        ["decode cycles", "ECC-6", "MECC"],
-        [[lat, v["ecc6"], v["mecc"]] for lat, v in out.items()],
-        title="Fig. 12 — decode-latency sensitivity",
-    )
-
-
-def _fig13(run: ScaledRun) -> str:
-    out = X.fig13_transition(run=run)
-    return format_table(
-        ["slice (paper scale)", "SECDED", "MECC"],
-        [[f"{v['paper_instructions'] / 1e9:.1f}B", v["secded"], v["mecc"]]
-         for _, v in sorted(out.items())],
-        title="Fig. 13 — MECC transition time",
-    )
-
-
-def _fig14(run: ScaledRun) -> str:
-    out = X.fig14_smd_disabled(run)
-    return format_table(
-        ["benchmark", "disabled fraction"],
-        sorted(out.items(), key=lambda kv: -kv[1]),
-        title="Fig. 14 — SMD: time with ECC-Downgrade disabled",
-    )
-
-
-def _table3(run: ScaledRun) -> str:
-    out = X.table3_characterization(run)
-    return format_table(
-        ["class", "IPC", "MPKI", "footprint MB"],
-        [[cls, v["ipc"], v["mpki"], v["footprint_mb"]] for cls, v in out.items()],
-        title="Table III — measured workload characterization",
-    )
-
-
-def _related_work(run: ScaledRun) -> str:
-    from repro.baselines import FlikkerModel, RaidrModel, SecretModel, VrtModel
-
-    flikker = FlikkerModel(critical_fraction=0.25)
-    raidr = RaidrModel(rows=8192, seed=5)
-    rates = format_table(
-        ["scheme", "relative refresh rate"],
-        [
-            ["Flikker (1/4 critical)", flikker.effective_refresh_rate],
-            ["RAIDR (3 bins)", raidr.refresh_rate_relative()],
-            ["SECRET (1 s)", SecretModel(target_period_s=1.024).refresh_rate_relative],
-            ["MECC (idle)", 1 / 16],
-            ["RAIDR + MECC (naive)", raidr.combined_with_ecc_rate(16)],
-            ["RAIDR + MECC (honest)", raidr.safe_combined_rate(1.024)],
-        ],
-        title="Sec. VII — effective refresh rates",
-    )
-    vrt = VrtModel(seed=9).compare(1e-7)
-    robustness = format_table(
-        ["scheme", "uncorrectable lines / GB under VRT 1e-7"],
-        [[r.scheme, r.uncorrectable_lines] for r in vrt],
-        title="Sec. VII-B — VRT robustness",
-    )
-    return rates + "\n\n" + robustness
-
-
-def _functional(run: ScaledRun) -> str:
-    from repro.functional.faults import FaultProcess, SoftErrorModel
-    from repro.functional.session import FunctionalMeccSession
-    from repro.reliability.retention import RetentionModel
-
-    from repro.analysis.report import render_codec_counters
-
-    rows = []
-    codec_counters = {}
-    for scheme in ("mecc", "secded", "ecc6", "none-slow"):
-        faults = FaultProcess(
-            retention=RetentionModel(anchor_ber=1e-3),
-            soft_errors=SoftErrorModel(rate_per_bit_s=0.0),
-            seed=17,
+def _exhibit_renderer(spec: ExhibitSpec) -> Callable[[ScaledRun], str]:
+    def render_fn(run: ScaledRun) -> str:
+        data = spec.build(run)
+        return format_table(
+            list(data.columns),
+            [list(row) for row in data.rows],
+            title=spec.title,
         )
-        session = FunctionalMeccSession(
-            scheme=scheme, working_set_lines=48, faults=faults, seed=17,
-            accesses_per_active_phase=64, idle_seconds=180.0,
-        )
-        report = session.run(cycles=12)
-        c = report.counters
-        codec = getattr(session.memory, "codec", None)
-        if codec is not None:
-            codec_counters[scheme] = codec.codec_counters()["line"]
-        rows.append([
-            scheme, c.reads, c.corrected_bits, c.detected_uncorrectable,
-            c.silent_corruptions, "LOST" if report.lost_data else "intact",
-        ])
-    table = format_table(
-        ["scheme", "reads", "corrected bits", "detected", "silent", "data"],
-        rows,
-        title="Functional integrity — real codewords, accelerated faults",
-    )
-    return table + "\n\n" + render_codec_counters(codec_counters)
+
+    return render_fn
 
 
-def _device(run: ScaledRun) -> str:
-    from repro.sim.device import DeviceSimulator
-    from repro.workloads.spec import BENCHMARKS_BY_NAME
-
-    mix = [BENCHMARKS_BY_NAME[n] for n in ("h264ref", "sphinx", "libq")]
-    rows = []
-    baseline_total = None
-    for scheme in ("baseline", "secded", "ecc6", "mecc"):
-        sim = DeviceSimulator(scheme=scheme, run=run)
-        report = sim.run_session(mix, cycles=2)
-        if baseline_total is None:
-            baseline_total = report.total_energy_j
-        rows.append([
-            scheme, report.active_energy_j, report.idle_energy_j,
-            report.total_energy_j, report.total_energy_j / baseline_total,
-            report.average_ipc,
-        ])
-    return format_table(
-        ["scheme", "active J", "idle J", "total J", "normalized", "avg IPC"],
-        rows,
-        title="Device session — mixed-app bursts + idle periods",
-    )
-
-
+#: Exhibit verbs, derived from the repro.report registry: one entry per
+#: registered exhibit, rendered as an aligned terminal table.
 EXHIBITS: dict[str, tuple[str, Callable[[ScaledRun], str]]] = {
-    "table1": ("Table I — ECC strength vs. failure probability", _table1),
-    "fig2": ("Fig. 2 — retention-time curve", _fig2),
-    "fig3": ("Fig. 3 — ECC overhead by MPKI class", _fig3),
-    "fig7": ("Fig. 7 — per-benchmark performance", _fig7),
-    "fig8": ("Fig. 8 — idle power", _fig8),
-    "fig9": ("Fig. 9 — active power/energy/EDP", _fig9),
-    "fig10": ("Fig. 10 — total energy split", _fig10),
-    "fig11": ("Fig. 11 — MDT tracking", _fig11),
-    "fig12": ("Fig. 12 — decode-latency sensitivity", _fig12),
-    "fig13": ("Fig. 13 — transition time", _fig13),
-    "fig14": ("Fig. 14 — SMD disabled time", _fig14),
-    "table3": ("Table III — workload characterization", _table3),
-    "related-work": ("Sec. VII — baseline comparison", _related_work),
-    "functional": ("Extension — data-path integrity validation", _functional),
-    "device": ("Extension — whole-device session energy", _device),
+    spec.id: (spec.title, _exhibit_renderer(spec)) for spec in all_exhibits()
 }
 
 
@@ -316,6 +115,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--exhibits",
         default=None,
         help="comma-separated exhibit subset for 'report' (default: all)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_exhibits",
+        help="report: enumerate the registered exhibits (id, kind, paper "
+        "anchor, cost class) and exit",
+    )
+    parser.add_argument(
+        "--format",
+        default=None,
+        metavar="FMT,FMT,...",
+        help="report: artifact formats to render — any of csv,json,md,tex "
+        "(default: all four)",
+    )
+    parser.add_argument(
+        "--out",
+        default="report",
+        metavar="DIR",
+        help="report: root output directory; the artifact tree lands in "
+        "DIR/<run-id>/ (default: report)",
+    )
+    parser.add_argument(
+        "--run-id",
+        default=None,
+        help="report: artifact-tree name under --out "
+        "(default: a UTC timestamp)",
+    )
+    parser.add_argument(
+        "--diff",
+        default=None,
+        metavar="BASELINE",
+        help="report: after generating, compare the fresh tree against the "
+        "artifact tree at BASELINE with per-cell tolerance bands; exits "
+        "nonzero on drift (JSON artifacts required in both trees)",
+    )
+    parser.add_argument(
+        "--fidelity-summary",
+        action="store_true",
+        help="report: also evaluate the reduced fidelity claim set and "
+        "stamp the digest into the tree manifest",
     )
     parser.add_argument(
         "--mode",
@@ -957,6 +797,56 @@ def _serve(args, runner) -> int:
     return status
 
 
+def _report(args, runner) -> int:
+    """The publication pipeline verb.
+
+    ``--list`` enumerates the registry; ``-o FILE`` keeps the legacy
+    single-file markdown report; otherwise a manifest-stamped artifact
+    tree is generated under ``--out/<run-id>/`` and, with ``--diff``,
+    compared against a baseline tree (nonzero exit on drift).
+    """
+    from repro.report import ReportPipeline, diff_trees, resolve_exhibits
+
+    if args.list_exhibits:
+        specs = resolve_exhibits(args.exhibits)
+        print(format_table(
+            ["id", "kind", "anchor", "cost", "title"],
+            [[s.id, s.kind, s.paper_anchor,
+              "simulated" if s.simulated else "analytic", s.title]
+             for s in specs],
+            title=f"registered exhibits ({len(specs)})",
+        ))
+        return 0
+
+    run = ScaledRun(instructions=args.instructions)
+    if args.output:
+        # Legacy single-file markdown report (kept for scripting compat).
+        from repro.analysis.report import write_report
+
+        include = args.exhibits.split(",") if args.exhibits else None
+        write_report(args.output, run, include)
+        print(f"wrote report to {args.output}")
+        _finish_runner(args, runner)
+        return 0
+
+    pipeline = ReportPipeline(
+        out_dir=args.out,
+        run_id=args.run_id,
+        formats=args.format,
+        run=run,
+        fidelity=args.fidelity_summary,
+    )
+    tree = pipeline.generate(args.exhibits)
+    print(f"wrote artifact tree to {tree}")
+    _finish_runner(args, runner)
+    if args.diff:
+        result = diff_trees(tree, args.diff, exhibits=args.exhibits)
+        print(result.render())
+        if not result.clean:
+            return 1
+    return 0
+
+
 def _configure_runner(args):
     """Install the process-wide experiment runner from CLI flags/env."""
     from repro.analysis.runner import configure_runner
@@ -1054,17 +944,7 @@ def main(argv: list[str] | None = None) -> int:
         _finish_runner(args, runner)
         return 0
     if args.exhibit == "report":
-        from repro.analysis.report import generate_report, write_report
-
-        run = ScaledRun(instructions=args.instructions)
-        include = args.exhibits.split(",") if args.exhibits else None
-        if args.output:
-            write_report(args.output, run, include)
-            print(f"wrote report to {args.output}")
-        else:
-            print(generate_report(run, include))
-        _finish_runner(args, runner)
-        return 0
+        return _report(args, runner)
     run = ScaledRun(instructions=args.instructions)
     names = sorted(EXHIBITS) if args.exhibit == "all" else [args.exhibit]
     for name in names:

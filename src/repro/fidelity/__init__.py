@@ -24,6 +24,7 @@ from repro.fidelity.claims import (
 from repro.fidelity.engine import (
     ClaimResult,
     ConformanceReport,
+    conformance_summary,
     evaluate_claim,
     evaluate_claims,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "claims_payload",
     "compare_golden",
     "compute_golden_figures",
+    "conformance_summary",
     "default_golden_path",
     "evaluate_claim",
     "evaluate_claims",

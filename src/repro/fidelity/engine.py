@@ -165,3 +165,27 @@ def evaluate_claim(claim_id: str, context: FidelityContext | None = None) -> Cla
 
         raise ConfigurationError(f"unknown claim id {claim_id!r}")
     return evaluate_claims([claim_id], context).results[0]
+
+
+def conformance_summary(
+    claim_set: str = "reduced",
+    context: FidelityContext | None = None,
+) -> dict:
+    """Manifest-ready fidelity digest for the publication pipeline.
+
+    Evaluates one named claim set (``reduced`` keeps this cheap enough
+    to stamp into every ``repro report`` manifest) and compresses the
+    report to the fields an artifact consumer needs: pass/fail, counts,
+    and the violated claim ids.
+    """
+    from repro.fidelity.claims import claims_in_set
+
+    claims = claims_in_set(claim_set)
+    report = evaluate_claims([c.id for c in claims], context)
+    return {
+        "claim_set": claim_set,
+        "passed": report.passed,
+        "evaluated": len(report.results),
+        "failed": len(report.violations),
+        "violated_ids": [r.claim.id for r in report.violations],
+    }

@@ -1,0 +1,67 @@
+"""Unified publication pipeline (``repro report``).
+
+One registry of paper exhibits (:mod:`repro.report.spec` +
+:mod:`repro.report.exhibits`), renderers for CSV/JSON/Markdown/LaTeX
+(:mod:`repro.report.render`), a manifest-stamped artifact-tree pipeline
+(:mod:`repro.report.pipeline`), and a tolerance-banded tree comparator
+(:mod:`repro.report.diff`).
+"""
+
+from repro.report.diff import CellDiff, TreeDiff, diff_exhibit, diff_trees
+from repro.report.pipeline import (
+    MANIFEST_NAME,
+    SCHEMA_VERSION,
+    ReportPipeline,
+    default_run_id,
+    git_revision,
+    load_manifest,
+)
+from repro.report.render import (
+    RENDERERS,
+    SIG_DIGITS,
+    render,
+    resolve_formats,
+    rounded,
+)
+from repro.report.spec import (
+    DEFAULT_DIFF_RTOL,
+    DEFAULT_FORMATS,
+    KINDS,
+    REGISTRY,
+    ExhibitData,
+    ExhibitSpec,
+    all_exhibits,
+    exhibit_ids,
+    get_exhibit,
+    register_exhibit,
+    resolve_exhibits,
+)
+
+__all__ = [
+    "CellDiff",
+    "DEFAULT_DIFF_RTOL",
+    "DEFAULT_FORMATS",
+    "ExhibitData",
+    "ExhibitSpec",
+    "KINDS",
+    "MANIFEST_NAME",
+    "REGISTRY",
+    "RENDERERS",
+    "ReportPipeline",
+    "SCHEMA_VERSION",
+    "SIG_DIGITS",
+    "TreeDiff",
+    "all_exhibits",
+    "default_run_id",
+    "diff_exhibit",
+    "diff_trees",
+    "exhibit_ids",
+    "get_exhibit",
+    "git_revision",
+    "load_manifest",
+    "register_exhibit",
+    "render",
+    "resolve_exhibits",
+    "resolve_formats",
+    "rounded",
+]

@@ -1,0 +1,525 @@
+"""Builders for every registered exhibit (Figs. 1-3/7-14, Tables I/III,
+related work, and the reproduction extensions).
+
+Each builder regenerates one exhibit as a tidy :class:`ExhibitData`
+table by delegating to :mod:`repro.analysis.experiments` (which routes
+all simulation through the cached experiment runner), so a ``repro
+report`` replay, a bench shim, and an interactive ``repro fig7`` all
+share the same jobs and produce the same numbers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import experiments as X
+from repro.report.spec import ExhibitData, register_exhibit
+from repro.sim.system import ScaledRun
+from repro.workloads.spec import ALL_BENCHMARKS, MpkiClass
+
+# ---------------------------------------------------------------------------
+# Figures 1-3: motivation and ECC overhead
+# ---------------------------------------------------------------------------
+
+
+@register_exhibit(
+    "fig1",
+    title="Fig. 1 — memory power over a usage session",
+    paper_anchor="Fig. 1",
+    kind="figure",
+    paper_note="Paper: active memory power ~9x idle; refresh is ~half of "
+    "idle power; idle dominates the time budget.",
+    params={"total_s": 600.0, "seed": 7},
+)
+def _fig1(run: ScaledRun, total_s: float = 600.0, seed: int = 7) -> ExhibitData:
+    samples, active_power = X.fig1_usage_timeline(total_s=total_s, seed=seed)
+    rows = []
+    t = 0.0
+    for i, s in enumerate(samples):
+        rows.append((
+            i,
+            round(t, 3),
+            s.phase.state.value,
+            round(s.phase.duration_s, 3),
+            s.power_w / active_power,
+            s.refresh_w / s.power_w,
+        ))
+        t += s.phase.duration_s
+    return ExhibitData(
+        "fig1",
+        ("phase", "start_s", "state", "duration_s", "power_norm", "refresh_share"),
+        tuple(rows),
+        meta={"total_s": total_s, "seed": seed, "active_power_w": active_power},
+    )
+
+
+@register_exhibit(
+    "fig2",
+    title="Fig. 2 — retention-time failure curve",
+    paper_anchor="Fig. 2",
+    kind="figure",
+    paper_note="Paper anchors: BER 1e-9 at 64 ms, 10^-4.5 at 1 s.",
+    params={"points": 41},
+)
+def _fig2(run: ScaledRun, points: int = 41) -> ExhibitData:
+    curve = X.fig2_retention_curve(points=points)
+    return ExhibitData(
+        "fig2",
+        ("retention_time_s", "bit_failure_probability"),
+        tuple((t, p) for t, p in curve),
+    )
+
+
+@register_exhibit(
+    "fig3",
+    title="Fig. 3 — ECC overhead by MPKI class",
+    paper_anchor="Fig. 3",
+    kind="figure",
+    paper_note="Paper: SECDED <1%; ECC-6 ~2%/~9%/~16% by class, 10% overall.",
+    simulated=True,
+)
+def _fig3(run: ScaledRun) -> ExhibitData:
+    out = X.fig3_ecc_overhead_by_class(run)
+    return ExhibitData(
+        "fig3",
+        ("class", "secded", "ecc6"),
+        tuple((cls, v["secded"], v["ecc6"]) for cls, v in out.items()),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 7-10: performance and power/energy
+# ---------------------------------------------------------------------------
+
+
+@register_exhibit(
+    "fig7",
+    title="Fig. 7 — per-benchmark performance",
+    paper_anchor="Fig. 7",
+    kind="figure",
+    paper_note="Paper geomeans: SECDED 0.995, ECC-6 0.90 (libq ~0.79), "
+    "MECC 0.988.",
+    simulated=True,
+)
+def _fig7(run: ScaledRun) -> ExhibitData:
+    perf = X.fig7_performance(run)
+    rows = [
+        (
+            spec.name,
+            spec.mpki_class.value,
+            perf.normalized(spec.name, "secded"),
+            perf.normalized(spec.name, "ecc6"),
+            perf.normalized(spec.name, "mecc"),
+        )
+        for spec in ALL_BENCHMARKS
+    ]
+    for cls in MpkiClass:
+        rows.append((
+            f"GEOMEAN:{cls.value}",
+            cls.value,
+            perf.class_geomean("secded", cls),
+            perf.class_geomean("ecc6", cls),
+            perf.class_geomean("mecc", cls),
+        ))
+    rows.append((
+        "ALL",
+        "(geomean)",
+        perf.geomean("secded"),
+        perf.geomean("ecc6"),
+        perf.geomean("mecc"),
+    ))
+    return ExhibitData(
+        "fig7", ("benchmark", "class", "secded", "ecc6", "mecc"), tuple(rows)
+    )
+
+
+@register_exhibit(
+    "fig8",
+    title="Fig. 8 — idle power",
+    paper_anchor="Fig. 8",
+    kind="figure",
+    paper_note="Paper: refresh 1/16; total idle power ~0.57 of baseline.",
+)
+def _fig8(run: ScaledRun) -> ExhibitData:
+    out = X.fig8_idle_power()
+    return ExhibitData(
+        "fig8",
+        ("scheme", "refresh_w", "background_w", "total_w", "refresh_norm",
+         "total_norm"),
+        tuple(
+            (name, v["refresh_w"], v["background_w"], v["total_w"],
+             v["refresh_norm"], v["total_norm"])
+            for name, v in out.items()
+        ),
+    )
+
+
+@register_exhibit(
+    "fig9",
+    title="Fig. 9 — active power/energy/EDP",
+    paper_anchor="Fig. 9",
+    kind="figure",
+    paper_note="Paper: MECC power ~+1%; ECC-6 EDP ~+12%; energies similar.",
+    simulated=True,
+)
+def _fig9(run: ScaledRun) -> ExhibitData:
+    out = X.fig9_active_metrics(run)
+    return ExhibitData(
+        "fig9",
+        ("scheme", "power", "energy", "edp"),
+        tuple((n, v["power"], v["energy"], v["edp"]) for n, v in out.items()),
+    )
+
+
+@register_exhibit(
+    "fig10",
+    title="Fig. 10 — total energy split",
+    paper_anchor="Fig. 10",
+    kind="figure",
+    paper_note="Paper: ~15% total-energy saving at 95% idle (see "
+    "EXPERIMENTS.md on the active/idle power-ratio discussion).",
+    simulated=True,
+)
+def _fig10(run: ScaledRun) -> ExhibitData:
+    out = X.fig10_total_energy(run)
+    return ExhibitData(
+        "fig10",
+        ("scheme", "active_j", "idle_j", "total_j", "total_norm"),
+        tuple(
+            (n, v["active_j"], v["idle_j"], v["total_j"], v["total_norm"])
+            for n, v in out.items()
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 11-14: MECC enhancements
+# ---------------------------------------------------------------------------
+
+
+@register_exhibit(
+    "fig11",
+    title="Fig. 11 — MDT tracking",
+    paper_anchor="Fig. 11",
+    kind="figure",
+    paper_note="Paper: ~128 MB average footprint -> 8x less upgrade work; "
+    "400 ms -> 50 ms.",
+    params={"coverage_factor": 2.0},
+)
+def _fig11(run: ScaledRun, coverage_factor: float = 2.0) -> ExhibitData:
+    out = X.fig11_mdt_tracking(coverage_factor=coverage_factor)
+    return ExhibitData(
+        "fig11",
+        ("benchmark", "footprint_mb", "tracked_mb", "upgrade_ms"),
+        tuple(
+            (n, v["footprint_mb"], v["tracked_mb"], v["upgrade_ms"])
+            for n, v in out.items()
+        ),
+        meta={"coverage_factor": coverage_factor},
+    )
+
+
+@register_exhibit(
+    "fig12",
+    title="Fig. 12 — decode-latency sensitivity",
+    paper_anchor="Fig. 12",
+    kind="figure",
+    paper_note="Paper: ECC-6 drops to 0.82 at 60 cycles; MECC stays "
+    "within ~2%.",
+    params={"latencies": (15, 30, 45, 60)},
+    simulated=True,
+)
+def _fig12(run: ScaledRun, latencies=(15, 30, 45, 60)) -> ExhibitData:
+    out = X.fig12_latency_sensitivity(latencies=tuple(latencies), run=run)
+    return ExhibitData(
+        "fig12",
+        ("decode_cycles", "ecc6", "mecc"),
+        tuple((lat, v["ecc6"], v["mecc"]) for lat, v in out.items()),
+    )
+
+
+@register_exhibit(
+    "fig13",
+    title="Fig. 13 — transition time",
+    paper_anchor="Fig. 13",
+    kind="figure",
+    paper_note="Paper: MECC converges from ~2% (<=1B instr) to 1.2% (4B).",
+    simulated=True,
+)
+def _fig13(run: ScaledRun) -> ExhibitData:
+    out = X.fig13_transition(run=run)
+    rows = []
+    for fraction in sorted(out):
+        v = out[fraction]
+        rows.append((
+            fraction,
+            v["paper_instructions"] / 1e9,
+            v["secded"],
+            v["mecc"],
+            v["secded"] - v["mecc"],
+        ))
+    return ExhibitData(
+        "fig13",
+        ("slice_fraction", "paper_billions", "secded", "mecc", "gap"),
+        tuple(rows),
+    )
+
+
+@register_exhibit(
+    "fig14",
+    title="Fig. 14 — SMD disabled time",
+    paper_anchor="Fig. 14",
+    kind="figure",
+    paper_note="Paper: povray, tonto, wrf, gamess, hmmer, sjeng, h264ref "
+    "never enable ECC-Downgrade; average within 2% of baseline.",
+    simulated=True,
+)
+def _fig14(run: ScaledRun) -> ExhibitData:
+    out = X.fig14_smd_disabled(run)
+    return ExhibitData(
+        "fig14",
+        ("benchmark", "disabled_fraction"),
+        tuple(sorted(out.items(), key=lambda kv: (-kv[1], kv[0]))),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tables I and III
+# ---------------------------------------------------------------------------
+
+
+@register_exhibit(
+    "table1",
+    title="Table I — ECC strength vs. failure probability",
+    paper_anchor="Table I",
+    kind="table",
+    paper_note="Paper: ECC-5 meets the 1e-6 system target at BER 10^-4.5; "
+    "ECC-6 adds the soft-error margin.",
+)
+def _table1(run: ScaledRun) -> ExhibitData:
+    rows = X.table1_failure()
+    return ExhibitData(
+        "table1",
+        ("ecc_t", "label", "line_failure", "system_failure"),
+        tuple((r.ecc_t, r.label, r.line_failure, r.system_failure) for r in rows),
+    )
+
+
+@register_exhibit(
+    "table3",
+    title="Table III — workload characterization",
+    paper_anchor="Table III",
+    kind="table",
+    paper_note="Paper: Low 1.514/0.3/26; Med 0.887/4.7/96.4; "
+    "High 0.359/23.5/259.1 (IPC/MPKI/MB).",
+    simulated=True,
+)
+def _table3(run: ScaledRun) -> ExhibitData:
+    out = X.table3_characterization(run)
+    return ExhibitData(
+        "table3",
+        ("class", "ipc", "mpki", "footprint_mb"),
+        tuple(
+            (cls, v["ipc"], v["mpki"], v["footprint_mb"])
+            for cls, v in out.items()
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Related work (Sec. VII) and the persona study
+# ---------------------------------------------------------------------------
+
+
+@register_exhibit(
+    "related-work",
+    title="Sec. VII — baseline comparison",
+    paper_anchor="Sec. VII",
+    kind="table",
+    paper_note="Paper Sec. VII: Flikker ~1/3 effective rate; profile-based "
+    "schemes are VRT-fragile; RAIDR orthogonal.",
+    params={"vrt_flip_probability": 1e-7},
+)
+def _related_work(
+    run: ScaledRun, vrt_flip_probability: float = 1e-7
+) -> ExhibitData:
+    from repro.baselines import (
+        FlikkerModel,
+        RaidrModel,
+        RapidModel,
+        SecretModel,
+        VrtModel,
+    )
+
+    flikker = FlikkerModel(critical_fraction=0.25)
+    raidr = RaidrModel(rows=8192, seed=5)
+    rapid = RapidModel(capacity_bytes=64 << 20, seed=3)
+    rates = {
+        "Baseline (64 ms)": 1.0,
+        "Flikker (1/4 critical)": flikker.effective_refresh_rate,
+        "RAPID (50% utilization)": rapid.refresh_rate_relative(0.5),
+        "RAIDR (3 bins)": raidr.refresh_rate_relative(),
+        "SECRET (1 s)": SecretModel(target_period_s=1.024).refresh_rate_relative,
+        "MECC (idle, 1 s)": 1 / 16,
+        "RAIDR + MECC (naive)": raidr.combined_with_ecc_rate(16),
+        "RAIDR + MECC (honest)": raidr.safe_combined_rate(1.024),
+    }
+    rows = [
+        ("refresh_rate", scheme, value) for scheme, value in rates.items()
+    ]
+    for result in VrtModel(seed=9).compare(vrt_flip_probability):
+        rows.append(
+            ("vrt_uncorrectable_lines", result.scheme, result.uncorrectable_lines)
+        )
+    return ExhibitData(
+        "related-work",
+        ("metric", "scheme", "value"),
+        tuple(rows),
+        meta={"vrt_flip_probability": vrt_flip_probability},
+    )
+
+
+@register_exhibit(
+    "personas",
+    title="Extension — persona day study",
+    paper_anchor="Extension",
+    kind="extension",
+    paper_note="Extension: lighter (more idle) personas save a larger "
+    "fraction of memory energy under MECC at near-zero IPC cost.",
+    params={"sessions_divisor": 8, "max_instructions": 150_000},
+    simulated=True,
+)
+def _personas(
+    run: ScaledRun,
+    sessions_divisor: int = 8,
+    max_instructions: int = 150_000,
+) -> ExhibitData:
+    from repro.workloads.personas import PERSONAS, Persona, persona_savings
+
+    study_run = ScaledRun(instructions=min(run.instructions, max_instructions))
+    rows = []
+    for persona in PERSONAS:
+        # Session counts scale down to keep regeneration quick; the duty
+        # cycle (idle_fraction) is what drives the savings and is kept.
+        scaled = Persona(
+            persona.name,
+            persona.app_mix,
+            max(3, persona.sessions_per_day // max(1, sessions_divisor)),
+            persona.idle_fraction,
+        )
+        v = persona_savings(scaled, study_run)
+        rows.append((
+            persona.name,
+            v["baseline_j"],
+            v["mecc_j"],
+            v["saving_fraction"],
+            v["idle_share_of_energy"],
+            v["mecc_normalized_ipc"],
+        ))
+    return ExhibitData(
+        "personas",
+        ("persona", "baseline_j", "mecc_j", "saving_fraction",
+         "idle_share_of_energy", "mecc_normalized_ipc"),
+        tuple(rows),
+        meta={
+            "sessions_divisor": sessions_divisor,
+            "max_instructions": max_instructions,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reproduction extensions: functional integrity and device sessions
+# ---------------------------------------------------------------------------
+
+
+@register_exhibit(
+    "functional",
+    title="Extension — data-path integrity validation",
+    paper_anchor="Extension",
+    kind="extension",
+    paper_note="Extension: real codewords survive the 1 s refresh under "
+    "MECC/ECC-6; no-ECC corrupts silently.",
+    params={"cycles": 12, "working_set_lines": 48, "seed": 17},
+    simulated=True,
+)
+def _functional(
+    run: ScaledRun,
+    cycles: int = 12,
+    working_set_lines: int = 48,
+    seed: int = 17,
+) -> ExhibitData:
+    from repro.functional.faults import FaultProcess, SoftErrorModel
+    from repro.functional.session import FunctionalMeccSession
+    from repro.reliability.retention import RetentionModel
+
+    rows = []
+    for scheme in ("mecc", "secded", "ecc6", "none-slow"):
+        faults = FaultProcess(
+            retention=RetentionModel(anchor_ber=1e-3),
+            soft_errors=SoftErrorModel(rate_per_bit_s=0.0),
+            seed=seed,
+        )
+        session = FunctionalMeccSession(
+            scheme=scheme,
+            working_set_lines=working_set_lines,
+            faults=faults,
+            seed=seed,
+            accesses_per_active_phase=64,
+            idle_seconds=180.0,
+        )
+        report = session.run(cycles=cycles)
+        c = report.counters
+        rows.append((
+            scheme,
+            c.reads,
+            c.corrected_bits,
+            c.detected_uncorrectable,
+            c.silent_corruptions,
+            not report.lost_data,
+        ))
+    return ExhibitData(
+        "functional",
+        ("scheme", "reads", "corrected_bits", "detected_uncorrectable",
+         "silent_corruptions", "data_intact"),
+        tuple(rows),
+        meta={"cycles": cycles, "working_set_lines": working_set_lines,
+              "seed": seed},
+    )
+
+
+@register_exhibit(
+    "device",
+    title="Extension — whole-device session energy",
+    paper_anchor="Extension",
+    kind="extension",
+    paper_note="Extension: device-scale energy ledger with upgrade costs.",
+    params={"mix": ("h264ref", "sphinx", "libq"), "cycles": 2},
+    simulated=True,
+)
+def _device(
+    run: ScaledRun, mix=("h264ref", "sphinx", "libq"), cycles: int = 2
+) -> ExhibitData:
+    from repro.sim.device import DeviceSimulator
+    from repro.workloads.spec import BENCHMARKS_BY_NAME
+
+    specs = [BENCHMARKS_BY_NAME[n] for n in mix]
+    rows = []
+    baseline_total = None
+    for scheme in ("baseline", "secded", "ecc6", "mecc"):
+        sim = DeviceSimulator(scheme=scheme, run=run)
+        report = sim.run_session(specs, cycles=cycles)
+        if baseline_total is None:
+            baseline_total = report.total_energy_j
+        rows.append((
+            scheme,
+            report.active_energy_j,
+            report.idle_energy_j,
+            report.total_energy_j,
+            report.total_energy_j / baseline_total,
+            report.average_ipc,
+        ))
+    return ExhibitData(
+        "device",
+        ("scheme", "active_j", "idle_j", "total_j", "normalized", "avg_ipc"),
+        tuple(rows),
+        meta={"mix": list(mix), "cycles": cycles},
+    )

@@ -171,3 +171,59 @@ class TestFleetAggregate:
         agg.metric("energy", 0.0, 200.0, 64)
         with pytest.raises(ConfigurationError):
             agg.metric("energy", 0.0, 100.0, 64)
+
+
+class TestShardEdges:
+    """Degenerate shardings: no shards, empty shards, one device each."""
+
+    def _fill(self, values):
+        agg = FleetAggregate()
+        metric = agg.metric("energy", 0.0, 200.0, 64)
+        for value in values:
+            metric.add(value)
+            agg.count_device("light" if value < 120.0 else "heavy")
+        return agg
+
+    def test_merge_no_shards_yields_empty_total(self):
+        total = merge_aggregates([])
+        assert total.devices == 0
+        assert total.metrics == {}
+        payload = total.as_dict()
+        assert payload["devices"] == 0
+        assert payload["metrics"] == {}
+        assert payload["persona_counts"] == {}
+
+    def test_empty_shards_are_identity(self):
+        filled = self._fill(VALUES[:200])
+        merged = merge_aggregates(
+            [FleetAggregate(), self._fill(VALUES[:200]), FleetAggregate()]
+        )
+        assert merged.devices == filled.devices
+        assert merged.persona_counts == filled.persona_counts
+        ours, theirs = merged.metrics["energy"], filled.metrics["energy"]
+        assert ours.histogram.counts == theirs.histogram.counts
+        assert ours.moments.mean == pytest.approx(theirs.moments.mean, rel=1e-12)
+        assert ours.moments.variance == pytest.approx(
+            theirs.moments.variance, rel=1e-9
+        )
+
+    def test_single_device_shards_equal_whole(self):
+        values = VALUES[:200]
+        whole = self._fill(values)
+        merged = merge_aggregates(self._fill([v]) for v in values)
+        assert merged.devices == whole.devices
+        assert merged.persona_counts == whole.persona_counts
+        ours, theirs = merged.metrics["energy"], whole.metrics["energy"]
+        assert ours.histogram.counts == theirs.histogram.counts
+        assert ours.moments.mean == pytest.approx(theirs.moments.mean, rel=1e-12)
+        assert ours.moments.variance == pytest.approx(
+            theirs.moments.variance, rel=1e-9
+        )
+
+    def test_unsampled_metric_serializes_without_percentiles(self):
+        agg = FleetAggregate()
+        agg.metric("energy", 0.0, 200.0, 64)
+        payload = agg.as_dict()["metrics"]["energy"]
+        assert payload["count"] == 0
+        assert payload["mean"] is None
+        assert "percentiles" not in payload

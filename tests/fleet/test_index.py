@@ -70,6 +70,18 @@ class TestAdvise:
         # The chosen policy really is the cheapest alternative.
         assert adv.energy_j_day == min(adv.alternatives.values())
 
+    def test_mpki_below_every_cohort_clamps_to_lightest(self, index):
+        adv = index.advise(TrafficProfile(idle_fraction=0.97, mpki=1e-5))
+        assert adv.matched_persona == "light"
+
+    def test_mpki_above_every_cohort_clamps_to_heaviest(self, index):
+        adv = index.advise(TrafficProfile(idle_fraction=0.85, mpki=1e6))
+        assert adv.matched_persona == "heavy"
+        # Still a complete, well-formed advisory.
+        assert set(adv.alternatives) == {"baseline", "secded", "mecc"}
+        assert adv.energy_j_day > 0.0
+        assert 0.0 < adv.normalized_ipc <= 1.0
+
     def test_advice_scales_with_idle_fraction(self, index):
         lazy = index.advise(TrafficProfile(idle_fraction=0.99, mpki=0.3))
         busy = index.advise(TrafficProfile(idle_fraction=0.60, mpki=0.3))

@@ -160,6 +160,33 @@ class TestTimeouts:
         asyncio.run(run())
         assert service.timeouts == 1
 
+    def test_stop_fails_requests_mid_queue(self, index, monkeypatch):
+        """stop() with a full queue of live requests: every pending submit
+        fails fast with ServiceStoppedError — nobody hangs until timeout."""
+        service = AdvisoryService(
+            index, max_queue=8, workers=2, request_timeout_s=30.0
+        )
+
+        async def stalled_worker():
+            await asyncio.Event().wait()  # never drains the queue
+
+        monkeypatch.setattr(service, "_worker", stalled_worker)
+
+        async def run():
+            await service.start()
+            pending = [
+                asyncio.ensure_future(service.submit(p)) for p in _profiles(5)
+            ]
+            await asyncio.sleep(0)  # let every submit enqueue
+            await asyncio.wait_for(service.stop(), timeout=1.0)
+            return await asyncio.gather(*pending, return_exceptions=True)
+
+        results = asyncio.run(run())
+        assert len(results) == 5
+        assert all(isinstance(r, ServiceStoppedError) for r in results)
+        assert not service.running
+        assert service.errors == 5
+
     def test_stop_fails_queued_requests(self, index):
         service = AdvisoryService(index, max_queue=8, workers=1)
 

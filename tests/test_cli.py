@@ -376,6 +376,16 @@ class TestFleet:
         assert main(["fleet", *self.ARGS, "--mix", "nosuch:1.0"]) == 2
         assert "unknown personas" in capsys.readouterr().err
 
+    def test_fleet_unknown_scheme_lists_valid_choices(self, capsys):
+        assert main([
+            "fleet", *self.ARGS, "--schemes", "baseline,bogus"
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unknown schemes" in err
+        assert "bogus" in err
+        assert "choose from" in err
+        assert "mecc" in err
+
 
 class TestServe:
     ARGS = ["--instructions", "10000"]
@@ -408,6 +418,17 @@ class TestServe:
         assert code == 0
         out = capsys.readouterr().out
         assert "completed" in out
+
+    def test_serve_unknown_scheme_lists_valid_choices(self, capsys):
+        code = main([
+            "serve", *self.ARGS, "--self-test", "5",
+            "--schemes", "baseline,warpdrive",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown schemes" in err
+        assert "warpdrive" in err
+        assert "choose from" in err
 
     def test_serve_missing_index_exits_2(self, tmp_path, capsys):
         code = main([
