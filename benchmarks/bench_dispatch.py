@@ -1,0 +1,91 @@
+"""Dispatch exhibit: distributed backend vs local pool (extension).
+
+Runs the same small (benchmark, policy) sweep twice — once in-process,
+once through the :mod:`repro.dispatch` coordinator with two real worker
+subprocesses — and asserts the backend's core contract:
+
+* every job commits exactly once, with payloads bit-identical to the
+  local run (so distribution is purely an infrastructure choice);
+* the clean-shutdown bookkeeping holds (workers drain, none counted
+  lost, no retries or requeues on a healthy fleet);
+* the worker-fault smoke campaign (SIGKILL, duplicate delivery, flaky
+  jobs) still completes every job exactly once.
+
+The printed table is the dispatch ledger summary; wall-clock speedup is
+*not* asserted — at bench slice lengths the protocol overhead can
+dominate, and the contract under test is correctness of distribution,
+not throughput.
+"""
+
+from repro.analysis.runner import JobSpec, execute_job
+from repro.chaos import WorkerChaosCampaign, resolve_worker_scenarios
+from repro.dispatch import DispatchBackend, DispatchConfig
+from repro.sim.system import ScaledRun
+from repro.workloads.spec import BENCHMARKS_BY_NAME
+
+INSTRUCTIONS = 4000
+GRID = [
+    (bench, policy)
+    for bench in ("libq", "milc", "sphinx")
+    for policy in ("mecc", "secded")
+]
+
+
+def _specs():
+    run = ScaledRun(instructions=INSTRUCTIONS)
+    return [
+        JobSpec.build(BENCHMARKS_BY_NAME[bench], run, policy)
+        for bench, policy in GRID
+    ]
+
+
+def test_dispatch_sweep_matches_local_bit_for_bit(benchmark, show):
+    specs = _specs()
+    reference = {
+        index: execute_job(spec)[0].to_dict()
+        for index, spec in enumerate(specs)
+    }
+    harvested = {}
+
+    def sweep():
+        harvested.clear()
+        backend = DispatchBackend(
+            DispatchConfig(workers=2, lease_s=2.0, heartbeat_s=0.5)
+        )
+        failed, leftover = backend.execute(
+            list(enumerate(specs)),
+            lambda index, triple: harvested.__setitem__(
+                index, triple[0].to_dict()
+            ),
+        )
+        return backend, failed, leftover
+
+    backend, failed, leftover = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    summary = backend.summary
+    show(
+        "dispatch sweep: "
+        + ", ".join(f"{k}={summary[k]}" for k in (
+            "commits", "duplicates", "requeues", "retried_failures",
+            "workers_joined", "workers_lost",
+        ))
+    )
+    assert failed == [] and leftover == []
+    assert {i: p for i, p in harvested.items()} == reference
+    assert summary["commits"] == len(specs)
+    assert summary["workers_lost"] == 0
+    assert summary["requeues"] == 0
+
+
+def test_faulted_fleet_still_exactly_once(show):
+    campaign = WorkerChaosCampaign(
+        resolve_worker_scenarios(["kill", "duplicate", "flaky"]),
+        instructions=3000,
+    )
+    report = campaign.run()
+    show(report.render_table())
+    assert report.ok
+    assert report.lost_total == 0
+    assert report.double_commits_total == 0
+    assert report.mismatch_total == 0

@@ -65,6 +65,7 @@ import json
 import logging
 import multiprocessing
 import os
+import random
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -73,6 +74,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.analysis.backoff import DecorrelatedJitter
 from repro.core.smd import DEFAULT_THRESHOLD_MPKC
 from repro.ecc import backend as codec_backend
 from repro.errors import ConfigurationError, JobExecutionError, JobTimeoutError
@@ -84,6 +86,16 @@ from repro.workloads.spec import BenchmarkSpec
 #: Schema 2 added the per-entry payload checksum; schema 3 records the
 #: codec backend that computed each entry.
 CACHE_SCHEMA = 3
+
+#: Execution backends: "local" is the in-process pool, "dispatch" fans
+#: out to TCP workers (see :mod:`repro.dispatch`) with local fallback.
+RUNNER_BACKENDS = ("local", "dispatch")
+
+#: Environment variable selecting the default execution backend.
+BACKEND_ENV_VAR = "REPRO_RUNNER_BACKEND"
+
+#: Default cap on corrupt-entry files kept under ``<cache>/_quarantine/``.
+QUARANTINE_LIMIT = 64
 
 logger = logging.getLogger("repro.analysis.runner")
 
@@ -295,13 +307,24 @@ class ResultCache:
     JSON, non-object payload, checksum mismatch, or a missing result
     block — is moved to ``<root>/_quarantine/``, logged, and counted in
     :attr:`quarantined`, so the job recomputes instead of crashing.
+
+    The quarantine directory itself is bounded: at most
+    ``max_quarantine`` entries are kept, oldest evicted (deleted) first,
+    so a long-lived cache hammered by corruption cannot grow it without
+    bound.  Evictions count in :attr:`quarantine_evicted`.
     """
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(
+        self, root: str | os.PathLike, max_quarantine: int = QUARANTINE_LIMIT
+    ):
+        if max_quarantine < 1:
+            raise ConfigurationError("max_quarantine must be >= 1")
         self.root = Path(root)
+        self.max_quarantine = max_quarantine
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
+        self.quarantine_evicted = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -321,6 +344,31 @@ class ResultCache:
             reason,
             f" -> {dest}" if dest is not None else "",
         )
+        if dest is not None:
+            self._bound_quarantine()
+
+    def _bound_quarantine(self) -> None:
+        """Evict oldest quarantined entries beyond :attr:`max_quarantine`."""
+        quarantine = self.root / "_quarantine"
+        try:
+            entries = sorted(
+                (p for p in quarantine.iterdir() if p.is_file()),
+                key=lambda p: (p.stat().st_mtime, p.name),
+            )
+        except OSError:
+            return
+        for victim in entries[: max(0, len(entries) - self.max_quarantine)]:
+            try:
+                victim.unlink()
+            except OSError:
+                continue
+            self.quarantine_evicted += 1
+            logger.info(
+                "evicted oldest quarantined cache entry %s (quarantine "
+                "bounded at %d entries)",
+                victim.name,
+                self.max_quarantine,
+            )
 
     def load(self, key: str) -> dict | None:
         """Return the cached payload for ``key``, counting hit/miss.
@@ -414,14 +462,24 @@ class ExperimentRunner:
             preempted regardless).
         retries: extra attempts for failed/timed-out jobs (0 = one
             attempt total).
-        retry_backoff_s: initial backoff before the first retry; doubles
-            per attempt, capped at 30 s.
+        retry_backoff_s: base delay before the first retry; subsequent
+            delays use decorrelated jitter (``min(30, U(base, 3 *
+            previous))``) so synchronized failures do not retry in
+            lockstep.  0 disables backoff entirely.
         checkpoint_path: when set, the manifest is rewritten atomically
             after every job disposition (see :meth:`resume_from`).
         start_method: multiprocessing start method for the worker pool
             (``fork`` / ``spawn`` / ``forkserver``); None uses the
             platform default.  Results are identical either way — the
             backend-propagation initializer makes spawn safe.
+        backend: ``"local"`` (the in-process pool) or ``"dispatch"``
+            (remote TCP workers via :mod:`repro.dispatch`, degrading to
+            local execution when no worker infrastructure is available).
+        dispatch: dispatch knobs; None reads ``REPRO_DISPATCH_*`` from
+            the environment when the dispatch backend is selected.
+        backoff_rng: randomness for the retry jitter (injectable so
+            tests stay deterministic); None draws a private RNG.
+        sleep: the backoff sleep hook (injectable for tests).
     """
 
     def __init__(
@@ -433,9 +491,18 @@ class ExperimentRunner:
         retry_backoff_s: float = 0.25,
         checkpoint_path: str | os.PathLike | None = None,
         start_method: str | None = None,
+        backend: str = "local",
+        dispatch=None,
+        backoff_rng: random.Random | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ):
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
+        if backend not in RUNNER_BACKENDS:
+            raise ConfigurationError(
+                f"unknown runner backend {backend!r}; choose from "
+                f"{', '.join(RUNNER_BACKENDS)}"
+            )
         if start_method is not None and start_method not in (
             multiprocessing.get_all_start_methods()
         ):
@@ -456,6 +523,10 @@ class ExperimentRunner:
         self.retry_backoff_s = retry_backoff_s
         self.checkpoint_path = checkpoint_path
         self.start_method = start_method
+        self.backend = backend
+        self.dispatch = dispatch
+        self._backoff_rng = backoff_rng
+        self._sleep = sleep
         self.records: list[JobRecord] = []
         #: Cache keys a resume manifest reported complete (see
         #: :meth:`resume_from`); hits on these are marked ``"resumed"``.
@@ -465,6 +536,12 @@ class ExperimentRunner:
         #: Times the worker pool itself died (BrokenProcessPool).
         self.pool_failures = 0
         self._pool_broken = False
+        #: Times the dispatch backend was unavailable and the sweep
+        #: degraded to local execution (at most 1 per runner).
+        self.dispatch_fallbacks = 0
+        #: Coordinator summary of the last dispatch session (manifest).
+        self.dispatch_summary: dict | None = None
+        self._dispatch_unavailable = False
 
     # -- resume ----------------------------------------------------------------
 
@@ -477,12 +554,29 @@ class ExperimentRunner:
         A manifest from a different code version is accepted with a
         warning — its keys cannot match the new fingerprint, so every
         job transparently re-runs.
+
+        A *truncated* manifest (undecodable JSON — e.g. the filesystem
+        tore a write when the machine died) is treated as **absent**:
+        the resume is a no-op (0 completed jobs) with a warning, never a
+        crash, because re-running every job is always safe.  A manifest
+        that decodes to the wrong shape, or a path that cannot be read
+        at all, is still a :class:`ConfigurationError` — that is a wrong
+        ``--resume`` argument, not a torn write.
         """
         path = Path(manifest_path)
         try:
             with open(path, encoding="utf-8") as stream:
                 payload = json.load(stream)
-        except (OSError, ValueError) as exc:
+        except ValueError as exc:
+            logger.warning(
+                "resume manifest %s is truncated or undecodable (%s); "
+                "treating it as absent — every job will re-run",
+                path,
+                exc,
+            )
+            self.resumed_keys = set()
+            return 0
+        except OSError as exc:
             raise ConfigurationError(
                 f"cannot read resume manifest {path}: {exc}"
             ) from exc
@@ -613,14 +707,29 @@ class ExperimentRunner:
         ``harvest`` is invoked once per *successful* job, in submission
         order within each attempt, so caching/checkpointing happens as
         results arrive rather than at sweep end.
+
+        With ``backend="dispatch"`` the whole batch goes to the remote
+        coordinator first: its ledger already applies bounded retries
+        with jittered backoff per job, so dispatch failures come back
+        final, and only *leftover* jobs (workers ran out mid-sweep) plus
+        an unavailable dispatch infrastructure fall through to the local
+        path below.
         """
         errors: dict[int, Exception] = {}
         pending: list[tuple[int, JobSpec]] = list(enumerate(specs))
+        dispatch_errors: dict[int, Exception] = {}
+        if pending and self.backend == "dispatch" and not self._dispatch_unavailable:
+            dispatch_failed, pending = self._attempt_dispatch(pending, harvest)
+            for index, _, exc in dispatch_failed:
+                dispatch_errors[index] = exc
+        backoff = DecorrelatedJitter(
+            self.retry_backoff_s, 30.0, rng=self._backoff_rng
+        )
         for attempt in range(self.retries + 1):
             if not pending:
                 break
             if attempt:
-                delay = min(self.retry_backoff_s * (2 ** (attempt - 1)), 30.0)
+                delay = backoff.next_delay()
                 logger.info(
                     "retry %d/%d for %d job(s) after %.2f s backoff",
                     attempt,
@@ -629,7 +738,7 @@ class ExperimentRunner:
                     delay,
                 )
                 if delay:
-                    time.sleep(delay)
+                    self._sleep(delay)
             failed: list[tuple[int, JobSpec, Exception]] = []
             leftover = pending
             if self._use_pool(len(pending)):
@@ -648,7 +757,50 @@ class ExperimentRunner:
                 errors[index] = exc
                 pending.append((index, spec))
             pending.sort()
-        return {index: errors[index] for index, _ in pending}
+        final = {index: errors[index] for index, _ in pending}
+        final.update(dispatch_errors)
+        return final
+
+    def _attempt_dispatch(
+        self,
+        pending: list[tuple[int, JobSpec]],
+        harvest: Callable[[int, tuple], None],
+    ) -> tuple[list[tuple[int, JobSpec, Exception]], list[tuple[int, JobSpec]]]:
+        """Run the batch through the dispatch backend; degrade on failure.
+
+        Mirrors :meth:`_attempt_pool`'s contract.  An unavailable
+        dispatch infrastructure (cannot bind, no workers) is *not* an
+        error: it logs one warning, bumps :attr:`dispatch_fallbacks`,
+        and returns every job as leftover for local execution.
+        """
+        from repro.dispatch.backend import DispatchBackend
+        from repro.dispatch.coordinator import DispatchConfig
+        from repro.errors import DispatchUnavailableError
+
+        config = self.dispatch if self.dispatch is not None else DispatchConfig.from_env()
+        backend = DispatchBackend(config)
+        try:
+            failed, leftover = backend.execute(pending, harvest)
+        except DispatchUnavailableError as exc:
+            self._dispatch_unavailable = True
+            self.dispatch_fallbacks += 1
+            self.dispatch_summary = backend.summary
+            logger.warning(
+                "dispatch backend unavailable (%s); falling back to the "
+                "local process pool for this sweep",
+                exc,
+            )
+            return [], pending
+        self.dispatch_summary = backend.summary
+        if leftover:
+            logger.warning(
+                "dispatch completed %d/%d job(s) before running out of "
+                "workers; finishing the remaining %d locally",
+                len(pending) - len(leftover) - len(failed),
+                len(pending),
+                len(leftover),
+            )
+        return failed, leftover
 
     def _attempt_pool(
         self,
@@ -812,6 +964,12 @@ class ExperimentRunner:
             "parallelism": {
                 "jobs": self.jobs,
                 "start_method": self.start_method,
+                "backend": self.backend,
+            },
+            "dispatch": {
+                "backend": self.backend,
+                "fallbacks": self.dispatch_fallbacks,
+                "summary": self.dispatch_summary,
             },
             # Which codec engines actually computed results this run —
             # workers report their resolved backend per job, so a forced
@@ -826,6 +984,9 @@ class ExperimentRunner:
                 "misses": self.cache_misses,
                 "hit_rate": self.cache_hits / total if total else 0.0,
                 "quarantined": self.cache.quarantined if self.cache else 0,
+                "quarantine_evicted": (
+                    self.cache.quarantine_evicted if self.cache else 0
+                ),
             },
             "resilience": {
                 "timeout_s": self.timeout_s,
@@ -879,6 +1040,8 @@ def configure_runner(
     retries: int = 0,
     checkpoint_path: str | os.PathLike | None = None,
     start_method: str | None = None,
+    backend: str = "local",
+    dispatch=None,
 ) -> ExperimentRunner:
     """Install (and return) the process-wide default runner.
 
@@ -889,6 +1052,9 @@ def configure_runner(
         retries: extra attempts for failed/timed-out jobs.
         checkpoint_path: incremental checkpoint manifest path.
         start_method: worker-pool start method (None = platform default).
+        backend: execution backend, ``"local"`` or ``"dispatch"``.
+        dispatch: :class:`repro.dispatch.DispatchConfig` knobs (None
+            reads ``REPRO_DISPATCH_*`` when dispatch is selected).
     """
     global _default_runner
     cache = ResultCache(cache_dir) if cache_dir else None
@@ -899,6 +1065,8 @@ def configure_runner(
         retries=retries,
         checkpoint_path=checkpoint_path,
         start_method=start_method,
+        backend=backend,
+        dispatch=dispatch,
     )
     return _default_runner
 
@@ -908,10 +1076,10 @@ def get_runner() -> ExperimentRunner:
 
     ``REPRO_JOBS`` (int), ``REPRO_CACHE_DIR`` (path),
     ``REPRO_JOB_TIMEOUT_S`` (float), ``REPRO_RETRIES`` (int),
-    ``REPRO_CHECKPOINT`` (path), and ``REPRO_POOL_START_METHOD``
-    (``fork``/``spawn``/``forkserver``) configure it; with none set the
-    default is serial and memory-only, matching the pre-runner behavior
-    exactly.
+    ``REPRO_CHECKPOINT`` (path), ``REPRO_POOL_START_METHOD``
+    (``fork``/``spawn``/``forkserver``), and ``REPRO_RUNNER_BACKEND``
+    (``local``/``dispatch``) configure it; with none set the default is
+    serial and memory-only, matching the pre-runner behavior exactly.
     """
     global _default_runner
     if _default_runner is None:
@@ -921,6 +1089,7 @@ def get_runner() -> ExperimentRunner:
         retries = int(os.environ.get("REPRO_RETRIES", "0") or "0")
         checkpoint = os.environ.get("REPRO_CHECKPOINT") or None
         start_method = os.environ.get("REPRO_POOL_START_METHOD") or None
+        backend = os.environ.get(BACKEND_ENV_VAR) or "local"
         _default_runner = configure_runner(
             jobs=max(1, jobs),
             cache_dir=cache_dir,
@@ -928,6 +1097,7 @@ def get_runner() -> ExperimentRunner:
             retries=max(0, retries),
             checkpoint_path=checkpoint,
             start_method=start_method,
+            backend=backend,
         )
     return _default_runner
 

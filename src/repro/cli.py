@@ -69,14 +69,18 @@ def build_parser() -> argparse.ArgumentParser:
             "validate",
             "fleet",
             "serve",
+            "workers",
+            "dispatch",
         ],
         help="exhibit to regenerate ('list' to enumerate, 'all' for everything, "
         "'report' for a markdown report via --output), a trace tool "
         "(trace-gen / trace-sim), a codec fault-injection campaign "
-        "(fault-inject), a control-plane chaos campaign (chaos), the "
-        "paper-claim conformance gate (fidelity), the analytic-vs-"
-        "Monte-Carlo cross-checks (validate), a fleet-scale population "
-        "study (fleet), or the policy-advisory service (serve)",
+        "(fault-inject), a control-plane or worker-fault chaos campaign "
+        "(chaos), the paper-claim conformance gate (fidelity), the "
+        "analytic-vs-Monte-Carlo cross-checks (validate), a fleet-scale "
+        "population study (fleet), the policy-advisory service (serve), "
+        "a dispatch worker attached to a coordinator (workers), or a "
+        "distributed-dispatch verification sweep (dispatch)",
     )
     parser.add_argument(
         "--instructions",
@@ -181,9 +185,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--campaign",
         default="metadata",
-        help="chaos campaign: a named campaign (metadata, all) or a "
-        "comma-separated list of fault-class names "
-        "(see repro.chaos.FAULT_CLASSES)",
+        help="chaos campaign: a named control-plane campaign (metadata, "
+        "all) or comma-separated fault-class names (see "
+        "repro.chaos.FAULT_CLASSES), or a worker-fault campaign "
+        "(workers, workers-smoke) or comma-separated dispatch fault "
+        "scenarios (see repro.chaos.WORKER_SCENARIOS)",
     )
     parser.add_argument(
         "--no-scrub",
@@ -400,6 +406,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve: per-request deadline including queue wait (default 1.0)",
     )
     parser.add_argument(
+        "--runner-backend",
+        default=None,
+        choices=("local", "dispatch"),
+        help="execution backend for simulation jobs (default: "
+        "$REPRO_RUNNER_BACKEND or local); 'dispatch' fans jobs out to "
+        "worker processes over TCP with lease-based fault tolerance "
+        "and degrades to the local pool if no worker ever connects",
+    )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="workers: coordinator address to attach to (printed by the "
+        "dispatch coordinator at bind time)",
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        help="workers: stable worker identity (default: w-<pid>)",
+    )
+    parser.add_argument(
+        "--dispatch-workers",
+        type=int,
+        default=None,
+        help="dispatch: local worker processes to spawn for the "
+        "verification sweep (default: $REPRO_DISPATCH_WORKERS or 2)",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.05,
@@ -520,13 +554,39 @@ def _fault_inject(args) -> int:
     return 0
 
 
-def _chaos(args) -> int:
-    from repro.chaos import CAMPAIGNS, ChaosCampaign, resolve_classes
+def _worker_chaos(names) -> int:
+    """Run the dispatch worker-fault campaign; nonzero on any violation."""
+    from repro.chaos import WorkerChaosCampaign, resolve_worker_scenarios
     from repro.errors import ConfigurationError
 
+    try:
+        campaign = WorkerChaosCampaign(resolve_worker_scenarios(names))
+    except ConfigurationError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+    report = campaign.run()
+    print(report.render_table())
+    return 0 if report.ok else 1
+
+
+def _chaos(args) -> int:
+    from repro.chaos import (
+        CAMPAIGNS,
+        ChaosCampaign,
+        WORKER_CAMPAIGNS,
+        WORKER_SCENARIOS,
+        resolve_classes,
+    )
+    from repro.errors import ConfigurationError
+
+    worker_names = WORKER_CAMPAIGNS.get(args.campaign)
+    if worker_names is not None:
+        return _worker_chaos(worker_names)
     names = CAMPAIGNS.get(args.campaign)
     if names is None:
         names = tuple(n.strip() for n in args.campaign.split(",") if n.strip())
+        if names and all(name in WORKER_SCENARIOS for name in names):
+            return _worker_chaos(names)
     try:
         classes = resolve_classes(names)
         campaign = ChaosCampaign(
@@ -548,6 +608,101 @@ def _chaos(args) -> int:
         registry.record_chaos(report)
         registry.write_json(args.metrics_out)
         print(f"wrote {len(registry)} metrics to {args.metrics_out}")
+    return 0
+
+
+def _workers(args) -> int:
+    """Attach one dispatch worker to a running coordinator."""
+    import asyncio
+
+    from repro.dispatch.worker import worker_main
+
+    if not args.connect:
+        print("workers requires --connect HOST:PORT", file=sys.stderr)
+        return 2
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print("--connect must look like HOST:PORT", file=sys.stderr)
+        return 2
+    try:
+        return asyncio.run(
+            worker_main(host, int(port), worker_id=args.worker_id)
+        )
+    except KeyboardInterrupt:
+        return 0
+
+
+def _dispatch(args) -> int:
+    """Distributed-dispatch verification sweep.
+
+    Runs a small benchmark x policy grid through the dispatch backend
+    with spawned local workers, then recomputes every job in-process
+    and diffs the results — exit 1 on any lost job, failed job, or
+    payload that is not bit-identical to local execution.
+    """
+    from repro.analysis.runner import JobSpec, execute_job
+    from repro.dispatch import DispatchBackend, DispatchConfig
+    from repro.errors import DispatchUnavailableError
+    from repro.workloads.spec import BENCHMARKS_BY_NAME
+
+    overrides = {}
+    if args.dispatch_workers is not None:
+        overrides["workers"] = max(1, args.dispatch_workers)
+    config = DispatchConfig.from_env(**overrides)
+    specs = [
+        JobSpec(
+            benchmark=BENCHMARKS_BY_NAME[name],
+            instructions=args.instructions,
+            policy=policy,
+        )
+        for name in ("libq", "milc")
+        for policy in ("mecc", "secded")
+    ]
+    pending = list(enumerate(specs))
+    harvested: dict[int, dict] = {}
+
+    def harvest(index, triple):
+        harvested[index] = triple[0].to_dict()
+
+    backend = DispatchBackend(config)
+    try:
+        failed, leftover = backend.execute(pending, harvest)
+    except DispatchUnavailableError as exc:
+        print(f"dispatch: {exc}", file=sys.stderr)
+        return 1
+    mismatches = sum(
+        1
+        for index, payload in harvested.items()
+        if payload != execute_job(specs[index])[0].to_dict()
+    )
+    summary = backend.summary or {}
+    print(format_table(
+        ["metric", "value"],
+        [[k, v] for k, v in sorted(summary.items()) if not isinstance(v, list)],
+        title=(
+            f"dispatch verification: {len(specs)} jobs, "
+            f"{config.workers} worker(s)"
+        ),
+    ))
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.record_dispatch(summary)
+        registry.write_json(args.metrics_out)
+        print(f"wrote {len(registry)} metrics to {args.metrics_out}")
+    problems = []
+    if failed:
+        problems.append(f"{len(failed)} job(s) failed")
+    if leftover:
+        problems.append(f"{len(leftover)} job(s) never completed")
+    if mismatches:
+        problems.append(f"{mismatches} result(s) differ from local execution")
+    if problems:
+        for problem in problems:
+            print(f"DISPATCH VIOLATION: {problem}", file=sys.stderr)
+        return 1
+    print(f"all {len(specs)} dispatched results bit-identical to local execution")
     return 0
 
 
@@ -864,6 +1019,9 @@ def _configure_runner(args):
     retries = args.retries
     if retries is None:
         retries = int(os.environ.get("REPRO_RETRIES", "0") or "0")
+    backend = args.runner_backend
+    if backend is None:
+        backend = os.environ.get("REPRO_RUNNER_BACKEND") or "local"
     # A resumed sweep keeps checkpointing to the same manifest unless
     # the user redirects it explicitly.
     checkpoint = args.checkpoint or args.resume or None
@@ -874,6 +1032,7 @@ def _configure_runner(args):
         retries=max(0, retries),
         checkpoint_path=checkpoint,
         start_method=os.environ.get("REPRO_POOL_START_METHOD") or None,
+        backend=backend,
     )
     if args.resume:
         if cache_dir is None:
@@ -900,6 +1059,8 @@ def _finish_runner(args, runner) -> None:
         registry = MetricsRegistry()
         registry.record_runner(runner)
         registry.record_codec_backend()
+        if runner.dispatch_summary is not None:
+            registry.record_dispatch(runner.dispatch_summary)
         registry.write_json(args.metrics_out)
         print(f"wrote {len(registry)} metrics to {args.metrics_out}")
     summary = render_runner_summary(runner)
@@ -926,6 +1087,10 @@ def main(argv: list[str] | None = None) -> int:
         return _chaos(args)
     if args.exhibit == "validate":
         return _validate(args)
+    if args.exhibit == "workers":
+        return _workers(args)
+    if args.exhibit == "dispatch":
+        return _dispatch(args)
     runner = _configure_runner(args)
     if args.exhibit == "fidelity":
         return _fidelity(args, runner)

@@ -1,0 +1,385 @@
+"""Durable job ledger: lease-based assignment with exactly-once commits.
+
+The ledger is the coordinator's single source of truth about every job
+in a dispatched sweep.  Its invariants are the whole point of
+:mod:`repro.dispatch`:
+
+* **Never lost** — a job is only ever in one of four states
+  (``pending`` / ``leased`` / ``done`` / ``failed``), and every
+  transition out of ``leased`` either commits a result or puts the job
+  back in ``pending``.  Lease expiry (missed heartbeats), worker
+  disconnects, and slow-worker evictions all *requeue*; they never
+  consume the job's retry budget, because the fault was the worker's,
+  not the job's.  A separate ``max_requeues`` bound stops a
+  worker-killing poison job from cycling forever.
+* **Never double-committed** — :meth:`JobLedger.commit` is first-result
+  -wins: the first arriving result (from *any* worker, lease holder or
+  not) moves the job to ``done``; every later delivery is counted as a
+  duplicate and dropped.  Because results are persisted under the
+  runner's content-hash cache keys, a duplicate commit would anyway
+  rewrite identical bytes — the ledger just refuses to re-fire the
+  harvest callback.
+* **Bounded retries with decorrelated jitter** — a worker-*reported*
+  failure charges the job one attempt and delays re-eligibility by a
+  :class:`repro.analysis.backoff.DecorrelatedJitter` draw, so synchronized
+  failure storms spread out instead of re-converging.
+
+Durability: with ``path`` set, every transition is appended to a JSONL
+journal (flushed per event) *before* the side effect it records is
+acknowledged, so a crashed coordinator leaves a complete forensic
+record.  :func:`replay_ledger` reads such a journal back (tolerating a
+torn final line) into per-key outcomes.
+
+Time is injectable (``clock``) and the ledger is synchronous and
+single-threaded by design — the asyncio coordinator is its only caller.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, TextIO
+
+from repro.analysis.backoff import DecorrelatedJitter
+from repro.errors import ConfigurationError
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    LEASED = "leased"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class LedgerJob:
+    """One job's ledger row (mutable; owned by the ledger)."""
+
+    job_id: int
+    spec: object
+    key: str
+    label: str
+    state: JobState = JobState.PENDING
+    #: Worker-reported failures so far (requeues do not count).
+    attempts: int = 0
+    #: Infrastructure requeues: expiry, disconnect, eviction.
+    requeues: int = 0
+    #: Results that arrived after the job was already committed.
+    duplicates: int = 0
+    worker: str | None = None
+    lease_deadline: float | None = None
+    #: Earliest clock at which the job may be leased again (backoff).
+    not_before: float = 0.0
+    error: str | None = None
+    payload: dict | None = None
+    wall_s: float = 0.0
+    committed_by: str | None = None
+    backoff: DecorrelatedJitter | None = field(default=None, repr=False)
+
+
+class JobLedger:
+    """Lease-tracking job table with a durable append-only journal.
+
+    Args:
+        retries: extra attempts after a worker-reported failure
+            (0 = one attempt total); requeues are not charged.
+        lease_s: lease duration granted per assignment; each heartbeat
+            renews the full duration.
+        max_requeues: infrastructure-requeue bound per job, after which
+            the job fails with a poison-job diagnosis.
+        retry_backoff_s: decorrelated-jitter base delay between retry
+            attempts (0 disables backoff).
+        path: JSONL journal path (None = in-memory only).
+        rng: jitter randomness (injectable for deterministic tests).
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        retries: int = 2,
+        lease_s: float = 10.0,
+        max_requeues: int = 10,
+        retry_backoff_s: float = 0.05,
+        backoff_cap_s: float = 30.0,
+        path: str | Path | None = None,
+        rng: random.Random | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        if lease_s <= 0:
+            raise ConfigurationError("lease_s must be positive")
+        if max_requeues < 1:
+            raise ConfigurationError("max_requeues must be >= 1")
+        if retry_backoff_s < 0:
+            raise ConfigurationError("retry_backoff_s must be >= 0")
+        self.retries = retries
+        self.lease_s = lease_s
+        self.max_requeues = max_requeues
+        self.retry_backoff_s = retry_backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.path = Path(path) if path is not None else None
+        self._rng = rng if rng is not None else random.Random()
+        self._clock = clock
+        self.jobs: dict[int, LedgerJob] = {}
+        self._journal: TextIO | None = None
+        # -- counters (exported via summary()) --------------------------------
+        self.leases_granted = 0
+        self.leases_renewed = 0
+        self.leases_expired = 0
+        self.commits = 0
+        self.duplicates = 0
+        self.retried_failures = 0
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, job_id: int, spec, key: str, label: str) -> LedgerJob:
+        """Add one job in ``pending`` state (ids must be unique)."""
+        if job_id in self.jobs:
+            raise ConfigurationError(f"duplicate job id {job_id}")
+        job = LedgerJob(job_id=job_id, spec=spec, key=key, label=label)
+        self.jobs[job_id] = job
+        self._log("register", job, {})
+        return job
+
+    # -- lease lifecycle -------------------------------------------------------
+
+    def next_lease(self, worker: str) -> LedgerJob | None:
+        """Grant the oldest eligible pending job to ``worker`` (or None)."""
+        now = self._clock()
+        for job in self.jobs.values():
+            if job.state is JobState.PENDING and job.not_before <= now:
+                job.state = JobState.LEASED
+                job.worker = worker
+                job.lease_deadline = now + self.lease_s
+                self.leases_granted += 1
+                self._log("lease", job, {"worker": worker})
+                return job
+        return None
+
+    def renew(self, job_id: int, worker: str) -> bool:
+        """Heartbeat: extend the lease iff ``worker`` still holds it."""
+        job = self.jobs.get(job_id)
+        if job is None or job.state is not JobState.LEASED or job.worker != worker:
+            return False
+        job.lease_deadline = self._clock() + self.lease_s
+        self.leases_renewed += 1
+        return True
+
+    def expire_due(self) -> list[LedgerJob]:
+        """Requeue every lease whose deadline has passed; returns them."""
+        now = self._clock()
+        expired = []
+        for job in self.jobs.values():
+            if (
+                job.state is JobState.LEASED
+                and job.lease_deadline is not None
+                and job.lease_deadline < now
+            ):
+                self.leases_expired += 1
+                self._requeue(job, reason="lease-expired")
+                expired.append(job)
+        return expired
+
+    def release_worker(self, worker: str, reason: str) -> list[LedgerJob]:
+        """Requeue every job leased to a now-gone ``worker``."""
+        released = []
+        for job in self.jobs.values():
+            if job.state is JobState.LEASED and job.worker == worker:
+                self._requeue(job, reason=reason)
+                released.append(job)
+        return released
+
+    def evict(self, job_id: int, reason: str) -> LedgerJob | None:
+        """Requeue one leased job early (slow-worker eviction)."""
+        job = self.jobs.get(job_id)
+        if job is None or job.state is not JobState.LEASED:
+            return None
+        self._requeue(job, reason=reason)
+        return job
+
+    def _requeue(self, job: LedgerJob, reason: str) -> None:
+        """Infrastructure requeue: no attempt charged, no backoff delay."""
+        job.requeues += 1
+        job.worker = None
+        job.lease_deadline = None
+        if job.requeues >= self.max_requeues:
+            job.state = JobState.FAILED
+            job.error = (
+                f"requeued {job.requeues} times ({reason}); job looks like a "
+                "worker-killing poison job"
+            )
+            self._log("poison", job, {"reason": reason})
+        else:
+            job.state = JobState.PENDING
+            job.not_before = self._clock()
+            self._log("requeue", job, {"reason": reason})
+
+    # -- terminal transitions --------------------------------------------------
+
+    def commit(self, job_id: int, worker: str, payload: dict, wall_s: float) -> bool:
+        """First-result-wins commit; False means duplicate delivery."""
+        job = self.jobs[job_id]
+        if job.state is JobState.DONE:
+            job.duplicates += 1
+            self.duplicates += 1
+            self._log("duplicate", job, {"worker": worker})
+            return False
+        # A late result can still salvage a job already marked failed or
+        # requeued elsewhere: data arrived, so the job is done.
+        job.state = JobState.DONE
+        job.worker = None
+        job.lease_deadline = None
+        job.error = None
+        job.payload = payload
+        job.wall_s = wall_s
+        job.committed_by = worker
+        self.commits += 1
+        self._log("commit", job, {"worker": worker, "wall_s": wall_s})
+        return True
+
+    def report_failure(self, job_id: int, worker: str, error: str) -> JobState:
+        """Worker-reported failure: charge an attempt, back off or fail."""
+        job = self.jobs[job_id]
+        if job.state is JobState.DONE:
+            # Another worker already committed; nothing to do.
+            return job.state
+        job.attempts += 1
+        job.worker = None
+        job.lease_deadline = None
+        if job.attempts > self.retries:
+            job.state = JobState.FAILED
+            job.error = error
+            self._log("fail", job, {"worker": worker, "error": error})
+        else:
+            if job.backoff is None:
+                job.backoff = DecorrelatedJitter(
+                    self.retry_backoff_s, self.backoff_cap_s, rng=self._rng
+                )
+            job.state = JobState.PENDING
+            job.not_before = self._clock() + job.backoff.next_delay()
+            self.retried_failures += 1
+            self._log("retry", job, {"worker": worker, "error": error})
+        return job.state
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True once every job is terminally done or failed."""
+        return all(
+            job.state in (JobState.DONE, JobState.FAILED)
+            for job in self.jobs.values()
+        )
+
+    @property
+    def outstanding(self) -> int:
+        """Jobs not yet terminal (pending + leased)."""
+        return sum(
+            1
+            for job in self.jobs.values()
+            if job.state in (JobState.PENDING, JobState.LEASED)
+        )
+
+    def next_eligible_in(self) -> float | None:
+        """Seconds until a pending job becomes eligible (0 if one already
+        is, None if nothing is pending)."""
+        now = self._clock()
+        waits = [
+            max(0.0, job.not_before - now)
+            for job in self.jobs.values()
+            if job.state is JobState.PENDING
+        ]
+        return min(waits) if waits else None
+
+    def in_state(self, state: JobState) -> list[LedgerJob]:
+        return [job for job in self.jobs.values() if job.state is state]
+
+    def summary(self) -> dict:
+        """Scalar counters for metrics export."""
+        states = {state.value: 0 for state in JobState}
+        for job in self.jobs.values():
+            states[job.state.value] += 1
+        return {
+            "jobs_total": len(self.jobs),
+            "leases_granted": self.leases_granted,
+            "leases_renewed": self.leases_renewed,
+            "leases_expired": self.leases_expired,
+            "commits": self.commits,
+            "duplicates": self.duplicates,
+            "retried_failures": self.retried_failures,
+            "requeues": sum(job.requeues for job in self.jobs.values()),
+            **{f"state_{name}": count for name, count in states.items()},
+        }
+
+    # -- journal ---------------------------------------------------------------
+
+    def _log(self, event: str, job: LedgerJob, extra: dict) -> None:
+        if self.path is None:
+            return
+        if self._journal is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._journal = open(self.path, "a", encoding="utf-8")
+        record = {
+            "event": event,
+            "job_id": job.job_id,
+            "key": job.key,
+            "label": job.label,
+            "state": job.state.value,
+            "attempts": job.attempts,
+            "requeues": job.requeues,
+            **extra,
+        }
+        self._journal.write(json.dumps(record, sort_keys=True) + "\n")
+        self._journal.flush()
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+
+def replay_ledger(path: str | Path) -> dict:
+    """Read a ledger journal back into per-key outcomes.
+
+    Returns ``{"jobs": {key: last-state}, "events": N, "torn_lines": M,
+    "commits": C, "duplicates": D}``.  A torn final line (coordinator
+    died mid-append) is counted, not fatal — the journal before it is
+    still a complete record.
+    """
+    jobs: dict[str, str] = {}
+    events = torn = commits = duplicates = 0
+    try:
+        stream = open(path, encoding="utf-8")
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read ledger journal {path}: {exc}") from exc
+    with stream:
+        for line in stream:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                torn += 1
+                continue
+            if not isinstance(record, dict) or "key" not in record:
+                torn += 1
+                continue
+            events += 1
+            jobs[record["key"]] = record.get("state", "unknown")
+            if record.get("event") == "commit":
+                commits += 1
+            elif record.get("event") == "duplicate":
+                duplicates += 1
+    return {
+        "jobs": jobs,
+        "events": events,
+        "torn_lines": torn,
+        "commits": commits,
+        "duplicates": duplicates,
+    }

@@ -1,0 +1,108 @@
+"""JSON-lines wire protocol for the dispatch coordinator/worker link.
+
+One JSON object per line in each direction, same framing as the fleet
+advisory service (:mod:`repro.fleet.service`).  Message ``type`` values:
+
+worker -> coordinator:
+    ``hello``      — registration: worker id, pid, code fingerprint.
+    ``request``    — the worker is idle and wants a lease.
+    ``heartbeat``  — liveness + lease renewal while computing a job.
+    ``result``     — a finished job: ``ok`` plus either a payload block
+                     (result dict, smd fraction, wall time, codec
+                     backend) or an error string.
+
+coordinator -> worker:
+    ``welcome``    — registration accepted; carries the heartbeat and
+                     lease intervals the worker must honor.
+    ``reject``     — registration refused (e.g. code-version mismatch);
+                     the worker must exit.
+    ``lease``      — one job: id, cache key, and the pickled spec.
+    ``idle``       — no work eligible right now; ask again in ``wait_s``.
+    ``drain``      — no more work will ever be offered; disconnect.
+    ``ack``        — result received; ``duplicate`` tells the worker its
+                     result arrived after the job was already committed.
+
+Job specs travel as base64-wrapped pickles: :class:`JobSpec` is a frozen
+tree of value-typed dataclasses that pickles stably, and inventing a
+parallel JSON codec for it would just add a second source of truth.
+This is safe only because workers connect to a *trusted* coordinator
+(same user, same machine or private network) — the docs say so too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import pickle
+
+from repro.errors import DispatchProtocolError
+
+#: Bump on any incompatible wire change; mismatched peers are rejected.
+PROTOCOL_VERSION = 1
+
+#: asyncio stream limit: a pickled spec or result line can exceed the
+#: 64 KiB default comfortably on wide configs.
+STREAM_LIMIT = 4 * 1024 * 1024
+
+#: Worker-side fault-injection modes (chaos campaigns only; see
+#: :mod:`repro.dispatch.worker` and :mod:`repro.chaos.workers`).
+FAULT_MODES = (
+    "none",
+    "kill",        # SIGKILL self mid-job
+    "silent",      # stop heartbeating, keep computing (late duplicate)
+    "slow",        # stall before returning each result
+    "partition",   # freeze all socket I/O after the first lease
+    "duplicate",   # deliver every result twice
+    "flaky",       # fail the first N jobs with an exception
+)
+
+
+def encode_spec(spec) -> str:
+    """Pickle a :class:`repro.analysis.runner.JobSpec` for the wire."""
+    return base64.b64encode(pickle.dumps(spec)).decode("ascii")
+
+
+def decode_spec(blob: str):
+    """Inverse of :func:`encode_spec`; raises on undecodable blobs."""
+    try:
+        return pickle.loads(base64.b64decode(blob.encode("ascii")))
+    except Exception as exc:  # pickle raises many concrete types
+        raise DispatchProtocolError(f"undecodable job spec: {exc}") from exc
+
+
+def encode_message(**payload) -> bytes:
+    """One message as a canonical JSON line (sorted keys + newline)."""
+    if "type" not in payload:
+        raise DispatchProtocolError("message requires a 'type' field")
+    return json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> dict:
+    """Parse one wire line; raises :class:`DispatchProtocolError`."""
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise DispatchProtocolError(f"undecodable message line: {exc}") from exc
+    if not isinstance(payload, dict) or not isinstance(payload.get("type"), str):
+        raise DispatchProtocolError("message must be an object with a 'type'")
+    return payload
+
+
+async def send_message(writer: asyncio.StreamWriter, **payload) -> None:
+    """Write one message and drain the transport."""
+    writer.write(encode_message(**payload))
+    await writer.drain()
+
+
+async def recv_message(
+    reader: asyncio.StreamReader, timeout: float | None = None
+) -> dict | None:
+    """Read one message; None on EOF; raises on timeout or bad framing."""
+    if timeout is not None:
+        line = await asyncio.wait_for(reader.readline(), timeout)
+    else:
+        line = await reader.readline()
+    if not line:
+        return None
+    return decode_message(line)

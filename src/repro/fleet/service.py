@@ -82,6 +82,10 @@ class AdvisoryService:
         self._queue: asyncio.Queue | None = None
         self._tasks: list[asyncio.Task] = []
         self._server: asyncio.AbstractServer | None = None
+        #: Writers of currently-open TCP client connections, so stop()
+        #: can close them; asyncio's server.close() only stops the
+        #: listener, it never touches accepted connections.
+        self._client_writers: set[asyncio.StreamWriter] = set()
         # -- counters (exported via metrics_snapshot) -------------------------
         self.requests_total = 0
         self.completed = 0
@@ -108,11 +112,24 @@ class AdvisoryService:
         ]
 
     async def stop(self) -> None:
-        """Drain nothing, cancel workers, close the TCP server if any."""
+        """Drain nothing, cancel workers, close the TCP server if any.
+
+        Open client connections are closed too — a stop with clients
+        mid-conversation must not leak their writers or leave them
+        blocked on a response that will never come.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for writer in list(self._client_writers):
+            writer.close()
+        for writer in list(self._client_writers):
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+        self._client_writers.clear()
         for task in self._tasks:
             task.cancel()
         for task in self._tasks:
@@ -194,6 +211,7 @@ class AdvisoryService:
         return self._server
 
     async def _handle_client(self, reader, writer) -> None:
+        self._client_writers.add(writer)
         try:
             while True:
                 line = await reader.readline()
@@ -205,6 +223,7 @@ class AdvisoryService:
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass
         finally:
+            self._client_writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()

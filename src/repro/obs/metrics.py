@@ -20,6 +20,8 @@ Namespaces:
 * ``fidelity.*`` — paper-claim conformance verdicts and relative errors.
 * ``fleet.*`` — fleet-simulation aggregates (:mod:`repro.fleet`).
 * ``service.*`` — advisory-service request counters and latency tails.
+* ``dispatch.*`` — distributed-dispatch ledger/worker-health counters
+  (:mod:`repro.dispatch`).
 """
 
 from __future__ import annotations
@@ -173,7 +175,34 @@ class MetricsRegistry:
                 "cache_hits": manifest["cache"]["hits"],
                 "cache_misses": manifest["cache"]["misses"],
                 "cache_hit_rate": manifest["cache"]["hit_rate"],
+                "quarantined": manifest["cache"].get("quarantined", 0),
+                "quarantine_evicted": manifest["cache"].get(
+                    "quarantine_evicted", 0
+                ),
+                "backend": manifest["parallelism"].get("backend", "local"),
+                "dispatch_fallbacks": manifest.get("dispatch", {}).get(
+                    "fallbacks", 0
+                ),
                 "code_version": manifest["code_version"],
+            },
+        )
+
+    def record_dispatch(self, source, namespace: str = "dispatch") -> None:
+        """Merge dispatch-coordinator counters (``dispatch.*``).
+
+        Accepts a plain dict of scalars (e.g. a coordinator's
+        ``metrics_snapshot()`` / a runner manifest's dispatch summary)
+        or any object exposing ``metrics_snapshot()``.  Non-scalar
+        values (like the per-worker record list) are skipped.
+        """
+        if not isinstance(source, Mapping):
+            source = source.metrics_snapshot()
+        self.update(
+            namespace,
+            {
+                key: value
+                for key, value in source.items()
+                if value is None or isinstance(value, _SCALAR_TYPES)
             },
         )
 

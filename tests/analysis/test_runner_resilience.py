@@ -214,14 +214,50 @@ class TestCheckpointResume:
         assert len(two["jobs"]) == 2
         assert two["schema"] == CACHE_SCHEMA
 
-    def test_resume_from_garbage_manifest_raises(self, tmp_path):
+    def test_resume_from_truncated_manifest_is_absent(self, tmp_path):
+        """A torn write (machine died mid-checkpoint) must not crash the
+        resume: undecodable JSON counts as no checkpoint at all."""
         bad = tmp_path / "bad.json"
         bad.write_text("{torn")
-        with pytest.raises(ConfigurationError):
-            ExperimentRunner().resume_from(bad)
+        runner = ExperimentRunner()
+        runner.resumed_keys = {"stale"}
+        assert runner.resume_from(bad) == 0
+        assert runner.resumed_keys == set()
+
+    def test_resume_from_wrong_shape_or_unreadable_raises(self, tmp_path):
+        """Valid JSON of the wrong shape, or an unreadable path, is a
+        wrong --resume argument, not a torn write."""
+        bad = tmp_path / "bad.json"
         bad.write_text("[1, 2]")
         with pytest.raises(ConfigurationError):
             ExperimentRunner().resume_from(bad)
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner().resume_from(tmp_path / "missing.json")
+
+    def test_manifest_written_atomically(self, tmp_path, monkeypatch):
+        """write_manifest goes through tmp+rename: dying mid-write leaves
+        the previous complete manifest intact, and a fresh resume from it
+        still works."""
+        target = tmp_path / "manifest.json"
+        cache_dir = tmp_path / "cache"
+        runner = ExperimentRunner(jobs=1, cache=ResultCache(cache_dir))
+        runner.run([spec_for("mecc")])
+        runner.write_manifest(target)
+        before = target.read_text()
+
+        def _torn_dump(obj, stream, **kwargs):
+            stream.write('{"torn')
+            raise OSError("disk full mid-write")
+
+        monkeypatch.setattr(runner_mod.json, "dump", _torn_dump)
+        with pytest.raises(OSError):
+            runner.write_manifest(target)
+        monkeypatch.undo()
+        # The visible manifest is the old, complete one...
+        assert target.read_text() == before
+        # ...and it still resumes cleanly.
+        resumed = ExperimentRunner(jobs=1, cache=ResultCache(cache_dir))
+        assert resumed.resume_from(target) == 1
 
     def test_resume_skips_failed_jobs(self, tmp_path):
         ckpt = tmp_path / "manifest.json"
@@ -288,6 +324,33 @@ class TestQuarantine:
         fresh = ResultCache(tmp_path)
         assert fresh.load(spec.key()) is None
         assert fresh.quarantined == 1
+
+    def test_quarantine_dir_is_bounded_oldest_first(self, tmp_path):
+        """The quarantine holding pen caps out: beyond max_quarantine
+        entries the oldest are evicted (by mtime), the eviction is
+        counted, and loads keep succeeding."""
+        cache = ResultCache(tmp_path, max_quarantine=3)
+        for i in range(5):
+            key = f"{i:02d}feedface"
+            path = cache._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text("{corrupt")
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+            assert cache.load(key) is None
+        kept = sorted(p.name for p in (tmp_path / "_quarantine").iterdir())
+        assert len(kept) == 3
+        assert cache.quarantined == 5
+        assert cache.quarantine_evicted == 2
+        # Eviction is oldest-first: the two earliest entries are gone.
+        assert "00feedface.json" not in kept
+        assert "01feedface.json" not in kept
+
+    def test_quarantine_bound_in_manifest_and_validation(self, tmp_path):
+        cache = ResultCache(tmp_path, max_quarantine=1)
+        runner = ExperimentRunner(jobs=1, cache=cache)
+        assert runner.manifest()["cache"]["quarantine_evicted"] == 0
+        with pytest.raises(ConfigurationError):
+            ResultCache(tmp_path, max_quarantine=0)
 
     def test_stale_schema_is_a_plain_miss_not_quarantine(self, tmp_path):
         spec = spec_for("mecc")

@@ -1,0 +1,339 @@
+"""Coordinator behavior with scripted fake workers over real sockets.
+
+Each test binds a real (ephemeral-port) coordinator and drives it with
+hand-rolled protocol conversations — no worker subprocesses, so the
+tests are fast and each fault is exact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.dispatch import Coordinator, DispatchConfig, protocol
+from repro.errors import ConfigurationError
+
+CODE = "test-code-v1"
+
+
+def fast_config(**overrides) -> DispatchConfig:
+    values = {
+        "workers": 0,
+        "lease_s": 0.8,
+        "heartbeat_s": 0.2,
+        "stall_grace_s": 0.4,
+        "retries": 1,
+        "retry_backoff_s": 0.0,
+        "quarantine_after": 2,
+    }
+    values.update(overrides)
+    return DispatchConfig(**values)
+
+
+def make_coordinator(commits=None, **overrides) -> Coordinator:
+    def on_commit(job_id, payload, wall_s):
+        if commits is not None:
+            commits.append((job_id, payload, wall_s))
+
+    return Coordinator(fast_config(**overrides), CODE, on_commit=on_commit)
+
+
+def load_jobs(coordinator: Coordinator, n: int) -> None:
+    coordinator.load_jobs(
+        [(i, f"spec-{i}", f"key-{i}", f"job-{i}") for i in range(n)]
+    )
+
+
+async def connect(coordinator, worker="w1", code=CODE, version=None):
+    reader, writer = await asyncio.open_connection(
+        coordinator.host, coordinator.port, limit=protocol.STREAM_LIMIT
+    )
+    await protocol.send_message(
+        writer,
+        type="hello",
+        worker=worker,
+        pid=1234,
+        protocol=version if version is not None else protocol.PROTOCOL_VERSION,
+        code_version=code,
+    )
+    reply = await protocol.recv_message(reader, timeout=5.0)
+    return reader, writer, reply
+
+
+async def close(writer) -> None:
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, OSError):
+        pass
+
+
+class TestRegistration:
+    def test_protocol_mismatch_rejected(self):
+        async def run():
+            coordinator = make_coordinator()
+            await coordinator.bind()
+            try:
+                _, writer, reply = await connect(coordinator, version=999)
+                await close(writer)
+                return reply, coordinator.workers_rejected
+            finally:
+                await coordinator.close()
+
+        reply, rejected = asyncio.run(run())
+        assert reply["type"] == "reject" and "protocol" in reply["reason"]
+        assert rejected == 1
+
+    def test_code_version_mismatch_rejected(self):
+        async def run():
+            coordinator = make_coordinator()
+            await coordinator.bind()
+            try:
+                _, writer, reply = await connect(coordinator, code="stale-code")
+                await close(writer)
+                return reply
+            finally:
+                await coordinator.close()
+
+        reply = asyncio.run(run())
+        assert reply["type"] == "reject"
+        assert "wrong keys" in reply["reason"]
+
+    def test_duplicate_worker_id_rejected(self):
+        async def run():
+            coordinator = make_coordinator()
+            await coordinator.bind()
+            try:
+                _, writer1, reply1 = await connect(coordinator, worker="twin")
+                _, writer2, reply2 = await connect(coordinator, worker="twin")
+                await close(writer1)
+                await close(writer2)
+                return reply1, reply2
+            finally:
+                await coordinator.close()
+
+        reply1, reply2 = asyncio.run(run())
+        assert reply1["type"] == "welcome"
+        assert reply2["type"] == "reject"
+        assert "already connected" in reply2["reason"]
+
+    def test_welcome_carries_the_heartbeat_contract(self):
+        async def run():
+            coordinator = make_coordinator()
+            await coordinator.bind()
+            try:
+                _, writer, reply = await connect(coordinator)
+                await close(writer)
+                return reply
+            finally:
+                await coordinator.close()
+
+        reply = asyncio.run(run())
+        assert reply["type"] == "welcome"
+        assert reply["heartbeat_s"] == pytest.approx(0.2)
+        assert reply["lease_s"] == pytest.approx(0.8)
+
+
+class TestLeaseFlow:
+    def test_lease_result_drain_round_trip(self):
+        commits = []
+
+        async def worker_conversation(coordinator):
+            reader, writer, _ = await connect(coordinator)
+            done = 0
+            while True:
+                await protocol.send_message(writer, type="request")
+                message = await protocol.recv_message(reader, timeout=5.0)
+                if message["type"] == "drain":
+                    break
+                if message["type"] == "idle":
+                    await asyncio.sleep(message["wait_s"])
+                    continue
+                assert message["type"] == "lease"
+                assert message["spec"] == f"spec-{message['job_id']}"
+                await protocol.send_message(
+                    writer,
+                    type="result",
+                    job_id=message["job_id"],
+                    ok=True,
+                    payload={"result": {"n": message["job_id"]}, "wall_s": 0.01},
+                )
+                ack = await protocol.recv_message(reader, timeout=5.0)
+                assert ack["type"] == "ack" and not ack["duplicate"]
+                done += 1
+            await close(writer)
+            return done
+
+        async def run():
+            coordinator = make_coordinator(commits)
+            # Plain-string specs: skip pickling for protocol-level tests.
+            coordinator.ledger.register(0, "spec-0", "key-0", "job-0")
+            coordinator.ledger.register(1, "spec-1", "key-1", "job-1")
+            await coordinator.bind()
+            encode = protocol.encode_spec
+            protocol.encode_spec = lambda spec: spec
+            try:
+                runner = asyncio.create_task(coordinator.run())
+                done = await worker_conversation(coordinator)
+                await asyncio.wait_for(runner, timeout=5.0)
+            finally:
+                protocol.encode_spec = encode
+                await coordinator.close()
+            return done, coordinator.metrics_snapshot()
+
+        done, snapshot = asyncio.run(run())
+        assert done == 2
+        assert [job_id for job_id, _, _ in commits] == [0, 1]
+        assert snapshot["commits"] == 2
+        assert snapshot["workers_lost"] == 0
+        assert snapshot["state_done"] == 2
+
+    def test_duplicate_delivery_acked_but_not_recommitted(self):
+        commits = []
+
+        async def run():
+            coordinator = make_coordinator(commits)
+            coordinator.ledger.register(0, "spec-0", "key-0", "job-0")
+            await coordinator.bind()
+            encode = protocol.encode_spec
+            protocol.encode_spec = lambda spec: spec
+            try:
+                reader, writer, _ = await connect(coordinator)
+                await protocol.send_message(writer, type="request")
+                lease = await protocol.recv_message(reader, timeout=5.0)
+                for _ in range(2):
+                    await protocol.send_message(
+                        writer,
+                        type="result",
+                        job_id=lease["job_id"],
+                        ok=True,
+                        payload={"result": {}, "wall_s": 0.01},
+                    )
+                acks = [
+                    await protocol.recv_message(reader, timeout=5.0)
+                    for _ in range(2)
+                ]
+                await close(writer)
+                return acks, coordinator.metrics_snapshot()
+            finally:
+                protocol.encode_spec = encode
+                await coordinator.close()
+
+        acks, snapshot = asyncio.run(run())
+        assert [ack["duplicate"] for ack in acks] == [False, True]
+        assert snapshot["commits"] == 1 and snapshot["duplicates"] == 1
+        assert len(commits) == 1  # harvest fired exactly once
+
+    def test_consecutive_failures_quarantine_the_worker(self):
+        async def run():
+            coordinator = make_coordinator(retries=5)
+            for i in range(4):
+                coordinator.ledger.register(i, f"spec-{i}", f"key-{i}", f"job-{i}")
+            await coordinator.bind()
+            encode = protocol.encode_spec
+            protocol.encode_spec = lambda spec: spec
+            try:
+                reader, writer, _ = await connect(coordinator, worker="bad")
+                # Fail two leases in a row -> quarantine_after=2 trips.
+                for _ in range(2):
+                    await protocol.send_message(writer, type="request")
+                    lease = await protocol.recv_message(reader, timeout=5.0)
+                    assert lease["type"] == "lease"
+                    await protocol.send_message(
+                        writer,
+                        type="result",
+                        job_id=lease["job_id"],
+                        ok=False,
+                        error="injected",
+                    )
+                    await protocol.recv_message(reader, timeout=5.0)  # ack
+                # The quarantined worker's next request is a drain.
+                await protocol.send_message(writer, type="request")
+                reply = await protocol.recv_message(reader, timeout=5.0)
+                await close(writer)
+                return reply, coordinator.metrics_snapshot()
+            finally:
+                protocol.encode_spec = encode
+                await coordinator.close()
+
+        reply, snapshot = asyncio.run(run())
+        assert reply["type"] == "drain"
+        assert snapshot["workers_quarantined"] == 1
+        # Failed jobs went back to pending for other workers.
+        assert snapshot["state_pending"] == 4
+
+
+class TestRunLoop:
+    def test_stall_returns_jobs_for_local_fallback(self):
+        async def run():
+            coordinator = make_coordinator()
+            load_jobs(coordinator, 2)
+            await coordinator.bind()
+            await asyncio.wait_for(coordinator.run(), timeout=5.0)
+            return coordinator.ledger.summary()
+
+        summary = asyncio.run(run())
+        # Nothing was lost: both jobs are still pending, not failed.
+        assert summary["state_pending"] == 2
+        assert summary["state_failed"] == 0
+
+    def test_silent_worker_lease_expires_and_requeues(self):
+        async def run():
+            coordinator = make_coordinator()
+            coordinator.ledger.register(0, "spec-0", "key-0", "job-0")
+            await coordinator.bind()
+            encode = protocol.encode_spec
+            protocol.encode_spec = lambda spec: spec
+            try:
+                reader, writer, _ = await connect(coordinator, worker="mute")
+                await protocol.send_message(writer, type="request")
+                lease = await protocol.recv_message(reader, timeout=5.0)
+                assert lease["type"] == "lease"
+                # Say nothing: no heartbeat, no result.  The reap loop
+                # must expire the lease and requeue.
+                deadline = asyncio.get_running_loop().time() + 5.0
+                while not coordinator.ledger.leases_expired:
+                    assert asyncio.get_running_loop().time() < deadline
+                    coordinator._reap()
+                    await asyncio.sleep(0.05)
+                await close(writer)
+                return coordinator.ledger.summary()
+            finally:
+                protocol.encode_spec = encode
+                await coordinator.close()
+
+        summary = asyncio.run(run())
+        assert summary["leases_expired"] == 1
+        assert summary["requeues"] == 1
+        assert summary["state_pending"] == 1  # never lost
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DispatchConfig(lease_s=0).validate()
+        with pytest.raises(ConfigurationError):
+            DispatchConfig(heartbeat_s=10.0, lease_s=5.0).validate()
+        with pytest.raises(ConfigurationError):
+            DispatchConfig(workers=-1).validate()
+        with pytest.raises(ConfigurationError):
+            DispatchConfig(quarantine_after=0).validate()
+        with pytest.raises(ConfigurationError):
+            DispatchConfig(slow_factor=1.0).validate()
+        DispatchConfig().validate()
+
+    def test_from_env_reads_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISPATCH_WORKERS", "7")
+        monkeypatch.setenv("REPRO_DISPATCH_LEASE_S", "3.5")
+        monkeypatch.setenv("REPRO_DISPATCH_HEARTBEAT_S", "0.7")
+        monkeypatch.setenv("REPRO_DISPATCH_LEDGER", "/tmp/journal.jsonl")
+        config = DispatchConfig.from_env()
+        assert config.workers == 7
+        assert config.lease_s == 3.5
+        assert config.heartbeat_s == 0.7
+        assert config.ledger_path == "/tmp/journal.jsonl"
+
+    def test_from_env_overrides_win(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISPATCH_WORKERS", "7")
+        assert DispatchConfig.from_env(workers=2).workers == 2

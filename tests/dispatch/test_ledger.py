@@ -1,0 +1,264 @@
+"""Job ledger invariants: never lost, never double-committed.
+
+Pure unit tests with an injected fake clock — no sockets, no sleeping.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.dispatch import JobLedger, JobState, replay_ledger
+from repro.errors import ConfigurationError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_ledger(clock, **kwargs) -> JobLedger:
+    kwargs.setdefault("rng", random.Random(0))
+    return JobLedger(lease_s=10.0, clock=clock, **kwargs)
+
+
+def load(ledger: JobLedger, n: int) -> None:
+    for i in range(n):
+        ledger.register(i, f"spec-{i}", f"key-{i}", f"job-{i}")
+
+
+class TestLeases:
+    def test_oldest_pending_is_granted_first(self, clock):
+        ledger = make_ledger(clock)
+        load(ledger, 3)
+        assert ledger.next_lease("w1").job_id == 0
+        assert ledger.next_lease("w2").job_id == 1
+        job = ledger.jobs[0]
+        assert job.state is JobState.LEASED and job.worker == "w1"
+
+    def test_renew_extends_only_for_the_holder(self, clock):
+        ledger = make_ledger(clock)
+        load(ledger, 1)
+        ledger.next_lease("w1")
+        clock.advance(5.0)
+        assert ledger.renew(0, "w1")
+        assert ledger.jobs[0].lease_deadline == pytest.approx(15.0)
+        assert not ledger.renew(0, "imposter")
+        assert not ledger.renew(99, "w1")
+
+    def test_expiry_requeues_without_charging_attempts(self, clock):
+        ledger = make_ledger(clock)
+        load(ledger, 1)
+        ledger.next_lease("w1")
+        clock.advance(9.0)
+        assert ledger.expire_due() == []  # still within the lease
+        clock.advance(2.0)
+        expired = ledger.expire_due()
+        assert [job.job_id for job in expired] == [0]
+        job = ledger.jobs[0]
+        assert job.state is JobState.PENDING
+        assert job.attempts == 0  # the fault was the worker's
+        assert job.requeues == 1
+        assert ledger.leases_expired == 1
+        # The job is immediately leasable again.
+        assert ledger.next_lease("w2").job_id == 0
+
+    def test_heartbeats_keep_a_lease_alive_indefinitely(self, clock):
+        ledger = make_ledger(clock)
+        load(ledger, 1)
+        ledger.next_lease("w1")
+        for _ in range(10):
+            clock.advance(8.0)
+            assert ledger.renew(0, "w1")
+            assert ledger.expire_due() == []
+
+    def test_release_worker_requeues_all_its_leases(self, clock):
+        ledger = make_ledger(clock)
+        load(ledger, 3)
+        ledger.next_lease("w1")
+        ledger.next_lease("w1")
+        ledger.next_lease("w2")
+        released = ledger.release_worker("w1", "worker-disconnected")
+        assert sorted(job.job_id for job in released) == [0, 1]
+        assert ledger.jobs[2].state is JobState.LEASED  # w2 untouched
+
+    def test_poison_job_fails_after_max_requeues(self, clock):
+        ledger = make_ledger(clock, max_requeues=3)
+        load(ledger, 1)
+        for _ in range(3):
+            ledger.next_lease("w1")
+            clock.advance(11.0)
+            ledger.expire_due()
+        job = ledger.jobs[0]
+        assert job.state is JobState.FAILED
+        assert "poison" in job.error
+        assert ledger.done
+
+
+class TestCommits:
+    def test_first_result_wins_exactly_once(self, clock):
+        ledger = make_ledger(clock)
+        load(ledger, 1)
+        ledger.next_lease("w1")
+        assert ledger.commit(0, "w1", {"result": 1}, 0.5)
+        # Same worker re-delivers, and a non-holder delivers too.
+        assert not ledger.commit(0, "w1", {"result": 1}, 0.5)
+        assert not ledger.commit(0, "w2", {"result": 1}, 0.5)
+        job = ledger.jobs[0]
+        assert job.state is JobState.DONE
+        assert job.duplicates == 2
+        assert ledger.commits == 1 and ledger.duplicates == 2
+
+    def test_late_result_from_evicted_worker_commits_if_first(self, clock):
+        """Expiry requeued the job, but the old worker's result arrives
+        before the new worker finishes: data is data — commit it."""
+        ledger = make_ledger(clock)
+        load(ledger, 1)
+        ledger.next_lease("w1")
+        clock.advance(11.0)
+        ledger.expire_due()
+        ledger.next_lease("w2")  # requeued to a healthy worker
+        assert ledger.commit(0, "w1", {"result": 1}, 9.0)  # late but first
+        assert ledger.jobs[0].committed_by == "w1"
+        # w2's eventual delivery is the duplicate.
+        assert not ledger.commit(0, "w2", {"result": 1}, 0.5)
+
+    def test_commit_salvages_a_failed_job(self, clock):
+        ledger = make_ledger(clock, retries=0)
+        load(ledger, 1)
+        ledger.next_lease("w1")
+        assert ledger.report_failure(0, "w1", "boom") is JobState.FAILED
+        assert ledger.commit(0, "w2", {"result": 1}, 0.1)
+        assert ledger.jobs[0].state is JobState.DONE
+        assert ledger.jobs[0].error is None
+
+
+class TestRetries:
+    def test_failures_charge_attempts_and_back_off(self, clock):
+        ledger = make_ledger(clock, retries=2, retry_backoff_s=1.0)
+        load(ledger, 1)
+        ledger.next_lease("w1")
+        state = ledger.report_failure(0, "w1", "transient")
+        assert state is JobState.PENDING
+        job = ledger.jobs[0]
+        assert job.attempts == 1
+        assert job.not_before > clock.now  # jittered backoff window
+        assert ledger.next_lease("w1") is None  # not yet eligible
+        wait = ledger.next_eligible_in()
+        assert wait is not None and wait > 0
+        clock.advance(wait)
+        assert ledger.next_lease("w1").job_id == 0
+
+    def test_retries_exhaust_to_failed(self, clock):
+        ledger = make_ledger(clock, retries=1, retry_backoff_s=0.0)
+        load(ledger, 1)
+        ledger.next_lease("w1")
+        assert ledger.report_failure(0, "w1", "err-1") is JobState.PENDING
+        ledger.next_lease("w1")
+        assert ledger.report_failure(0, "w1", "err-2") is JobState.FAILED
+        assert ledger.jobs[0].error == "err-2"
+        assert ledger.retried_failures == 1
+
+    def test_failure_after_done_is_a_no_op(self, clock):
+        ledger = make_ledger(clock)
+        load(ledger, 1)
+        ledger.next_lease("w1")
+        ledger.commit(0, "w2", {"result": 1}, 0.1)
+        assert ledger.report_failure(0, "w1", "late error") is JobState.DONE
+        assert ledger.jobs[0].attempts == 0
+
+    def test_requeues_never_exhaust_the_retry_budget(self, clock):
+        """Nine worker deaths then one honest failure: the job still has
+        its full retry budget when the failure arrives."""
+        ledger = make_ledger(clock, retries=1, max_requeues=20)
+        load(ledger, 1)
+        for _ in range(9):
+            ledger.next_lease("w1")
+            clock.advance(11.0)
+            ledger.expire_due()
+        ledger.next_lease("w1")
+        assert ledger.report_failure(0, "w1", "real failure") is JobState.PENDING
+
+
+class TestBookkeeping:
+    def test_summary_counts_everything(self, clock):
+        ledger = make_ledger(clock, retries=1, retry_backoff_s=0.0)
+        load(ledger, 3)
+        ledger.next_lease("w1")
+        ledger.commit(0, "w1", {}, 0.1)
+        ledger.next_lease("w1")
+        ledger.report_failure(1, "w1", "boom")
+        summary = ledger.summary()
+        assert summary["jobs_total"] == 3
+        assert summary["commits"] == 1
+        assert summary["retried_failures"] == 1
+        assert summary["state_done"] == 1
+        assert summary["state_pending"] == 2
+
+    def test_validation(self, clock):
+        with pytest.raises(ConfigurationError):
+            JobLedger(retries=-1, clock=clock)
+        with pytest.raises(ConfigurationError):
+            JobLedger(lease_s=0, clock=clock)
+        with pytest.raises(ConfigurationError):
+            JobLedger(max_requeues=0, clock=clock)
+        ledger = make_ledger(clock)
+        load(ledger, 1)
+        with pytest.raises(ConfigurationError):
+            ledger.register(0, "dup", "key", "label")
+
+
+class TestJournal:
+    def test_journal_records_the_full_history(self, clock, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = make_ledger(clock, path=path, retries=1, retry_backoff_s=0.0)
+        load(ledger, 2)
+        ledger.next_lease("w1")
+        ledger.commit(0, "w1", {"result": 1}, 0.2)
+        ledger.commit(0, "w2", {"result": 1}, 0.2)  # duplicate
+        ledger.next_lease("w1")
+        clock.advance(11.0)
+        ledger.expire_due()
+        ledger.next_lease("w2")
+        ledger.commit(1, "w2", {"result": 2}, 0.1)
+        ledger.close()
+        events = [json.loads(line)["event"] for line in path.read_text().splitlines()]
+        assert events == [
+            "register", "register", "lease", "commit", "duplicate",
+            "lease", "requeue", "lease", "commit",
+        ]
+        replay = replay_ledger(path)
+        assert replay["commits"] == 2
+        assert replay["duplicates"] == 1
+        assert replay["torn_lines"] == 0
+        assert replay["jobs"] == {"key-0": "done", "key-1": "done"}
+
+    def test_replay_tolerates_a_torn_final_line(self, clock, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = make_ledger(clock, path=path)
+        load(ledger, 1)
+        ledger.next_lease("w1")
+        ledger.commit(0, "w1", {}, 0.1)
+        ledger.close()
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write('{"event": "requ')  # coordinator died mid-append
+        replay = replay_ledger(path)
+        assert replay["torn_lines"] == 1
+        assert replay["jobs"]["key-0"] == "done"
+
+    def test_replay_missing_journal_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            replay_ledger(tmp_path / "missing.jsonl")

@@ -1,0 +1,73 @@
+"""Wire protocol: message framing, spec transport, failure modes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.runner import JobSpec
+from repro.dispatch import protocol
+from repro.errors import DispatchProtocolError
+from repro.sim.system import ScaledRun
+from repro.workloads.spec import BENCHMARKS_BY_NAME
+
+
+def _spec() -> JobSpec:
+    return JobSpec.build(
+        BENCHMARKS_BY_NAME["libq"], ScaledRun(instructions=10_000), "mecc"
+    )
+
+
+class TestMessages:
+    def test_encode_decode_round_trip(self):
+        line = protocol.encode_message(type="lease", job_id=3, key="abc")
+        assert line.endswith(b"\n")
+        assert protocol.decode_message(line) == {
+            "type": "lease", "job_id": 3, "key": "abc",
+        }
+
+    def test_canonical_encoding_is_stable(self):
+        a = protocol.encode_message(type="x", b=1, a=2)
+        b = protocol.encode_message(a=2, b=1, type="x")
+        assert a == b  # sorted keys: field order never changes the bytes
+
+    def test_type_field_required(self):
+        with pytest.raises(DispatchProtocolError):
+            protocol.encode_message(job_id=1)
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(DispatchProtocolError):
+            protocol.decode_message(b"{torn\n")
+        with pytest.raises(DispatchProtocolError):
+            protocol.decode_message(json.dumps([1, 2]).encode() + b"\n")
+        with pytest.raises(DispatchProtocolError):
+            protocol.decode_message(json.dumps({"no_type": 1}).encode() + b"\n")
+
+
+class TestSpecTransport:
+    def test_spec_round_trips_bit_identically(self):
+        spec = _spec()
+        encoded = protocol.encode_spec(spec)
+        assert isinstance(encoded, str)  # JSON-safe base64 text
+        decoded = protocol.decode_spec(encoded)
+        assert decoded == spec
+        assert decoded.key("v1") == spec.key("v1")
+
+    def test_decode_spec_rejects_garbage(self):
+        with pytest.raises(DispatchProtocolError):
+            protocol.decode_spec("not base64 pickle!")
+        with pytest.raises(DispatchProtocolError):
+            protocol.decode_spec("aGVsbG8=")  # valid base64, not a pickle
+
+
+class TestConstants:
+    def test_fault_modes_cover_the_chaos_campaign(self):
+        assert set(protocol.FAULT_MODES) >= {
+            "none", "kill", "silent", "slow", "partition", "duplicate",
+            "flaky",
+        }
+
+    def test_stream_limit_fits_large_specs(self):
+        # A spec with phases still fits far under the frame limit.
+        assert len(protocol.encode_spec(_spec())) < protocol.STREAM_LIMIT / 100

@@ -236,6 +236,41 @@ class TestTcpFrontend:
         assert ok2["ok"] and ok2["advisory"]["matched_persona"] == "heavy"
         assert not service.running  # stop() closed everything
 
+    def test_stop_closes_open_client_connections(self, index):
+        """stop() with clients mid-conversation must close their writers
+        cleanly: the client sees EOF promptly (no hang, no reset storm)
+        and the service tracks zero open writers afterwards."""
+        service = AdvisoryService(index, request_timeout_s=5.0)
+
+        async def run():
+            server = await service.serve_tcp(port=0)
+            port = server.sockets[0].getsockname()[1]
+            # Two idle clients plus one that just completed a request,
+            # all still connected when stop() fires.
+            clients = [
+                await asyncio.open_connection("127.0.0.1", port)
+                for _ in range(3)
+            ]
+            reader, writer = clients[0]
+            writer.write(
+                (json.dumps({"idle_fraction": 0.97}) + "\n").encode()
+            )
+            await writer.drain()
+            assert json.loads(await reader.readline())["ok"]
+            assert service._client_writers  # connections are live
+            await asyncio.wait_for(service.stop(), timeout=2.0)
+            assert not service._client_writers
+            # Every client must observe EOF rather than hanging.
+            for client_reader, _ in clients:
+                assert await asyncio.wait_for(
+                    client_reader.readline(), timeout=2.0
+                ) == b""
+            for _, client_writer in clients:
+                client_writer.close()
+
+        asyncio.run(run())
+        assert not service.running
+
 
 class TestConfigAndMetrics:
     def test_bad_config_rejected(self, index):
