@@ -1,0 +1,64 @@
+"""DSE frontier exhibit: Pareto surface around the paper's knee.
+
+Thin shim over the ``repro.report`` registry (exhibit ``dse-frontier``)
+plus a perf floor on the pure analysis layer: the frontier/knee math
+must stay negligible next to simulation, so a 4096-point frontier has
+a hard wall-clock budget.
+"""
+
+import itertools
+import time
+
+from repro.analysis.tables import format_table
+from repro.dse import knee_index, pareto_indices
+from repro.report.spec import get_exhibit
+
+EXHIBIT_ID = "dse-frontier"
+
+#: Wall-clock budget for the 4096-point analysis floor (seconds).
+ANALYSIS_FLOOR_S = 2.0
+
+
+def test_dse_frontier_exhibit(benchmark, run, show):
+    spec = get_exhibit(EXHIBIT_ID)
+    data = benchmark.pedantic(spec.build, args=(run,), rounds=1, iterations=1)
+    show(format_table(
+        list(data.columns),
+        [list(row) for row in data.rows],
+        title=f"DSE frontier — knee {data.meta['knee']} "
+        f"({data.meta['sim_jobs']} sim jobs)",
+    ))
+    keys = [row[0] for row in data.rows]
+    frontier = [row[0] for row in data.rows if row[4]]
+    knees = [row[0] for row in data.rows if row[5]]
+    assert len(keys) == data.meta["grid"]["size"]
+    assert frontier, "frontier must be non-empty"
+    # The knee is unique and lies on the frontier.
+    assert len(knees) == 1 and knees[0] in frontier
+    # Objectives are finite and sane.
+    for _, energy, slowdown, p_fail, _, _ in data.rows:
+        assert energy > 0.0
+        assert 0.0 <= p_fail <= 1.0
+        assert slowdown < 1.0
+
+
+def test_dse_analysis_floor(show):
+    """Frontier + knee over a 16^3 grid must finish inside the budget."""
+    values = [i / 15.0 for i in range(16)]
+    # A curved 3-objective surface with plenty of dominated interior.
+    vectors = [
+        (x + 0.05 * z, (1.0 - x) ** 2 + 0.05 * y, 0.2 * y + 0.1 * z)
+        for x, y, z in itertools.product(values, repeat=3)
+    ]
+    start = time.perf_counter()
+    frontier = pareto_indices(vectors)
+    knee = knee_index(vectors)
+    elapsed = time.perf_counter() - start
+    show(
+        f"analysis floor: {len(vectors)} points -> {len(frontier)} on "
+        f"frontier in {elapsed * 1000:.1f} ms (budget "
+        f"{ANALYSIS_FLOOR_S * 1000:.0f} ms)"
+    )
+    assert knee in frontier
+    assert 0 < len(frontier) < len(vectors)
+    assert elapsed < ANALYSIS_FLOOR_S

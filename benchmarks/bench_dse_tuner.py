@@ -1,0 +1,31 @@
+"""DSE tuner exhibit: leave-one-out report card over the personas.
+
+Thin shim over the ``repro.report`` registry (exhibit ``dse-tuner``).
+The tuner is a k=1 nearest-neighbour vote, so every in-sample
+prediction must be exact; the leave-one-out column is the honest
+generalization measure and only its regret is bounded here.
+"""
+
+from repro.analysis.tables import format_table
+from repro.report.spec import get_exhibit
+
+EXHIBIT_ID = "dse-tuner"
+
+
+def test_dse_tuner_exhibit(benchmark, run, show):
+    spec = get_exhibit(EXHIBIT_ID)
+    data = benchmark.pedantic(spec.build, args=(run,), rounds=1, iterations=1)
+    show(format_table(
+        list(data.columns),
+        [list(row) for row in data.rows],
+        title=f"DSE tuner report card — {data.meta['samples']} workloads, "
+        f"k={data.meta['k']}",
+    ))
+    assert len(data.rows) == data.meta["samples"] >= 3
+    for workload, best, predicted, hit, regret in data.rows:
+        # Predictions always land on the grid (regret is defined).
+        assert regret >= 0.0
+        assert hit == (best == predicted)
+        # A wrong LOO guess may cost energy, but never catastrophically
+        # (every grid point is a functioning MECC configuration).
+        assert regret < 0.5, (workload, predicted, regret)

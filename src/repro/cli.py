@@ -71,6 +71,8 @@ def build_parser() -> argparse.ArgumentParser:
             "serve",
             "workers",
             "dispatch",
+            "dse",
+            "tune",
         ],
         help="exhibit to regenerate ('list' to enumerate, 'all' for everything, "
         "'report' for a markdown report via --output), a trace tool "
@@ -79,8 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(chaos), the paper-claim conformance gate (fidelity), the "
         "analytic-vs-Monte-Carlo cross-checks (validate), a fleet-scale "
         "population study (fleet), the policy-advisory service (serve), "
-        "a dispatch worker attached to a coordinator (workers), or a "
-        "distributed-dispatch verification sweep (dispatch)",
+        "a dispatch worker attached to a coordinator (workers), a "
+        "distributed-dispatch verification sweep (dispatch), a "
+        "design-space exploration producing a Pareto frontier + knee "
+        "report (dse), or the learned per-workload operating-point "
+        "tuner with its golden drift check (tune)",
     )
     parser.add_argument(
         "--instructions",
@@ -302,14 +307,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--golden",
         default=None,
         metavar="PATH",
-        help="fidelity: compare the golden-figure fixture at PATH against "
-        "a fresh computation (default fixture: "
-        "tests/fidelity/golden_figures.json with --update-golden)",
+        help="fidelity/tune: compare the golden fixture at PATH against "
+        "a fresh computation (default fixtures: "
+        "tests/fidelity/golden_figures.json / tests/dse/"
+        "golden_frontier.json)",
     )
     parser.add_argument(
         "--update-golden",
         action="store_true",
-        help="fidelity: regenerate the golden-figure fixture (at --golden "
+        help="fidelity/tune: regenerate the golden fixture (at --golden "
         "PATH, or the checked-in default) instead of comparing",
     )
     parser.add_argument(
@@ -446,6 +452,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate: counting-noise fallback width in sigmas; 0 disables "
         "the fallback so only --tolerance decides (default 4.0)",
     )
+    parser.add_argument(
+        "--grid",
+        default=None,
+        metavar="AXIS=V,V;...",
+        help="dse/tune: sweep grid shorthand like "
+        "'ecc=4,6;period=0.256,1.024;threshold=1,2;mdt=512,1024' "
+        "(axes: ecc/period/threshold/mdt/policy; default: the built-in "
+        "64-point grid — see repro.dse.GridSpec)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default=None,
+        metavar="NAME,NAME,...",
+        help="dse: workload mix scored at every operating point "
+        "(default povray,libq)",
+    )
+    parser.add_argument(
+        "--idle-fraction",
+        type=float,
+        default=None,
+        help="dse: fraction of the device-day spent idle (default 0.95)",
+    )
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=None,
+        help="dse: active bursts per device-day (default 60)",
+    )
+    parser.add_argument(
+        "--frontier-out",
+        default=None,
+        metavar="PATH",
+        help="dse: write the full frontier report as canonical JSON "
+        "(byte-identical across --jobs values and runner backends)",
+    )
+    parser.add_argument(
+        "--slowdown-cap",
+        type=float,
+        default=0.05,
+        help="dse/tune: max slowdown an operating point may impose to be "
+        "eligible as a workload's best (default 0.05, the fleet "
+        "ipc_floor)",
+    )
+    parser.add_argument(
+        "--personas",
+        default=None,
+        metavar="NAME,NAME,...",
+        help="tune: personas to sweep as training workloads "
+        "(default: every registered persona; see repro.workloads.personas)",
+    )
+    parser.add_argument(
+        "--tuner-out",
+        default=None,
+        metavar="PATH",
+        help="tune: write the fitted tuner (samples + feature bounds) as "
+        "JSON to PATH",
+    )
+    parser.add_argument(
+        "--knn",
+        type=int,
+        default=1,
+        help="tune: nearest-neighbour count for the operating-point vote "
+        "(default 1 — exact on the training set)",
+    )
+    parser.add_argument(
+        "--drift-check",
+        action="store_true",
+        help="tune: recompute the golden mini-sweep fresh and exit 1 when "
+        "the predicted best point moved or energies drifted past "
+        "--drift-tolerance (fixture: tests/dse/golden_frontier.json, "
+        "override with --golden; regenerate with --update-golden)",
+    )
+    parser.add_argument(
+        "--drift-tolerance",
+        type=float,
+        default=0.02,
+        help="tune --drift-check: relative energy drift tolerated before "
+        "the check trips (default 0.02)",
+    )
     return parser
 
 
@@ -454,7 +539,7 @@ def _trace_gen(args) -> int:
     from repro.workloads.trace import write_trace
 
     if args.benchmark not in BENCHMARKS_BY_NAME:
-        print(f"unknown benchmark {args.benchmark!r}; choices: "
+        print(f"unknown benchmark {args.benchmark!r}; choose from "
               f"{', '.join(sorted(BENCHMARKS_BY_NAME))}", file=sys.stderr)
         return 2
     if not args.output:
@@ -960,10 +1045,15 @@ def _report(args, runner) -> int:
     tree is generated under ``--out/<run-id>/`` and, with ``--diff``,
     compared against a baseline tree (nonzero exit on drift).
     """
+    from repro.errors import ConfigurationError
     from repro.report import ReportPipeline, diff_trees, resolve_exhibits
 
     if args.list_exhibits:
-        specs = resolve_exhibits(args.exhibits)
+        try:
+            specs = resolve_exhibits(args.exhibits)
+        except ConfigurationError as exc:
+            print(f"report: {exc}", file=sys.stderr)
+            return 2
         print(format_table(
             ["id", "kind", "anchor", "cost", "title"],
             [[s.id, s.kind, s.paper_anchor,
@@ -979,19 +1069,27 @@ def _report(args, runner) -> int:
         from repro.analysis.report import write_report
 
         include = args.exhibits.split(",") if args.exhibits else None
-        write_report(args.output, run, include)
+        try:
+            write_report(args.output, run, include)
+        except ConfigurationError as exc:
+            print(f"report: {exc}", file=sys.stderr)
+            return 2
         print(f"wrote report to {args.output}")
         _finish_runner(args, runner)
         return 0
 
-    pipeline = ReportPipeline(
-        out_dir=args.out,
-        run_id=args.run_id,
-        formats=args.format,
-        run=run,
-        fidelity=args.fidelity_summary,
-    )
-    tree = pipeline.generate(args.exhibits)
+    try:
+        pipeline = ReportPipeline(
+            out_dir=args.out,
+            run_id=args.run_id,
+            formats=args.format,
+            run=run,
+            fidelity=args.fidelity_summary,
+        )
+        tree = pipeline.generate(args.exhibits)
+    except ConfigurationError as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
     print(f"wrote artifact tree to {tree}")
     _finish_runner(args, runner)
     if args.diff:
@@ -999,6 +1097,174 @@ def _report(args, runner) -> int:
         print(result.render())
         if not result.clean:
             return 1
+    return 0
+
+
+def _build_grid(args):
+    """The sweep grid from --grid shorthand (or the built-in default)."""
+    from repro.dse import GridSpec, parse_grid
+
+    return parse_grid(args.grid) if args.grid else GridSpec()
+
+
+def _dse(args, runner) -> int:
+    """Design-space exploration: score a grid, print frontier + knee."""
+    from repro.dse import DesignSpaceExplorer, PAPER_POINT
+    from repro.errors import ConfigurationError
+
+    try:
+        grid = _build_grid(args)
+        kwargs = {}
+        if args.benchmarks:
+            kwargs["benchmarks"] = tuple(
+                b.strip() for b in args.benchmarks.split(",") if b.strip()
+            )
+        if args.idle_fraction is not None:
+            kwargs["idle_fraction"] = args.idle_fraction
+        if args.sessions is not None:
+            kwargs["sessions_per_day"] = args.sessions
+        explorer = DesignSpaceExplorer(
+            grid=grid,
+            run=ScaledRun(instructions=args.instructions),
+            **kwargs,
+        )
+        report = explorer.explore()
+    except ConfigurationError as exc:
+        print(f"dse: {exc}", file=sys.stderr)
+        return 2
+    frontier = set(report.frontier_keys)
+    rows = [
+        [
+            r.point.key(),
+            f"{r.energy_j_day:.2f}",
+            f"{r.slowdown:.4f}",
+            f"{r.failure_prob_day:.3e}",
+            ("knee" if r.point.key() == report.knee_key
+             else "frontier" if r.point.key() in frontier else ""),
+        ]
+        for r in report.results
+    ]
+    print(format_table(
+        ["operating point", "energy J/day", "slowdown", "p(fail)/day", ""],
+        rows,
+        title=(
+            f"dse: {len(report.results)}-point grid, "
+            f"{len(frontier)} on frontier, {report.sim_jobs} sim jobs"
+        ),
+    ))
+    summary = report.summary()
+    print(format_table(
+        ["metric", "value"],
+        [[k, v] for k, v in summary.items()],
+        title=f"knee: {report.knee_key} "
+        f"(paper point {PAPER_POINT.key()})",
+    ))
+    if args.frontier_out:
+        with open(args.frontier_out, "w", encoding="utf-8") as stream:
+            stream.write(report.to_json())
+        print(f"wrote frontier report to {args.frontier_out}")
+    if args.manifest:
+        runner.write_manifest(args.manifest)
+        print(f"wrote run manifest to {args.manifest}")
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.record_dse(report)
+        registry.record_runner(runner)
+        registry.record_codec_backend()
+        registry.write_json(args.metrics_out)
+        print(f"wrote {len(registry)} metrics to {args.metrics_out}")
+    from repro.analysis.report import render_runner_summary
+
+    runner_summary = render_runner_summary(runner)
+    if runner_summary:
+        print(runner_summary)
+    return 0
+
+
+def _tune(args, runner) -> int:
+    """Train/evaluate the per-workload tuner, or run the drift check."""
+    from repro.dse import golden as dse_golden
+    from repro.dse import train_tuner
+    from repro.dse.tuner import WorkloadFeatures
+    from repro.errors import ConfigurationError
+    from repro.workloads.personas import ALL_PERSONAS, ALL_PERSONAS_BY_NAME
+
+    if args.drift_check:
+        path = args.golden or dse_golden.default_golden_path()
+        try:
+            if args.update_golden:
+                payload = dse_golden.compute_golden()
+                written = dse_golden.write_golden(path, payload)
+                print(f"wrote golden DSE fixture to {written}")
+                return 0
+            golden = dse_golden.load_golden(path)
+            report = dse_golden.drift_check(
+                golden, tolerance=args.drift_tolerance
+            )
+        except ConfigurationError as exc:
+            print(f"tune: {exc}", file=sys.stderr)
+            return 2
+        print(report.render())
+        return 0 if report.ok else 1
+
+    try:
+        grid = _build_grid(args)
+        if args.personas:
+            names = [p.strip() for p in args.personas.split(",") if p.strip()]
+            unknown = sorted(set(names) - set(ALL_PERSONAS_BY_NAME))
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown personas: {', '.join(unknown)}; choose from "
+                    f"{', '.join(sorted(ALL_PERSONAS_BY_NAME))}"
+                )
+            personas = tuple(ALL_PERSONAS_BY_NAME[n] for n in names)
+        else:
+            personas = ALL_PERSONAS
+        tuner, reports = train_tuner(
+            grid=grid,
+            personas=personas,
+            run=ScaledRun(instructions=args.instructions),
+            k=args.knn,
+            slowdown_cap=args.slowdown_cap,
+        )
+    except ConfigurationError as exc:
+        print(f"tune: {exc}", file=sys.stderr)
+        return 2
+    card = tuner.report_card()
+    print(format_table(
+        ["workload", "best point", "LOO prediction", "hit", "regret"],
+        [
+            [row["workload"], row["best"], row["predicted"],
+             "yes" if row["hit"] else "no", f"{row['regret']:.4f}"]
+            for row in card
+        ],
+        title=(
+            f"tuner report card: {len(tuner.samples)} workloads, "
+            f"k={tuner.k}, grid {grid.size} points"
+        ),
+    ))
+    hits = sum(1 for row in card if row["hit"])
+    mean_regret = sum(row["regret"] for row in card) / len(card)
+    print(f"leave-one-out: {hits}/{len(card)} exact, "
+          f"mean regret {mean_regret:.4f}")
+    for persona in sorted(personas, key=lambda p: p.name):
+        predicted = tuner.predict(WorkloadFeatures.from_persona(persona))
+        print(f"  {persona.name}: {predicted}")
+    if args.tuner_out:
+        print(f"wrote tuner to {tuner.save(args.tuner_out)}")
+    if args.manifest:
+        runner.write_manifest(args.manifest)
+        print(f"wrote run manifest to {args.manifest}")
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.record_tuner(tuner)
+        registry.record_runner(runner)
+        registry.write_json(args.metrics_out)
+        print(f"wrote {len(registry)} metrics to {args.metrics_out}")
     return 0
 
 
@@ -1098,6 +1364,10 @@ def main(argv: list[str] | None = None) -> int:
         return _fleet(args, runner)
     if args.exhibit == "serve":
         return _serve(args, runner)
+    if args.exhibit == "dse":
+        return _dse(args, runner)
+    if args.exhibit == "tune":
+        return _tune(args, runner)
     if args.exhibit == "csv":
         from repro.analysis.export import export_all
 

@@ -41,7 +41,7 @@ class AddressMapper:
     ):
         if policy not in MAPPING_POLICIES:
             raise ConfigurationError(
-                f"unknown mapping policy {policy!r}; choices: {MAPPING_POLICIES}"
+                f"unknown mapping policy {policy!r}; choose from {MAPPING_POLICIES}"
             )
         self.org = org or DramOrganization()
         self.policy = policy

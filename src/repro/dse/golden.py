@@ -1,0 +1,226 @@
+"""Golden DSE fixture + drift check.
+
+The committed fixture (``tests/dse/golden_frontier.json``) pins a mini
+sweep — a small grid evaluated for two personas — as it stood when the
+model last changed intentionally.  ``repro tune --drift-check``
+recomputes the same sweep fresh and trips (exit 1) when either the
+predicted best operating point moved or any point's energy drifted
+past tolerance, the same regenerate-on-purpose contract as the
+fidelity golden figures (``REPRO_REGEN_GOLDEN=1``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.dse.engine import FrontierReport, round_floats
+from repro.dse.grid import GridSpec
+from repro.dse.tuner import persona_frontiers
+from repro.errors import ConfigurationError
+from repro.sim.system import ScaledRun
+from repro.workloads.personas import ALL_PERSONAS_BY_NAME
+
+GOLDEN_SCHEMA = 1
+GOLDEN_KIND = "dse-golden"
+
+#: Regenerate with ``REPRO_REGEN_GOLDEN=1 pytest tests/dse`` (or
+#: ``repro tune --drift-check --regen-golden``).
+REGEN_ENV = "REPRO_REGEN_GOLDEN"
+
+#: The mini sweep the fixture pins: 2 strengths x 2 periods, one
+#: threshold and MDT geometry — 4 points per persona, a handful of
+#: simulator jobs total.
+MINI_GRID = GridSpec(
+    ecc_strength=(4, 6),
+    refresh_period_s=(0.256, 1.024),
+    threshold_mpkc=(2.0,),
+    mdt_entries=(1024,),
+)
+GOLDEN_PERSONAS = ("light", "heavy")
+GOLDEN_INSTRUCTIONS = 20_000
+
+#: Relative energy drift tolerated before the check trips.
+DEFAULT_DRIFT_TOLERANCE = 0.02
+
+
+def default_golden_path() -> Path:
+    """The committed fixture's location inside the repo tree."""
+    return Path(__file__).resolve().parents[3] / "tests" / "dse" / (
+        "golden_frontier.json"
+    )
+
+
+def compute_golden(
+    grid: GridSpec | None = None,
+    personas: tuple[str, ...] = GOLDEN_PERSONAS,
+    instructions: int = GOLDEN_INSTRUCTIONS,
+) -> dict:
+    """Run the mini sweep and shape it as a golden payload."""
+    grid = grid or MINI_GRID
+    unknown = sorted(set(personas) - set(ALL_PERSONAS_BY_NAME))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown personas: {', '.join(unknown)}; choose from "
+            f"{', '.join(sorted(ALL_PERSONAS_BY_NAME))}"
+        )
+    reports = persona_frontiers(
+        grid=grid,
+        personas=tuple(ALL_PERSONAS_BY_NAME[name] for name in personas),
+        run=ScaledRun(instructions=instructions),
+    )
+    return round_floats(
+        {
+            "schema": GOLDEN_SCHEMA,
+            "kind": GOLDEN_KIND,
+            "grid": grid.describe(),
+            "instructions": instructions,
+            "personas": {
+                name: _persona_entry(report)
+                for name, report in sorted(reports.items())
+            },
+        }
+    )
+
+
+def _persona_entry(report: FrontierReport) -> dict:
+    return {
+        "best": report.best_key(),
+        "knee": report.knee_key,
+        "frontier": list(report.frontier_keys),
+        "energies": dict(sorted(report.energies().items())),
+    }
+
+
+def write_golden(path, payload: dict) -> str:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    return str(path)
+
+
+def load_golden(path) -> dict:
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(
+            f"golden DSE fixture not found at {path}; generate it with "
+            f"{REGEN_ENV}=1 pytest tests/dse"
+        )
+    with open(path, encoding="utf-8") as stream:
+        payload = json.load(stream)
+    if payload.get("kind") != GOLDEN_KIND or payload.get("schema") != GOLDEN_SCHEMA:
+        raise ConfigurationError(
+            f"{path} is not a dse-golden fixture (bad kind/schema); "
+            f"regenerate with {REGEN_ENV}=1"
+        )
+    return payload
+
+
+@dataclass(frozen=True)
+class DriftRow:
+    """One persona's golden-vs-fresh comparison."""
+
+    persona: str
+    golden_best: str
+    fresh_best: str
+    max_energy_drift: float
+    ok: bool
+    detail: str
+
+    def as_dict(self) -> dict:
+        import dataclasses
+
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """The drift check's verdict across all golden personas."""
+
+    rows: tuple[DriftRow, ...]
+    tolerance: float
+
+    @property
+    def ok(self) -> bool:
+        return all(row.ok for row in self.rows)
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "tolerance": self.tolerance,
+            "rows": [row.as_dict() for row in self.rows],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"{'persona':<10} {'golden best':<28} {'fresh best':<28} "
+            f"{'drift':>8}  verdict"
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.persona:<10} {row.golden_best:<28} {row.fresh_best:<28} "
+                f"{row.max_energy_drift:>8.4f}  "
+                + ("ok" if row.ok else f"DRIFT ({row.detail})")
+            )
+        verdict = "ok" if self.ok else "DRIFT"
+        lines.append(
+            f"drift check: {verdict} (tolerance {self.tolerance:g})"
+        )
+        return "\n".join(lines)
+
+
+def drift_check(
+    golden: dict, tolerance: float = DEFAULT_DRIFT_TOLERANCE
+) -> DriftReport:
+    """Recompute the golden's sweep fresh and compare.
+
+    Trips when a persona's best operating point changed, when any
+    point's energy drifted more than ``tolerance`` (relative), or when
+    the grid itself no longer matches (missing/new points).
+    """
+    if tolerance <= 0.0:
+        raise ConfigurationError("tolerance must be positive")
+    grid = GridSpec.from_dict(golden["grid"])
+    fresh = compute_golden(
+        grid=grid,
+        personas=tuple(sorted(golden["personas"])),
+        instructions=int(golden["instructions"]),
+    )
+    rows = []
+    for name, expected in sorted(golden["personas"].items()):
+        actual = fresh["personas"][name]
+        drift = 0.0
+        detail = ""
+        ok = True
+        missing = sorted(set(expected["energies"]) ^ set(actual["energies"]))
+        if missing:
+            ok = False
+            detail = f"point set changed: {', '.join(missing[:3])}"
+        else:
+            for key, golden_energy in expected["energies"].items():
+                rel = abs(actual["energies"][key] - golden_energy) / abs(
+                    golden_energy
+                )
+                if rel > drift:
+                    drift = rel
+                    if rel > tolerance:
+                        detail = f"energy at {key} drifted {rel:.4f}"
+            if drift > tolerance:
+                ok = False
+        if expected["best"] != actual["best"]:
+            ok = False
+            detail = detail or "best operating point moved"
+        rows.append(
+            DriftRow(
+                persona=name,
+                golden_best=expected["best"],
+                fresh_best=actual["best"],
+                max_energy_drift=drift,
+                ok=ok,
+                detail=detail,
+            )
+        )
+    return DriftReport(rows=tuple(rows), tolerance=tolerance)

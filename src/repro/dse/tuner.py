@@ -1,0 +1,325 @@
+"""Learned per-workload operating-point tuner (stdlib k-NN).
+
+Per-workload tuning (traffic-aware ECC, arXiv 2112.12667) beats a
+single global operating point: a heavy gamer persona wants a different
+(strength, period, threshold) cell than a mostly-idle minimal persona.
+The tuner is deliberately tiny — a k-nearest-neighbour vote over
+normalized workload features, trained on :class:`TunerSample` rows
+produced by sweeping each fleet persona's app mix through the
+:class:`repro.dse.engine.DesignSpaceExplorer`.
+
+Each sample keeps its full ``point key -> energy`` surface, so the
+leave-one-out report card can price a wrong prediction (regret =
+relative energy excess of the predicted point over the true optimum)
+without re-simulating anything.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+
+from repro.dse.engine import DesignSpaceExplorer, FrontierReport, round_floats
+from repro.dse.grid import GridSpec
+from repro.errors import ConfigurationError
+from repro.sim.system import ScaledRun, SystemConfig
+from repro.workloads.personas import ALL_PERSONAS, Persona
+
+TUNER_SCHEMA = 1
+TUNER_KIND = "dse-tuner"
+
+#: Feature names, in vector order.
+FEATURES = ("log_mpki", "idle_fraction", "sessions_per_day", "log_footprint_mb")
+
+
+@dataclass(frozen=True)
+class WorkloadFeatures:
+    """Normalizable workload descriptors (the tuner's input space)."""
+
+    mean_mpki: float
+    idle_fraction: float
+    sessions_per_day: float
+    footprint_mb: float
+
+    def __post_init__(self) -> None:
+        if self.mean_mpki <= 0.0 or self.footprint_mb <= 0.0:
+            raise ConfigurationError(
+                "mean_mpki and footprint_mb must be positive"
+            )
+        if not 0.0 < self.idle_fraction <= 1.0:
+            raise ConfigurationError("idle_fraction must be in (0, 1]")
+        if self.sessions_per_day < 1:
+            raise ConfigurationError("sessions_per_day must be >= 1")
+
+    @classmethod
+    def from_persona(cls, persona: Persona) -> "WorkloadFeatures":
+        return cls(
+            mean_mpki=persona.mean_mpki,
+            idle_fraction=persona.idle_fraction,
+            sessions_per_day=float(persona.sessions_per_day),
+            footprint_mb=persona.total_footprint_mb,
+        )
+
+    def vector(self) -> tuple[float, ...]:
+        """Log-compress the heavy-tailed dimensions (MPKI, footprint)."""
+        return (
+            math.log10(self.mean_mpki),
+            self.idle_fraction,
+            self.sessions_per_day,
+            math.log10(self.footprint_mb),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "mean_mpki": self.mean_mpki,
+            "idle_fraction": self.idle_fraction,
+            "sessions_per_day": self.sessions_per_day,
+            "footprint_mb": self.footprint_mb,
+        }
+
+
+@dataclass(frozen=True)
+class TunerSample:
+    """One training row: a workload, its optimum, its energy surface."""
+
+    name: str
+    features: WorkloadFeatures
+    best_key: str
+    energies: dict[str, float]
+
+    def __post_init__(self) -> None:
+        if self.best_key not in self.energies:
+            raise ConfigurationError(
+                f"sample {self.name!r}: best point {self.best_key!r} is not "
+                f"on its energy surface"
+            )
+
+    def regret(self, predicted_key: str) -> float:
+        """Relative energy excess of a prediction over the optimum."""
+        if predicted_key not in self.energies:
+            raise ConfigurationError(
+                f"sample {self.name!r}: predicted point {predicted_key!r} is "
+                f"not on its energy surface"
+            )
+        return self.energies[predicted_key] / self.energies[self.best_key] - 1.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "features": self.features.as_dict(),
+            "best_key": self.best_key,
+            "energies": dict(sorted(self.energies.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TunerSample":
+        return cls(
+            name=payload["name"],
+            features=WorkloadFeatures(**payload["features"]),
+            best_key=payload["best_key"],
+            energies=dict(payload["energies"]),
+        )
+
+
+class PolicyTuner:
+    """k-NN operating-point predictor over normalized workload features.
+
+    With ``k=1`` (the default) the tuner is an exact oracle on its own
+    training set: a workload whose features match a sample recovers
+    that sample's best point — the oracle tests pin this.
+    """
+
+    def __init__(self, k: int = 1):
+        if k < 1:
+            raise ConfigurationError("k must be >= 1")
+        self.k = k
+        self.samples: tuple[TunerSample, ...] = ()
+        self._lows: tuple[float, ...] = ()
+        self._spans: tuple[float, ...] = ()
+
+    # -- training --------------------------------------------------------------
+
+    def fit(self, samples) -> "PolicyTuner":
+        samples = tuple(sorted(samples, key=lambda s: s.name))
+        if not samples:
+            raise ConfigurationError("need at least one training sample")
+        names = [s.name for s in samples]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("training sample names must be unique")
+        vectors = [s.features.vector() for s in samples]
+        dims = len(FEATURES)
+        lows = tuple(min(v[d] for v in vectors) for d in range(dims))
+        highs = tuple(max(v[d] for v in vectors) for d in range(dims))
+        self.samples = samples
+        self._lows = lows
+        self._spans = tuple(hi - lo for lo, hi in zip(lows, highs))
+        return self
+
+    def _normalize(self, features: WorkloadFeatures) -> tuple[float, ...]:
+        if not self.samples:
+            raise ConfigurationError("tuner is not fitted")
+        vector = features.vector()
+        return tuple(
+            0.0 if span == 0.0 else (value - low) / span
+            for value, low, span in zip(vector, self._lows, self._spans)
+        )
+
+    # -- prediction ------------------------------------------------------------
+
+    def neighbours(
+        self, features: WorkloadFeatures
+    ) -> list[tuple[float, TunerSample]]:
+        """All samples by ascending feature distance (name-tiebroken)."""
+        probe = self._normalize(features)
+        ranked = sorted(
+            (
+                (math.dist(probe, self._normalize(sample.features)), sample)
+                for sample in self.samples
+            ),
+            key=lambda pair: (pair[0], pair[1].name),
+        )
+        return ranked
+
+    def predict(self, features: WorkloadFeatures) -> str:
+        """Majority vote over the k nearest samples' best points."""
+        nearest = self.neighbours(features)[: self.k]
+        votes: dict[str, int] = {}
+        for _, sample in nearest:
+            votes[sample.best_key] = votes.get(sample.best_key, 0) + 1
+        top = max(votes.values())
+        # Tie break toward the closest voting sample (then its name).
+        for _, sample in nearest:
+            if votes[sample.best_key] == top:
+                return sample.best_key
+        raise AssertionError("unreachable: nearest is non-empty")
+
+    # -- evaluation ------------------------------------------------------------
+
+    def report_card(self) -> list[dict]:
+        """Leave-one-out evaluation: regret of each held-out prediction.
+
+        With fewer than two samples LOO is undefined; the card then
+        reports in-sample predictions (regret 0 by construction).
+        """
+        rows = []
+        for held_out in self.samples:
+            rest = [s for s in self.samples if s.name != held_out.name]
+            if rest:
+                predicted = PolicyTuner(k=self.k).fit(rest).predict(
+                    held_out.features
+                )
+            else:
+                predicted = self.predict(held_out.features)
+            rows.append(
+                {
+                    "workload": held_out.name,
+                    "best": held_out.best_key,
+                    "predicted": predicted,
+                    "hit": predicted == held_out.best_key,
+                    "regret": held_out.regret(predicted),
+                }
+            )
+        return rows
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return round_floats(
+            {
+                "schema": TUNER_SCHEMA,
+                "kind": TUNER_KIND,
+                "k": self.k,
+                "features": list(FEATURES),
+                "samples": [s.as_dict() for s in self.samples],
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PolicyTuner":
+        if payload.get("kind") != TUNER_KIND or payload.get("schema") != TUNER_SCHEMA:
+            raise ConfigurationError(
+                "not a dse-tuner artifact (bad kind/schema); retrain with "
+                "`repro tune`"
+            )
+        tuner = cls(k=int(payload.get("k", 1)))
+        return tuner.fit(TunerSample.from_dict(s) for s in payload["samples"])
+
+    def save(self, path) -> str:
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(self.to_dict(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        return str(path)
+
+    @classmethod
+    def load(cls, path) -> "PolicyTuner":
+        with open(path, encoding="utf-8") as stream:
+            return cls.from_dict(json.load(stream))
+
+
+def persona_frontiers(
+    grid: GridSpec | None = None,
+    personas: tuple[Persona, ...] | None = None,
+    run: ScaledRun | None = None,
+    config: SystemConfig | None = None,
+) -> dict[str, FrontierReport]:
+    """One frontier sweep per persona (the tuner's raw training data).
+
+    Sweeps share the process-wide runner, so overlapping (benchmark,
+    policy, strength, threshold) jobs across personas simulate once.
+    """
+    personas = tuple(personas) if personas is not None else ALL_PERSONAS
+    if not personas:
+        raise ConfigurationError("need at least one persona")
+    reports: dict[str, FrontierReport] = {}
+    for persona in sorted(personas, key=lambda p: p.name):
+        explorer = DesignSpaceExplorer(
+            grid=grid,
+            benchmarks=persona.app_mix,
+            run=run,
+            config=config,
+            idle_fraction=persona.idle_fraction,
+            sessions_per_day=persona.sessions_per_day,
+        )
+        reports[persona.name] = explorer.explore()
+    return reports
+
+
+def build_training_set(
+    reports: dict[str, FrontierReport],
+    personas: tuple[Persona, ...] | None = None,
+    slowdown_cap: float = 0.05,
+) -> list[TunerSample]:
+    """Turn per-persona frontier reports into tuner training samples."""
+    personas = tuple(personas) if personas is not None else ALL_PERSONAS
+    by_name = {p.name: p for p in personas}
+    unknown = sorted(set(reports) - set(by_name))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown personas: {', '.join(unknown)}; choose from "
+            f"{', '.join(sorted(by_name))}"
+        )
+    return [
+        TunerSample(
+            name=name,
+            features=WorkloadFeatures.from_persona(by_name[name]),
+            best_key=report.best_key(slowdown_cap=slowdown_cap),
+            energies=report.energies(),
+        )
+        for name, report in sorted(reports.items())
+    ]
+
+
+def train_tuner(
+    grid: GridSpec | None = None,
+    personas: tuple[Persona, ...] | None = None,
+    run: ScaledRun | None = None,
+    config: SystemConfig | None = None,
+    k: int = 1,
+    slowdown_cap: float = 0.05,
+) -> tuple[PolicyTuner, dict[str, FrontierReport]]:
+    """Sweep personas, build samples, fit the tuner."""
+    personas = tuple(personas) if personas is not None else ALL_PERSONAS
+    reports = persona_frontiers(grid, personas, run, config)
+    samples = build_training_set(reports, personas, slowdown_cap)
+    return PolicyTuner(k=k).fit(samples), reports

@@ -187,7 +187,9 @@ def claims_in_set(name: str) -> list[Claim]:
         return list(CLAIMS.values())
     if name == "reduced":
         return [c for c in CLAIMS.values() if c.kind == "analytic"]
-    raise ConfigurationError(f"unknown claim set {name!r} (reduced|full)")
+    raise ConfigurationError(
+        f"unknown claim set {name!r}; choose from {', '.join(CLAIM_SETS)}"
+    )
 
 
 CLAIM_SETS = ("reduced", "full")
@@ -200,7 +202,8 @@ def resolve_claims(ids: list[str] | None = None) -> list[Claim]:
     unknown = [i for i in ids if i not in CLAIMS]
     if unknown:
         raise ConfigurationError(
-            f"unknown claim id(s): {', '.join(sorted(unknown))}"
+            f"unknown claim id(s): {', '.join(sorted(unknown))}; choose from "
+            f"{', '.join(CLAIMS)}"
         )
     wanted = set(ids)
     return [c for c in CLAIMS.values() if c.id in wanted]

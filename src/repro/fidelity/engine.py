@@ -163,7 +163,9 @@ def evaluate_claim(claim_id: str, context: FidelityContext | None = None) -> Cla
     if claim_id not in CLAIMS:
         from repro.errors import ConfigurationError
 
-        raise ConfigurationError(f"unknown claim id {claim_id!r}")
+        raise ConfigurationError(
+            f"unknown claim id {claim_id!r}; choose from {', '.join(CLAIMS)}"
+        )
     return evaluate_claims([claim_id], context).results[0]
 
 

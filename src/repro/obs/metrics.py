@@ -22,6 +22,8 @@ Namespaces:
 * ``service.*`` — advisory-service request counters and latency tails.
 * ``dispatch.*`` — distributed-dispatch ledger/worker-health counters
   (:mod:`repro.dispatch`).
+* ``dse.*`` — design-space-exploration frontier/knee summaries and
+  tuner report-card aggregates (:mod:`repro.dse`).
 """
 
 from __future__ import annotations
@@ -293,6 +295,43 @@ class MetricsRegistry:
         for key, value in report.summary().items():
             if key not in skip and isinstance(value, _SCALAR_TYPES):
                 self.set(f"{namespace}.{key}", value)
+
+    def record_dse(self, report, namespace: str = "dse") -> None:
+        """Merge a :class:`repro.dse.engine.FrontierReport` summary.
+
+        Emits the grid/frontier sizes, the knee's identity and
+        objective triple, and the energy range — enough for a metrics
+        sink to notice the knee moving between runs.
+        """
+        self.update(namespace, report.summary())
+        for axis, entry in sorted(report.sensitivity.items()):
+            for objective in ("energy_j_day", "slowdown", "failure_prob_day"):
+                self.set(
+                    f"{namespace}.sensitivity.{axis}.{objective}",
+                    entry[objective]["spread"],
+                )
+
+    def record_tuner(self, tuner, namespace: str = "dse.tuner") -> None:
+        """Merge a :class:`repro.dse.tuner.PolicyTuner` report card.
+
+        Emits the training-set size, leave-one-out hit rate, and
+        mean/max regret, plus each workload's predicted point.
+        """
+        card = tuner.report_card()
+        regrets = [row["regret"] for row in card]
+        self.update(
+            namespace,
+            {
+                "samples": len(tuner.samples),
+                "k": tuner.k,
+                "loo_hits": sum(1 for row in card if row["hit"]),
+                "loo_hit_rate": sum(1 for row in card if row["hit"]) / len(card),
+                "mean_regret": sum(regrets) / len(regrets),
+                "max_regret": max(regrets),
+            },
+        )
+        for row in card:
+            self.set(f"{namespace}.predicted.{row['workload']}", row["predicted"])
 
     def record_service(self, service, namespace: str = "service") -> None:
         """Merge an advisory service's request metrics.

@@ -523,3 +523,96 @@ def _device(
         tuple(rows),
         meta={"mix": list(mix), "cycles": cycles},
     )
+
+
+@register_exhibit(
+    "dse-frontier",
+    title="Extension — operating-point Pareto frontier",
+    paper_anchor="Extension",
+    kind="extension",
+    paper_note="Extension: energy/slowdown/failure frontier around the "
+    "paper's ECC-6 / 1.024 s / 1 MPKC operating point.",
+    params={
+        "grid": "ecc=4,6;period=0.256,1.024;threshold=1,2;mdt=1024",
+        "benchmarks": ("povray", "libq"),
+    },
+    simulated=True,
+)
+def _dse_frontier(
+    run: ScaledRun,
+    grid: str = "ecc=4,6;period=0.256,1.024;threshold=1,2;mdt=1024",
+    benchmarks=("povray", "libq"),
+) -> ExhibitData:
+    from repro.dse import DesignSpaceExplorer, parse_grid
+
+    report = DesignSpaceExplorer(
+        grid=parse_grid(grid), benchmarks=tuple(benchmarks), run=run
+    ).explore()
+    frontier = set(report.frontier_keys)
+    rows = tuple(
+        (
+            r.point.key(),
+            r.energy_j_day,
+            r.slowdown,
+            r.failure_prob_day,
+            r.point.key() in frontier,
+            r.point.key() == report.knee_key,
+        )
+        for r in report.results
+    )
+    return ExhibitData(
+        "dse-frontier",
+        ("point", "energy_j_day", "slowdown", "failure_prob_day",
+         "on_frontier", "knee"),
+        rows,
+        meta={
+            "grid": report.grid,
+            "workload": report.workload,
+            "knee": report.knee_key,
+            "sim_jobs": report.sim_jobs,
+        },
+    )
+
+
+@register_exhibit(
+    "dse-tuner",
+    title="Extension — per-workload tuner report card",
+    paper_anchor="Extension",
+    kind="extension",
+    paper_note="Extension: learned per-workload operating points with "
+    "leave-one-out regret.",
+    params={
+        "grid": "ecc=4,6;period=0.256,1.024;threshold=2;mdt=1024",
+        "personas": ("light", "moderate", "heavy"),
+    },
+    simulated=True,
+)
+def _dse_tuner(
+    run: ScaledRun,
+    grid: str = "ecc=4,6;period=0.256,1.024;threshold=2;mdt=1024",
+    personas=("light", "moderate", "heavy"),
+) -> ExhibitData:
+    from repro.dse import parse_grid, train_tuner
+    from repro.workloads.personas import ALL_PERSONAS_BY_NAME
+
+    tuner, _ = train_tuner(
+        grid=parse_grid(grid),
+        personas=tuple(ALL_PERSONAS_BY_NAME[name] for name in personas),
+        run=run,
+    )
+    rows = tuple(
+        (
+            row["workload"],
+            row["best"],
+            row["predicted"],
+            row["hit"],
+            row["regret"],
+        )
+        for row in tuner.report_card()
+    )
+    return ExhibitData(
+        "dse-tuner",
+        ("workload", "best_point", "loo_prediction", "hit", "regret"),
+        rows,
+        meta={"grid": grid, "k": tuner.k, "samples": len(tuner.samples)},
+    )

@@ -139,7 +139,7 @@ def render(data: ExhibitData, fmt: str, spec: ExhibitSpec | None = None) -> str:
         renderer = RENDERERS[fmt]
     except KeyError:
         raise ConfigurationError(
-            f"unknown format {fmt!r}; choices: {', '.join(RENDERERS)}"
+            f"unknown format {fmt!r}; choose from {', '.join(RENDERERS)}"
         ) from None
     return renderer(data, spec)
 
@@ -156,6 +156,6 @@ def resolve_formats(formats) -> tuple[str, ...]:
     unknown = [f for f in formats if f not in RENDERERS]
     if unknown:
         raise ConfigurationError(
-            f"unknown formats: {unknown}; choices: {', '.join(RENDERERS)}"
+            f"unknown formats: {unknown}; choose from {', '.join(RENDERERS)}"
         )
     return tuple(dict.fromkeys(formats))

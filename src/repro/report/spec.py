@@ -254,7 +254,7 @@ def get_exhibit(id: str) -> ExhibitSpec:
     spec = REGISTRY.get(id)
     if spec is None:
         raise ConfigurationError(
-            f"unknown exhibit {id!r}; choices: {', '.join(REGISTRY)}"
+            f"unknown exhibit {id!r}; choose from {', '.join(REGISTRY)}"
         )
     return spec
 
@@ -272,7 +272,7 @@ def resolve_exhibits(ids: str | Iterable[str] | None) -> list[ExhibitSpec]:
     unknown = [i for i in ids if i not in REGISTRY]
     if unknown:
         raise ConfigurationError(
-            f"unknown exhibits: {unknown}; choices: {', '.join(REGISTRY)}"
+            f"unknown exhibits: {unknown}; choose from {', '.join(REGISTRY)}"
         )
     # Deduplicate while preserving the caller's order.
     return [REGISTRY[i] for i in dict.fromkeys(ids)]

@@ -53,11 +53,14 @@ class TestCliReport:
         for heading in ("Table I", "Fig. 7", "Fig. 14", "Sec. VII"):
             assert heading in text
 
-    def test_report_rejects_unknown_exhibit(self):
+    def test_report_rejects_unknown_exhibit(self, capsys):
         from repro.cli import main
 
-        with pytest.raises(ConfigurationError):
-            main(["report", "--exhibits", "fig99"])
+        # Unified CLI error contract: exit 2 + "choose from", no traceback.
+        assert main(["report", "--exhibits", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("report: ")
+        assert "choose from" in err
 
 
 class TestCodecCountersTable:

@@ -1,0 +1,144 @@
+"""Committed mini-golden frontier: fixture freshness + drift detection.
+
+Regenerate the fixture on purpose with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/dse/test_golden.py
+
+(or ``repro tune --drift-check --update-golden``).
+"""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.dse.golden import (
+    DEFAULT_DRIFT_TOLERANCE,
+    GOLDEN_KIND,
+    GOLDEN_SCHEMA,
+    MINI_GRID,
+    REGEN_ENV,
+    compute_golden,
+    default_golden_path,
+    drift_check,
+    load_golden,
+    write_golden,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def golden():
+    path = default_golden_path()
+    if os.environ.get(REGEN_ENV):
+        write_golden(path, compute_golden())
+    return load_golden(path)
+
+
+class TestFixture:
+    def test_committed_fixture_matches_fresh_compute(self, golden):
+        fresh = compute_golden()
+        assert golden == fresh, (
+            f"golden DSE fixture is stale; regenerate with {REGEN_ENV}=1"
+        )
+
+    def test_fixture_shape(self, golden):
+        assert golden["kind"] == GOLDEN_KIND
+        assert golden["schema"] == GOLDEN_SCHEMA
+        assert sorted(golden["personas"]) == ["heavy", "light"]
+        for entry in golden["personas"].values():
+            assert entry["best"] in entry["energies"]
+            assert entry["knee"] in entry["frontier"]
+            assert len(entry["energies"]) == MINI_GRID.size
+            assert set(entry["frontier"]) <= set(entry["energies"])
+
+    def test_fixture_is_canonically_serialized(self, golden):
+        path = default_golden_path()
+        canonical = json.dumps(golden, indent=2, sort_keys=True) + "\n"
+        assert path.read_text(encoding="utf-8") == canonical
+
+    def test_unknown_persona_rejected(self):
+        with pytest.raises(ConfigurationError, match="choose from"):
+            compute_golden(personas=("light", "venusian"))
+
+
+class TestLoadGolden:
+    def test_missing_file_names_the_regen_recipe(self, tmp_path):
+        with pytest.raises(ConfigurationError, match=REGEN_ENV):
+            load_golden(tmp_path / "nope.json")
+
+    def test_bad_kind_or_schema_rejected(self, tmp_path, golden):
+        for tweak in ({"kind": "something-else"}, {"schema": 99}):
+            path = tmp_path / "bad.json"
+            write_golden(path, {**golden, **tweak})
+            with pytest.raises(ConfigurationError, match="kind/schema"):
+                load_golden(path)
+
+    def test_write_then_load_round_trips(self, tmp_path, golden):
+        path = tmp_path / "copy.json"
+        write_golden(path, golden)
+        assert load_golden(path) == golden
+
+
+class TestDriftCheck:
+    def test_clean_fixture_passes(self, golden):
+        report = drift_check(golden)
+        assert report.ok
+        assert report.tolerance == DEFAULT_DRIFT_TOLERANCE
+        for row in report.rows:
+            assert row.ok
+            assert row.golden_best == row.fresh_best
+            assert row.max_energy_drift <= DEFAULT_DRIFT_TOLERANCE
+
+    def test_energy_perturbation_beyond_tolerance_trips(self, golden):
+        tampered = copy.deepcopy(golden)
+        entry = tampered["personas"]["light"]
+        key = sorted(entry["energies"])[0]
+        entry["energies"][key] *= 1.10
+        report = drift_check(tampered)
+        assert not report.ok
+        bad = {row.persona: row for row in report.rows}["light"]
+        assert not bad.ok
+        assert bad.max_energy_drift > DEFAULT_DRIFT_TOLERANCE
+        assert key in bad.detail
+        assert "DRIFT" in report.render()
+
+    def test_perturbation_within_tolerance_passes(self, golden):
+        tampered = copy.deepcopy(golden)
+        entry = tampered["personas"]["heavy"]
+        key = sorted(entry["energies"])[0]
+        entry["energies"][key] *= 1.001
+        assert drift_check(tampered).ok
+
+    def test_moved_best_point_trips(self, golden):
+        tampered = copy.deepcopy(golden)
+        entry = tampered["personas"]["light"]
+        other = next(
+            k for k in sorted(entry["energies"]) if k != entry["best"]
+        )
+        entry["best"] = other
+        report = drift_check(tampered)
+        assert not report.ok
+        bad = {row.persona: row for row in report.rows}["light"]
+        assert "best operating point moved" in bad.detail
+
+    def test_point_set_change_trips(self, golden):
+        tampered = copy.deepcopy(golden)
+        entry = tampered["personas"]["light"]
+        extra = dict(entry["energies"])
+        extra["mecc+smd/t9/p9/th9/mdt9"] = 1.0
+        entry["energies"] = extra
+        report = drift_check(tampered)
+        assert not report.ok
+        bad = {row.persona: row for row in report.rows}["light"]
+        assert "point set changed" in bad.detail
+
+    def test_non_positive_tolerance_rejected(self, golden):
+        with pytest.raises(ConfigurationError, match="positive"):
+            drift_check(golden, tolerance=0.0)
+
+    def test_render_mentions_every_persona(self, golden):
+        text = drift_check(golden).render()
+        assert "light" in text and "heavy" in text
+        assert "drift check: ok" in text

@@ -1,0 +1,139 @@
+"""GridSpec validation, canonical expansion, and CLI shorthand parsing."""
+
+import pytest
+
+from repro.dse.grid import AXES, GridSpec, OperatingPoint, parse_grid
+from repro.errors import ConfigurationError
+
+
+class TestGridSpec:
+    def test_default_grid_is_64_points(self):
+        grid = GridSpec()
+        assert grid.size == 64
+        assert len(grid.points()) == 64
+
+    def test_axes_are_deduped_and_sorted(self):
+        grid = GridSpec(
+            ecc_strength=(6, 2, 6, 4),
+            refresh_period_s=(1.024, 0.256, 1.024),
+        )
+        assert grid.ecc_strength == (2, 4, 6)
+        assert grid.refresh_period_s == (0.256, 1.024)
+
+    def test_axis_order_does_not_change_identity(self):
+        a = GridSpec(ecc_strength=(2, 6), threshold_mpkc=(2.0, 1.0))
+        b = GridSpec(ecc_strength=(6, 2), threshold_mpkc=(1.0, 2.0))
+        assert a == b
+        assert a.points() == b.points()
+
+    def test_points_are_canonically_ordered_and_unique(self):
+        points = GridSpec().points()
+        keys = [p.key() for p in points]
+        assert len(set(keys)) == len(keys)
+        assert points == GridSpec().points()
+
+    def test_sim_pairs_collapse_analytic_axes(self):
+        grid = GridSpec(
+            ecc_strength=(4, 6),
+            refresh_period_s=(0.128, 0.256, 0.512, 1.024),
+            threshold_mpkc=(1.0, 2.0),
+            mdt_entries=(512, 1024),
+        )
+        assert grid.size == 32
+        # Only strength x threshold needs simulation.
+        assert len(grid.sim_pairs()) == 4
+
+    def test_mecc_policy_needs_one_sim_per_strength(self):
+        grid = GridSpec(policy="mecc", ecc_strength=(4, 6), threshold_mpkc=(1.0, 2.0))
+        assert len(grid.sim_pairs()) == 2
+
+    def test_describe_round_trips(self):
+        grid = GridSpec(ecc_strength=(4, 6), mdt_entries=(256,))
+        assert GridSpec.from_dict(grid.describe()) == grid
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="ecc_strength is empty"):
+            GridSpec(ecc_strength=())
+
+    def test_non_positive_refresh_period_rejected(self):
+        with pytest.raises(ConfigurationError, match="must be positive"):
+            GridSpec(refresh_period_s=(0.256, 0.0))
+        with pytest.raises(ConfigurationError, match="must be positive"):
+            GridSpec(refresh_period_s=(-1.0,))
+
+    def test_non_positive_threshold_rejected(self):
+        with pytest.raises(ConfigurationError, match="must be positive"):
+            GridSpec(threshold_mpkc=(0.0,))
+
+    def test_bad_ecc_strength_rejected(self):
+        with pytest.raises(ConfigurationError, match="integers >= 1"):
+            GridSpec(ecc_strength=(0,))
+
+    def test_mdt_entries_must_divide_capacity(self):
+        with pytest.raises(ConfigurationError, match="must divide capacity"):
+            GridSpec(mdt_entries=(1000,))
+
+    def test_mdt_entries_region_floor(self):
+        # 1 GiB / 2^24 entries = 64 B regions: exactly one line, legal.
+        GridSpec(mdt_entries=(1 << 24,))
+        with pytest.raises(ConfigurationError, match="smaller than one"):
+            GridSpec(mdt_entries=(1 << 25,))
+
+    def test_unknown_policy_lists_choices(self):
+        with pytest.raises(ConfigurationError, match="choose from"):
+            GridSpec(policy="raid5")
+
+    def test_unknown_grid_field_lists_choices(self):
+        with pytest.raises(ConfigurationError, match="choose from"):
+            GridSpec.from_dict({"voltage": [1.1]})
+
+
+class TestOperatingPoint:
+    def test_key_is_stable_and_readable(self):
+        point = OperatingPoint(6, 1.024, 1.0, 1024)
+        assert point.key() == "mecc+smd/t6/p1.024/th1/mdt1024"
+
+    def test_axis_value_covers_every_axis(self):
+        point = OperatingPoint(4, 0.256, 2.0, 512)
+        assert [point.axis_value(a) for a in AXES] == [4, 0.256, 2.0, 512]
+        with pytest.raises(ConfigurationError, match="choose from"):
+            point.axis_value("voltage")
+
+
+class TestParseGrid:
+    def test_shorthand_with_aliases(self):
+        grid = parse_grid("ecc=4,6;period=0.256,1.024;threshold=1,2;mdt=512,1024")
+        assert grid == GridSpec(
+            ecc_strength=(4, 6),
+            refresh_period_s=(0.256, 1.024),
+            threshold_mpkc=(1.0, 2.0),
+            mdt_entries=(512, 1024),
+        )
+
+    def test_colon_separator_and_long_names(self):
+        grid = parse_grid("ecc_strength:6;refresh:0.512")
+        assert grid.ecc_strength == (6,)
+        assert grid.refresh_period_s == (0.512,)
+
+    def test_unlisted_axes_keep_defaults(self):
+        grid = parse_grid("ecc=6")
+        assert grid.refresh_period_s == GridSpec().refresh_period_s
+
+    def test_policy_clause(self):
+        assert parse_grid("policy=mecc;ecc=6").policy == "mecc"
+
+    def test_unknown_axis_lists_choices(self):
+        with pytest.raises(ConfigurationError, match="choose from"):
+            parse_grid("voltage=1.1")
+
+    def test_empty_axis_clause_rejected(self):
+        with pytest.raises(ConfigurationError, match="is empty"):
+            parse_grid("ecc=")
+
+    def test_unparseable_value_rejected(self):
+        with pytest.raises(ConfigurationError, match="could not parse"):
+            parse_grid("period=fast")
+
+    def test_unknown_policy_via_shorthand(self):
+        with pytest.raises(ConfigurationError, match="choose from"):
+            parse_grid("policy=raid5")

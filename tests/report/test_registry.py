@@ -59,7 +59,7 @@ class TestRegistryRoundTrip:
         assert get_exhibit("fig7").title != "imposter"
 
     def test_unknown_exhibit_names_the_choices(self):
-        with pytest.raises(ConfigurationError, match="choices"):
+        with pytest.raises(ConfigurationError, match="choose from"):
             get_exhibit("fig99")
 
     def test_resolve_preserves_order_and_dedups(self):
